@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` (default 1) multiplies every workload's problem
+size; the paper's ratios are scale-invariant, so 1 keeps wall time low.
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    return BENCH_SCALE

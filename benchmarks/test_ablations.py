@@ -1,0 +1,111 @@
+"""E5-E7: ablations over the design choices the paper discusses.
+
+* **E5 static vs dynamic instrumentation** (Section IV): dynamic
+  ClassFileLoadHook rewriting costs simulated cycles during the
+  profiled run; static instrumentation is free at runtime.  Both must
+  report identical transition counts.
+* **E6 timestamp compensation** (Section IV, last paragraph):
+  subtracting the average wrapper cost from every measured span
+  materially improves IPA's accuracy against the simulator oracle.
+* **E7 JIT veto decomposition** (Section V): SPA's overhead is the
+  product of two effects — losing the JIT and paying per-event costs.
+  Running the *unprofiled* workload with the JIT forced off isolates
+  the first factor; the events must account for most of the rest.
+"""
+
+import pytest
+
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.jit.policy import JitPolicy
+from repro.jvm.machine import VMConfig
+from repro.workloads import get_workload
+
+from conftest import BENCH_SCALE
+
+
+def _run(name, agent_spec, jit_enabled=True):
+    workload = get_workload(name, scale=BENCH_SCALE)
+    config = RunConfig(
+        agent=agent_spec,
+        vm_config=VMConfig(jit_policy=JitPolicy(enabled=jit_enabled)))
+    return execute(workload, config)
+
+
+class TestE5InstrumentationMode:
+    @pytest.mark.parametrize("name", ["jess", "javac"])
+    def test_dynamic_costs_more_same_counts(self, benchmark, name):
+        def work():
+            static = _run(name, AgentSpec.ipa(
+                instrumentation="static"))
+            dynamic = _run(name, AgentSpec.ipa(
+                instrumentation="dynamic"))
+            return static, dynamic
+
+        static, dynamic = benchmark.pedantic(work, rounds=1,
+                                             iterations=1)
+        benchmark.extra_info["static_cycles"] = static.cycles
+        benchmark.extra_info["dynamic_cycles"] = dynamic.cycles
+        assert dynamic.cycles > static.cycles
+        assert static.agent_report["native_method_calls"] == \
+            dynamic.agent_report["native_method_calls"]
+        # dynamic instrumentation only ever rewrites classes that are
+        # actually loaded; the offline pass covers the whole archive
+        assert 0 < dynamic.agent_report["methods_wrapped"] <= \
+            static.agent_report["methods_wrapped"]
+        extra = (dynamic.cycles - static.cycles) / static.cycles * 100
+        print(f"\n[E5:{name}] dynamic instrumentation adds "
+              f"{extra:.2f}% over static")
+
+
+class TestE6Compensation:
+    @pytest.mark.parametrize("name", ["jess", "jbb2005"])
+    def test_compensation_reduces_error(self, benchmark, name):
+        def work():
+            baseline = _run(name, AgentSpec.none())
+            with_comp = _run(name, AgentSpec.ipa(compensate=True))
+            without = _run(name, AgentSpec.ipa(compensate=False))
+            return baseline, with_comp, without
+
+        baseline, with_comp, without = benchmark.pedantic(
+            work, rounds=1, iterations=1)
+        truth = baseline.ground_truth_native_fraction * 100
+        err_with = abs(
+            with_comp.agent_report["percent_native"] - truth)
+        err_without = abs(
+            without.agent_report["percent_native"] - truth)
+        benchmark.extra_info["error_compensated_pts"] = err_with
+        benchmark.extra_info["error_uncompensated_pts"] = err_without
+        print(f"\n[E6:{name}] truth={truth:.2f}%  "
+              f"compensated err={err_with:.2f}pts  "
+              f"uncompensated err={err_without:.2f}pts")
+        assert err_with < err_without
+        assert err_with < 2.5
+
+
+class TestE7JitVeto:
+    @pytest.mark.parametrize("name", ["mtrt", "db"])
+    def test_decompose_spa_overhead(self, benchmark, name):
+        def work():
+            base = _run(name, AgentSpec.none())
+            no_jit = _run(name, AgentSpec.none(), jit_enabled=False)
+            spa = _run(name, AgentSpec.spa())
+            return base, no_jit, spa
+
+        base, no_jit, spa = benchmark.pedantic(work, rounds=1,
+                                               iterations=1)
+        jit_loss_factor = no_jit.cycles / base.cycles
+        total_factor = spa.cycles / base.cycles
+        event_factor = spa.cycles / no_jit.cycles
+        benchmark.extra_info["jit_loss_factor"] = jit_loss_factor
+        benchmark.extra_info["event_factor"] = event_factor
+        print(f"\n[E7:{name}] SPA x{total_factor:.1f} = "
+              f"JIT-loss x{jit_loss_factor:.1f} * "
+              f"events x{event_factor:.1f}")
+        # both factors are real (for call-dense mtrt the events
+        # dominate; for call-sparse db both are modest — which is
+        # exactly why db has the smallest SPA overhead of Table I)
+        assert jit_loss_factor > 1.5
+        assert event_factor > (2.0 if name == "mtrt" else 1.2)
+        assert total_factor == pytest.approx(
+            jit_loss_factor * event_factor, rel=1e-9)

@@ -1,0 +1,120 @@
+"""E8-E9: the paper's future-work extension and related-work baseline.
+
+* **E8 call chains** (Section VII): the CallChainAgent recovers
+  complete mixed Java/native calling contexts — including chains that
+  cross the boundary several frames deep — which neither Java-only nor
+  system-specific profilers can see.
+* **E9 counting baseline** (Section VI): the Kaffe-style
+  invocation-counting approach recovers the same native call counts as
+  IPA but no timing, at an interpreted-VM price.
+"""
+
+import pytest
+
+from repro.agents.callchain import CallChainAgent
+from repro.agents.counting import CountingAgent
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.workloads import get_workload
+
+from conftest import BENCH_SCALE
+
+
+class TestE8CallChains:
+    @pytest.mark.parametrize("name", ["javac", "jack"])
+    def test_mixed_chains_recovered(self, benchmark, name):
+        def work():
+            agent = CallChainAgent()
+            result = execute(
+                get_workload(name, scale=BENCH_SCALE),
+                RunConfig(agent=AgentSpec("callchain",
+                                          lambda: agent)))
+            return agent, result
+
+        agent, result = benchmark.pedantic(work, rounds=1,
+                                           iterations=1)
+        chains = agent.mixed_chains()
+        benchmark.extra_info["mixed_chains"] = len(chains)
+        assert chains
+        # at least one chain crosses Java frames before reaching native
+        assert any(len(chain) >= 3 for chain, _, _ in chains), \
+            [chain for chain, _, _ in chains[:5]]
+        deepest = agent.deepest_chain()
+        print(f"\n[E8:{name}] {len(chains)} mixed chains, deepest "
+              f"context {len(deepest)} frames")
+        for chain, calls, cycles in chains[:3]:
+            print(f"  {calls:6d}x {cycles:10,}cy  "
+                  + " -> ".join(chain))
+
+
+class TestE9CountingBaseline:
+    @pytest.mark.parametrize("name", ["jess"])
+    def test_counts_match_ipa_but_no_timing(self, benchmark, name):
+        def work():
+            counting = execute(
+                get_workload(name, scale=BENCH_SCALE),
+                RunConfig(agent=AgentSpec("counting", CountingAgent)))
+            ipa = execute(
+                get_workload(name, scale=BENCH_SCALE),
+                RunConfig(agent=AgentSpec.ipa()))
+            base = execute(get_workload(name, scale=BENCH_SCALE),
+                           RunConfig(agent=AgentSpec.none()))
+            return counting, ipa, base
+
+        counting, ipa, base = benchmark.pedantic(work, rounds=1,
+                                                 iterations=1)
+        counted = counting.agent_report["native_method_invocations"]
+        ipa_counted = ipa.agent_report["native_method_calls"]
+        benchmark.extra_info["counting_natives"] = counted
+        benchmark.extra_info["ipa_natives"] = ipa_counted
+        # same program, same native invocations (IPA's own runtime
+        # methods are excluded from its count by design)
+        assert counted == ipa_counted
+        # but the baseline cannot say where CPU time goes...
+        assert "percent_native" not in counting.agent_report
+        # ...and pays an interpreted-VM price for the counts
+        assert counting.cycles / base.cycles > 5
+        assert counting.jit_vetoed
+        print(f"\n[E9:{name}] counting agent: {counted} native "
+              f"invocations at x"
+              f"{counting.cycles / base.cycles:.1f} slowdown; "
+              f"IPA: {ipa_counted} at x"
+              f"{ipa.cycles / base.cycles:.2f}")
+
+
+class TestE10SamplingBaseline:
+    """E10: the tprof-style sampling profiler — near-zero overhead and
+    decent accuracy, but no portability story and no transition counts
+    (the paper's Section VI contrast)."""
+
+    @pytest.mark.parametrize("name", ["jack"])
+    def test_cheap_but_blind_to_transitions(self, benchmark, name):
+        from repro.agents.sampling import SamplingProfiler
+
+        def work():
+            base = execute(get_workload(name, scale=BENCH_SCALE),
+                           RunConfig(agent=AgentSpec.none()))
+            sampled = execute(
+                get_workload(name, scale=BENCH_SCALE),
+                RunConfig(agent=AgentSpec.none(),
+                          sampler=lambda: SamplingProfiler(
+                              interval=10_000)))
+            ipa = execute(get_workload(name, scale=BENCH_SCALE),
+                          RunConfig(agent=AgentSpec.ipa()))
+            return base, sampled, ipa
+
+        base, sampled, ipa = benchmark.pedantic(work, rounds=1,
+                                                iterations=1)
+        truth = base.ground_truth_native_fraction * 100
+        est = sampled.sampler_report["percent_native"]
+        overhead = (sampled.cycles / base.cycles - 1) * 100
+        benchmark.extra_info["sampling_estimate"] = est
+        benchmark.extra_info["sampling_overhead_pct"] = overhead
+        print(f"\n[E10:{name}] truth={truth:.2f}%  "
+              f"sampling={est:.2f}% at {overhead:.2f}% overhead  "
+              f"(IPA={ipa.agent_report['percent_native']:.2f}% at "
+              f"{(ipa.cycles / base.cycles - 1) * 100:.2f}%)")
+        assert overhead < 3.0
+        assert est == pytest.approx(truth, abs=5.0)
+        assert sampled.sampler_report["jni_calls"] is None
+        assert ipa.agent_report["jni_calls"] is not None

@@ -1,0 +1,41 @@
+"""Mixed Java/native call-chain profiling — the paper's future work.
+
+Section VII of the paper announces "an extension which consists in
+tracking complete call chains including a mix of Java and native
+methods ... not possible with current profilers, since they are either
+Java-only or system-specific".  This example runs that extension (the
+:class:`~repro.agents.callchain.CallChainAgent`) over the ``javac``
+workload and prints the hottest chains that end in native code.
+
+Usage::
+
+    python examples/callchain_profiling.py
+"""
+
+from repro import AgentSpec, RunConfig, execute, get_workload
+from repro.agents.callchain import CallChainAgent
+
+
+def main() -> None:
+    workload = get_workload("javac")
+    agent = CallChainAgent()
+    result = execute(workload, RunConfig(
+        agent=AgentSpec("callchain", lambda: agent)))
+
+    print(f"workload: {workload.name}  "
+          f"(cycles with agent: {result.cycles:,})")
+    print()
+    print("hottest mixed Java/native call chains:")
+    for chain, calls, cycles in agent.mixed_chains()[:8]:
+        print(f"  {calls:6d} calls  {cycles:10,} cycles")
+        for depth, frame in enumerate(chain):
+            print("    " + "  " * depth + frame)
+        print()
+    deepest = agent.deepest_chain()
+    print(f"deepest observed chain ({len(deepest)} frames):")
+    for frame in deepest:
+        print(f"  {frame}")
+
+
+if __name__ == "__main__":
+    main()

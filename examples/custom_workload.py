@@ -1,0 +1,118 @@
+"""Authoring and profiling a custom workload.
+
+Shows the full user-facing pipeline: write a small Java-like program
+with the bytecode assembler (a prime sieve that logs through native
+I/O), wrap it as a :class:`~repro.workloads.base.Workload`, and measure
+its native-code fraction with IPA.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import AgentSpec, RunConfig, execute
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads.base import Workload, WorkloadResultCheck
+
+LIMIT = 3000
+
+
+def _build_sieve() -> ClassAssembler:
+    c = ClassAssembler("demo.Sieve")
+    with c.method("countPrimes", "(I)I", static=True) as m:
+        # locals: 0=limit, 1=flags, 2=i, 3=j, 4=count
+        m.iload(0).newarray(ArrayKind.INT).astore(1)
+        m.iconst(2).istore(2)
+        m.label("outer")
+        m.iload(2).iload(0).if_icmpge("count")
+        m.aload(1).iload(2).iaload().ifne("next")
+        m.iload(2).iconst(2).imul().istore(3)
+        m.label("inner")
+        m.iload(3).iload(0).if_icmpge("next")
+        m.aload(1).iload(3).iconst(1).iastore()
+        m.iload(3).iload(2).iadd().istore(3)
+        m.goto("inner")
+        m.label("next")
+        m.iinc(2, 1).goto("outer")
+        m.label("count")
+        m.iconst(0).istore(4)
+        m.iconst(2).istore(2)
+        m.label("scan")
+        m.iload(2).iload(0).if_icmpge("done")
+        m.aload(1).iload(2).iaload().ifne("skip")
+        m.iinc(4, 1)
+        m.label("skip")
+        m.iinc(2, 1).goto("scan")
+        m.label("done")
+        m.iload(4).ireturn()
+
+    with c.method("main", "()V", static=True) as m:
+        m.getstatic("java.lang.System", "out")
+        m.new("java.lang.StringBuilder").dup()
+        m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+        m.ldc("primes=")
+        m.invokevirtual(
+            "java.lang.StringBuilder", "appendString",
+            "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+        m.ldc(LIMIT)
+        m.invokestatic("demo.Sieve", "countPrimes", "(I)I")
+        m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                        "(I)Ljava.lang.StringBuilder;")
+        m.invokevirtual("java.lang.StringBuilder", "toString",
+                        "()Ljava.lang.String;")
+        m.invokevirtual("java.io.PrintStream", "println",
+                        "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+def _host_prime_count(limit: int) -> int:
+    flags = [False] * limit
+    count = 0
+    for i in range(2, limit):
+        if not flags[i]:
+            count += 1
+            for j in range(2 * i, limit, i):
+                flags[j] = True
+    return count
+
+
+class SieveWorkload(Workload):
+    """Prime sieve with string-built console output."""
+
+    name = "sieve"
+    main_class = "demo.Sieve"
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_sieve().build())
+        return archive
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        expected = f"primes={_host_prime_count(LIMIT)}"
+        if expected not in vm.console:
+            return WorkloadResultCheck(
+                False, f"expected {expected!r}, got {vm.console}")
+        return WorkloadResultCheck(True)
+
+
+def main() -> None:
+    workload = SieveWorkload()
+    baseline = execute(workload, RunConfig(agent=AgentSpec.none()))
+    profiled = execute(workload, RunConfig(agent=AgentSpec.ipa()))
+
+    print("console:", baseline.console)
+    print(f"cycles: {baseline.cycles:,} "
+          f"({baseline.instructions:,} instructions)")
+    print(f"ground-truth native fraction: "
+          f"{baseline.ground_truth_native_fraction * 100:.2f}%")
+    print(f"IPA measured native fraction: "
+          f"{profiled.agent_report['percent_native']:.2f}%")
+    print(f"IPA overhead: "
+          f"{(profiled.cycles / baseline.cycles - 1) * 100:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Overhead study: regenerate the paper's Table I.
+
+Runs every SPEC JVM98 equivalent plus JBB2005 under {no agent, SPA,
+IPA} and prints the execution times / throughput and the two overhead
+columns, exactly in the paper's layout.  Expect SPA overheads of
+several thousand percent (its method-entry/exit events disable the JIT)
+against IPA's 0-20 %.
+
+Usage::
+
+    python examples/overhead_study.py [scale]
+
+``scale`` (default 1) multiplies every workload's problem size.
+"""
+
+import sys
+
+from repro import build_table1, full_suite, render_table1
+
+
+def main() -> None:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 1
+    table = build_table1(full_suite(scale=scale))
+    print(render_table1(table))
+    print()
+    worst = max(table.time_rows,
+                key=lambda row: row.overhead_spa_percent)
+    best = min(table.time_rows,
+               key=lambda row: row.overhead_spa_percent)
+    print(f"largest SPA overhead:  {worst.benchmark} "
+          f"({worst.overhead_spa_percent:,.0f}%)")
+    print(f"smallest SPA overhead: {best.benchmark} "
+          f"({best.overhead_spa_percent:,.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

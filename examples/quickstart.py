@@ -1,0 +1,39 @@
+"""Quickstart: profile one benchmark with the paper's IPA agent.
+
+Runs the `compress` workload twice — unprofiled, then under the
+Improved Profiling Agent — and prints what the paper's Table II reports
+for it: the fraction of CPU time spent in native code and the
+native/JNI call counts, next to the simulator's ground truth.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import AgentSpec, RunConfig, execute, get_workload
+
+
+def main() -> None:
+    workload = get_workload("compress")
+
+    baseline = execute(workload, RunConfig(agent=AgentSpec.none()))
+    profiled = execute(workload, RunConfig(agent=AgentSpec.ipa()))
+
+    report = profiled.agent_report
+    truth = baseline.ground_truth_native_fraction * 100
+    overhead = (profiled.cycles / baseline.cycles - 1) * 100
+
+    print(f"workload:                {workload.name}")
+    print(f"baseline cycles:         {baseline.cycles:,}")
+    print(f"profiled cycles:         {profiled.cycles:,}")
+    print(f"IPA overhead:            {overhead:.2f}%")
+    print()
+    print(f"IPA measured native %:   {report['percent_native']:.2f}")
+    print(f"simulator ground truth:  {truth:.2f}")
+    print(f"native method calls:     {report['native_method_calls']:,}")
+    print(f"intercepted JNI calls:   {report['jni_calls']:,}")
+    print(f"native methods wrapped:  {report['methods_wrapped']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Sampling profiler vs. IPA — the paper's Section VI trade-off, live.
+
+The paper contrasts its portable transition-tracking approach with
+sampling profilers (IBM tprof): sampling is cheap and reasonably
+accurate for the time split, but it is system-specific and "not able to
+construct accurate counts of the number or frequency of JNI calls".
+
+This example runs both over the same workload and prints the trade-off:
+estimated native %, overhead, and what each tool can and cannot report.
+
+Usage::
+
+    python examples/sampling_vs_ipa.py [workload]
+"""
+
+import sys
+
+from repro import AgentSpec, RunConfig, execute, get_workload
+from repro.agents.sampling import SamplingProfiler
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "jack"
+    workload = get_workload(name)
+
+    baseline = execute(workload, RunConfig(agent=AgentSpec.none()))
+    sampled = execute(workload, RunConfig(
+        agent=AgentSpec.none(),
+        sampler=lambda: SamplingProfiler(interval=10_000)))
+    profiled = execute(workload, RunConfig(agent=AgentSpec.ipa()))
+
+    truth = baseline.ground_truth_native_fraction * 100
+    samp = sampled.sampler_report
+    ipa = profiled.agent_report
+
+    def overhead(run):
+        return (run.cycles / baseline.cycles - 1) * 100
+
+    print(f"workload: {name}   ground-truth native time: "
+          f"{truth:.2f}%\n")
+    print(f"{'':24s} {'sampling (tprof-style)':>24s} "
+          f"{'IPA (this paper)':>20s}")
+    print(f"{'native % estimate':24s} "
+          f"{samp['percent_native']:>23.2f}% {ipa['percent_native']:>19.2f}%")
+    print(f"{'overhead':24s} {overhead(sampled):>23.2f}% "
+          f"{overhead(profiled):>19.2f}%")
+    jni = samp["jni_calls"]
+    print(f"{'JNI call count':24s} "
+          f"{'(not available)' if jni is None else jni:>24} "
+          f"{ipa['jni_calls']:>20,}")
+    nmc = samp["native_method_calls"]
+    print(f"{'native method calls':24s} "
+          f"{'(not available)' if nmc is None else nmc:>24} "
+          f"{ipa['native_method_calls']:>20,}")
+    print(f"{'portable (JVMTI-only)':24s} {'no':>24s} {'yes':>20s}")
+
+
+if __name__ == "__main__":
+    main()

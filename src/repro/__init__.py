@@ -1,0 +1,62 @@
+"""repro — a reproduction of *"A Quantitative Evaluation of the
+Contribution of Native Code to Java Workloads"* (Binder, Hulaas, Moret;
+IISWC 2006).
+
+The package contains a deterministic JVM simulator (bytecode ISA,
+interpreter, JIT model, JNI layer, JVMTI layer, PCL cycle counters),
+the paper's two profiling agents (SPA and IPA), the bytecode
+instrumentation toolchain, synthetic SPEC JVM98 / JBB2005 workloads,
+and a benchmark harness that regenerates the paper's Tables I and II.
+
+Quickstart::
+
+    from repro import AgentSpec, RunConfig, execute, get_workload
+
+    workload = get_workload("compress")
+    baseline = execute(workload, RunConfig(agent=AgentSpec.none()))
+    profiled = execute(workload, RunConfig(agent=AgentSpec.ipa()))
+    print(profiled.agent_report["percent_native"])
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.errors import ReproError
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.overhead import Table1, build_table1
+from repro.harness.report import render_table1, render_table2
+from repro.harness.runner import RunResult, execute, execute_many
+from repro.harness.statistics import Table2, build_table2
+from repro.launcher import create_vm, runtime_archive
+from repro.workloads import (
+    Workload,
+    full_suite,
+    get_workload,
+    jvm98_suite,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "AgentSpec",
+    "RunConfig",
+    "RunResult",
+    "execute",
+    "execute_many",
+    "Table1",
+    "Table2",
+    "build_table1",
+    "build_table2",
+    "render_table1",
+    "render_table2",
+    "create_vm",
+    "runtime_archive",
+    "Workload",
+    "full_suite",
+    "get_workload",
+    "jvm98_suite",
+    "workload_names",
+    "__version__",
+]

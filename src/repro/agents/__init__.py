@@ -1,0 +1,27 @@
+"""Profiling agents — the paper's contribution.
+
+* :class:`~repro.agents.spa.SPA` — the Simple Profiling Agent (Figure 1):
+  method entry/exit events + a reified native/Java stack.  Portable, but
+  its event capabilities disable the JIT, producing the catastrophic
+  overhead of Table I.
+* :class:`~repro.agents.ipa.IPA` — the Improved Profiling Agent
+  (Figures 2/3): JNI function interception for N2J transitions, native
+  method prefixing + bytecode-instrumented wrappers for J2N transitions,
+  with timestamp compensation.  Moderate overhead, JIT stays on.
+* :class:`~repro.agents.counting.CountingAgent` — the related-work
+  baseline (Kaffe-style native-invocation counting, no timing).
+* :class:`~repro.agents.callchain.CallChainAgent` — the paper's
+  future-work extension: full mixed Java/native calling-context trees.
+* :class:`~repro.agents.sampling.SamplingProfiler` — the related-work
+  sampling approach (IBM tprof style): cheap, but system-specific and
+  blind to transition counts.
+"""
+
+from repro.agents.spa import SPA
+from repro.agents.ipa import IPA
+from repro.agents.counting import CountingAgent
+from repro.agents.callchain import CallChainAgent
+from repro.agents.sampling import SamplingProfiler
+
+__all__ = ["SPA", "IPA", "CountingAgent", "CallChainAgent",
+           "SamplingProfiler"]

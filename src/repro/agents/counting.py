@@ -1,0 +1,64 @@
+"""Related-work baseline: invocation counting without timing.
+
+Models the approach of Gregg/Power/Waldron (paper Section VI): an
+instrumented Kaffe VM *without JIT compilation* counting native method
+invocations.  Here that is an agent that requests method-entry events
+(thereby disabling the JIT, as in the purely interpreted Kaffe) and
+increments counters — it recovers the Table II call counts but can say
+nothing about where CPU time goes, the paper's criticism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.jvmti.agent import AgentBase
+from repro.jvmti.capabilities import Capabilities
+from repro.jvmti.events import JvmtiEvent
+
+#: Cycles per event: a bare counter increment.
+EVENT_WORK = 12
+
+
+class CountingAgent(AgentBase):
+    """Counts Java and native method invocations."""
+
+    name = "counting"
+
+    def __init__(self):
+        super().__init__()
+        self.java_method_invocations = 0
+        self.native_method_invocations = 0
+        self.per_method: Dict[str, int] = {}
+        #: Collect per-method counts too (costs a little more per event).
+        self.detailed = False
+
+    def on_load(self, env) -> None:
+        super().on_load(env)
+        env.add_capabilities(Capabilities(
+            can_generate_method_entry_events=True))
+        env.set_event_callbacks({
+            JvmtiEvent.METHOD_ENTRY: self._method_entry,
+        })
+        env.enable_event(JvmtiEvent.METHOD_ENTRY)
+
+    def _method_entry(self, env, thread, method) -> None:
+        env.charge(EVENT_WORK, thread)
+        if method.is_native:
+            self.native_method_invocations += 1
+        else:
+            self.java_method_invocations += 1
+        if self.detailed:
+            env.charge(30, thread)
+            key = method.qualified_name
+            self.per_method[key] = self.per_method.get(key, 0) + 1
+
+    def report(self) -> Dict:
+        report = {
+            "agent": self.name,
+            "java_method_invocations": self.java_method_invocations,
+            "native_method_invocations": self.native_method_invocations,
+        }
+        if self.detailed:
+            report["per_method"] = dict(self.per_method)
+        return report

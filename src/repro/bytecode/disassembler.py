@@ -1,0 +1,75 @@
+"""Human-readable bytecode listings, for debugging and documentation."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.opcodes import OperandKind
+from repro.classfile.constant_pool import (
+    CpClass,
+    CpFieldRef,
+    CpFloat,
+    CpInt,
+    CpMethodRef,
+    CpString,
+)
+from repro.classfile.members import flags_to_string
+
+
+def _format_cp_entry(entry) -> str:
+    if isinstance(entry, CpInt) or isinstance(entry, CpFloat):
+        return repr(entry.value)
+    if isinstance(entry, CpString):
+        return repr(entry.value)
+    if isinstance(entry, CpClass):
+        return entry.name
+    if isinstance(entry, CpFieldRef):
+        return f"{entry.class_name}.{entry.field_name}"
+    if isinstance(entry, CpMethodRef):
+        return f"{entry.class_name}.{entry.method_name}{entry.descriptor}"
+    return repr(entry)
+
+
+def disassemble_method(method, constant_pool) -> str:
+    """Return a listing of one method."""
+    header = (f"{flags_to_string(method.flags)} "
+              f"{method.name}{method.descriptor}  "
+              f"(max_locals={method.max_locals})")
+    if method.is_native:
+        return header + "\n    <native>"
+    lines: List[str] = [header]
+    for pc, ins in enumerate(method.code):
+        kind = ins.spec.operand
+        if kind is OperandKind.NONE:
+            operand_text = ""
+        elif kind is OperandKind.CP:
+            entry = constant_pool.get(ins.operand)
+            operand_text = f" #{ins.operand} <{_format_cp_entry(entry)}>"
+        elif kind is OperandKind.LABEL:
+            operand_text = f" -> {ins.operand}"
+        elif kind is OperandKind.IINC:
+            operand_text = f" {ins.operand[0]}, {ins.operand[1]:+d}"
+        elif kind is OperandKind.ARRAY_KIND:
+            operand_text = f" {ins.operand.name.lower()}"
+        else:
+            operand_text = f" {ins.operand}"
+        lines.append(f"  {pc:4d}: {ins.spec.mnemonic}{operand_text}")
+    for entry in method.exception_table:
+        catch = entry.catch_type or "<any>"
+        lines.append(
+            f"  catch {catch}: [{entry.start}, {entry.end}) -> "
+            f"{entry.handler}")
+    return "\n".join(lines)
+
+
+def disassemble(cf) -> str:
+    """Return a listing of a whole class file."""
+    lines = [f"class {cf.name} extends {cf.super_name or '<root>'}"]
+    for field in cf.fields:
+        lines.append(
+            f"  field {flags_to_string(field.flags)} {field.name} = "
+            f"{field.default!r}")
+    for method in cf.methods:
+        body = disassemble_method(method, cf.constant_pool)
+        lines.extend("  " + line for line in body.splitlines())
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Structural bytecode verifier.
+
+Checks, per method:
+
+* branch targets and exception-table ranges are valid instruction indices;
+* control flow cannot fall off the end of the code;
+* operand-stack depth is consistent: a dataflow pass over the code proves
+  every instruction has enough operands and that all paths reaching an
+  instruction agree on stack depth (exception handlers start at depth 1 —
+  the thrown object);
+* return opcodes match the method descriptor (value vs ``void``);
+* local indices stay below ``max_locals``.
+
+Types are not tracked (the interpreter is dynamically checked); this is a
+stack-discipline verifier in the spirit of the JVM's, scaled to the ISA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bytecode.instructions import Instruction
+from repro.bytecode.opcodes import INVOKE_OPS, Op, OperandKind, VARIABLE
+from repro.classfile.constant_pool import CpMethodRef
+from repro.errors import VerifyError
+
+
+def _stack_effect(ins: Instruction, method, constant_pool):
+    """Return (pops, pushes) for ``ins``, resolving variable effects."""
+    spec = ins.spec
+    if spec.pops != VARIABLE:
+        return spec.pops, spec.pushes
+    if ins.op in INVOKE_OPS:
+        entry = constant_pool.get_typed(ins.operand, CpMethodRef)
+        from repro.classfile.members import arg_slot_count, returns_value
+        pops = arg_slot_count(entry.descriptor)
+        if ins.op in (Op.INVOKEVIRTUAL, Op.INVOKESPECIAL):
+            pops += 1
+        pushes = 1 if returns_value(entry.descriptor) else 0
+        return pops, pushes
+    raise VerifyError(
+        f"cannot compute stack effect for {spec.mnemonic}")
+
+
+def verify_method(method, constant_pool) -> int:
+    """Verify one method; returns the maximum operand-stack depth.
+
+    ``method`` is a :class:`~repro.classfile.members.MethodInfo` whose
+    branch operands are already resolved; ``constant_pool`` is the owning
+    class's pool.  Raises :class:`~repro.errors.VerifyError` on failure.
+    """
+    if method.is_native:
+        return 0
+    code = method.code
+    if not code:
+        raise VerifyError(
+            f"method {method.name}{method.descriptor} has empty code")
+    n = len(code)
+
+    def check_target(index, what):
+        if not isinstance(index, int) or index < 0 or index >= n:
+            raise VerifyError(
+                f"{what} {index!r} out of range in "
+                f"{method.name}{method.descriptor}")
+
+    # structural checks -----------------------------------------------------
+    for pc, ins in enumerate(code):
+        if ins.spec.operand is OperandKind.LABEL:
+            if isinstance(ins.operand, str):
+                raise VerifyError(
+                    f"unresolved label {ins.operand!r} at pc {pc} in "
+                    f"{method.name}{method.descriptor}")
+            check_target(ins.operand, "branch target")
+        if ins.spec.operand is OperandKind.LOCAL and \
+                ins.operand >= method.max_locals:
+            raise VerifyError(
+                f"local index {ins.operand} >= max_locals "
+                f"{method.max_locals} at pc {pc} in "
+                f"{method.name}{method.descriptor}")
+        if ins.spec.operand is OperandKind.IINC and \
+                ins.operand[0] >= method.max_locals:
+            raise VerifyError(
+                f"iinc index {ins.operand[0]} >= max_locals "
+                f"{method.max_locals} at pc {pc} in "
+                f"{method.name}{method.descriptor}")
+        if ins.op in (Op.IRETURN, Op.ARETURN) and not method.returns_value:
+            raise VerifyError(
+                f"value return from void method "
+                f"{method.name}{method.descriptor}")
+        if ins.op is Op.RETURN and method.returns_value:
+            raise VerifyError(
+                f"void return from value-returning method "
+                f"{method.name}{method.descriptor}")
+    if not code[-1].spec.ends_block:
+        raise VerifyError(
+            f"control falls off the end of "
+            f"{method.name}{method.descriptor}")
+
+    for entry in method.exception_table:
+        check_target(entry.start, "exception-table start")
+        check_target(entry.handler, "exception-table handler")
+        if not isinstance(entry.end, int) or entry.end < entry.start or \
+                entry.end > n:
+            raise VerifyError(
+                f"bad exception-table range [{entry.start}, {entry.end}) in "
+                f"{method.name}{method.descriptor}")
+
+    # stack dataflow ---------------------------------------------------------
+    depth_at: Dict[int, int] = {0: 0}
+    worklist: List[int] = [0]
+    for entry in method.exception_table:
+        if entry.handler not in depth_at:
+            depth_at[entry.handler] = 1
+            worklist.append(entry.handler)
+    max_depth = 1 if method.exception_table else 0
+
+    def flow_to(target: int, depth: int):
+        known = depth_at.get(target)
+        if known is None:
+            depth_at[target] = depth
+            worklist.append(target)
+        elif known != depth:
+            raise VerifyError(
+                f"inconsistent stack depth at pc {target} "
+                f"({known} vs {depth}) in "
+                f"{method.name}{method.descriptor}")
+
+    visited = set()
+    while worklist:
+        pc = worklist.pop()
+        if pc in visited:
+            continue
+        visited.add(pc)
+        depth = depth_at[pc]
+        while True:
+            ins = code[pc]
+            pops, pushes = _stack_effect(ins, method, constant_pool)
+            if depth < pops:
+                raise VerifyError(
+                    f"stack underflow at pc {pc} ({ins.spec.mnemonic}: "
+                    f"needs {pops}, have {depth}) in "
+                    f"{method.name}{method.descriptor}")
+            depth = depth - pops + pushes
+            if depth > max_depth:
+                max_depth = depth
+            if ins.spec.operand is OperandKind.LABEL:
+                flow_to(ins.operand, depth)
+            if ins.spec.ends_block:
+                break
+            next_pc = pc + 1
+            if next_pc >= n:
+                raise VerifyError(
+                    f"control falls off the end of "
+                    f"{method.name}{method.descriptor} at pc {pc}")
+            # fall through to the next instruction
+            known = depth_at.get(next_pc)
+            if known is None:
+                depth_at[next_pc] = depth
+            elif known != depth:
+                raise VerifyError(
+                    f"inconsistent stack depth at pc {next_pc} "
+                    f"({known} vs {depth}) in "
+                    f"{method.name}{method.descriptor}")
+            if next_pc in visited:
+                break
+            visited.add(next_pc)
+            pc = next_pc
+
+    return max_depth
+
+
+def verify_class(cf) -> None:
+    """Verify every non-native method of a class file."""
+    for method in cf.methods:
+        verify_method(method, cf.constant_pool)

@@ -1,0 +1,55 @@
+"""Class-file layer: the on-disk and in-memory representation of classes.
+
+Mirrors (in simplified form) the real JVM class-file format: a constant
+pool of shared symbolic entries, field and method members with access
+flags, and a binary serialization with magic number and versioning so
+that the static instrumenter can operate on *files and archives* exactly
+as the paper's ASM-based tool operated on ``.class`` files and ``rt.jar``.
+"""
+
+from repro.classfile.constant_pool import (
+    ConstantPool,
+    CpInt,
+    CpFloat,
+    CpString,
+    CpClass,
+    CpFieldRef,
+    CpMethodRef,
+)
+from repro.classfile.members import (
+    ACC_PUBLIC,
+    ACC_PRIVATE,
+    ACC_STATIC,
+    ACC_FINAL,
+    ACC_NATIVE,
+    ACC_SYNCHRONIZED,
+    FieldInfo,
+    MethodInfo,
+    parse_descriptor,
+)
+from repro.classfile.classfile import ClassFile
+from repro.classfile.serializer import dump_class, load_class
+from repro.classfile.archive import ClassArchive
+
+__all__ = [
+    "ConstantPool",
+    "CpInt",
+    "CpFloat",
+    "CpString",
+    "CpClass",
+    "CpFieldRef",
+    "CpMethodRef",
+    "ACC_PUBLIC",
+    "ACC_PRIVATE",
+    "ACC_STATIC",
+    "ACC_FINAL",
+    "ACC_NATIVE",
+    "ACC_SYNCHRONIZED",
+    "FieldInfo",
+    "MethodInfo",
+    "parse_descriptor",
+    "ClassFile",
+    "dump_class",
+    "load_class",
+    "ClassArchive",
+]

@@ -1,0 +1,93 @@
+"""The :class:`ClassFile` model: one class as loaded from disk or built
+by the assembler, before linking.
+
+A class file owns its constant pool, its member tables, and nothing
+else; runtime state (resolved superclass, static field values, vtables)
+lives in :class:`repro.jvm.classloader.LoadedClass`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.classfile.constant_pool import ConstantPool
+from repro.classfile.members import FieldInfo, MethodInfo
+from repro.errors import ClassFileError
+
+#: Root of the simulated class hierarchy.
+OBJECT_CLASS = "java.lang.Object"
+
+
+class ClassFile:
+    """One class: name, superclass name, constant pool, fields, methods."""
+
+    def __init__(self, name: str, super_name: Optional[str] = OBJECT_CLASS,
+                 flags: int = 0):
+        if not name:
+            raise ClassFileError("class name must be non-empty")
+        if name == OBJECT_CLASS:
+            super_name = None
+        elif super_name is None:
+            raise ClassFileError(
+                f"class {name} must have a superclass (only {OBJECT_CLASS} "
+                f"may omit one)")
+        self.name = name
+        self.super_name = super_name
+        self.flags = flags
+        self.constant_pool = ConstantPool()
+        self.fields: List[FieldInfo] = []
+        self.methods: List[MethodInfo] = []
+        self._method_index: Dict[Tuple[str, str], MethodInfo] = {}
+        self._field_index: Dict[str, FieldInfo] = {}
+
+    # -- members ----------------------------------------------------------
+
+    def add_field(self, field: FieldInfo) -> FieldInfo:
+        """Declare a field; names must be unique within the class."""
+        if field.name in self._field_index:
+            raise ClassFileError(
+                f"duplicate field {field.name} in class {self.name}")
+        self.fields.append(field)
+        self._field_index[field.name] = field
+        return field
+
+    def add_method(self, method: MethodInfo) -> MethodInfo:
+        """Declare a method; (name, descriptor) must be unique."""
+        if method.key in self._method_index:
+            raise ClassFileError(
+                f"duplicate method {method.name}{method.descriptor} in "
+                f"class {self.name}")
+        self.methods.append(method)
+        self._method_index[method.key] = method
+        return method
+
+    def remove_method(self, method: MethodInfo) -> None:
+        """Remove a declared method (used by the instrumenter when it
+        replaces a native method with a renamed one plus a wrapper)."""
+        if self._method_index.get(method.key) is not method:
+            raise ClassFileError(
+                f"method {method.name}{method.descriptor} not declared in "
+                f"class {self.name}")
+        self.methods.remove(method)
+        del self._method_index[method.key]
+
+    def find_method(self, name: str, descriptor: str) -> Optional[MethodInfo]:
+        """Look up a declared method by name + descriptor (no inheritance)."""
+        return self._method_index.get((name, descriptor))
+
+    def find_field(self, name: str) -> Optional[FieldInfo]:
+        """Look up a declared field by name (no inheritance)."""
+        return self._field_index.get(name)
+
+    # -- queries used by the instrumenter ----------------------------------
+
+    def native_methods(self) -> List[MethodInfo]:
+        """All methods declared ``native`` in this class."""
+        return [m for m in self.methods if m.is_native]
+
+    def has_native_methods(self) -> bool:
+        return any(m.is_native for m in self.methods)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"<ClassFile {self.name} super={self.super_name} "
+                f"fields={len(self.fields)} methods={len(self.methods)}>")

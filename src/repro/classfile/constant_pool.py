@@ -1,0 +1,121 @@
+"""Constant pool: deduplicated symbolic constants shared by a class.
+
+Entry kinds mirror the subset of the real JVM constant pool the ISA
+needs: numeric constants, string literals, class references, and
+field/method symbolic references.  Entries are immutable and hashable so
+the pool can deduplicate on insertion; indices are stable for the
+lifetime of the pool (index 0 is reserved/invalid, as in the JVM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from repro.errors import ConstantPoolError
+
+
+@dataclass(frozen=True)
+class CpInt:
+    """Integer constant."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class CpFloat:
+    """Floating-point constant."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class CpString:
+    """String literal constant (interned by the runtime on LDC)."""
+
+    value: str
+
+
+@dataclass(frozen=True)
+class CpClass:
+    """Symbolic reference to a class by fully-qualified name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CpFieldRef:
+    """Symbolic reference to a field: declaring class + name."""
+
+    class_name: str
+    field_name: str
+
+
+@dataclass(frozen=True)
+class CpMethodRef:
+    """Symbolic reference to a method: class + name + descriptor."""
+
+    class_name: str
+    method_name: str
+    descriptor: str
+
+
+CpEntry = Union[CpInt, CpFloat, CpString, CpClass, CpFieldRef, CpMethodRef]
+
+_ENTRY_TYPES = (CpInt, CpFloat, CpString, CpClass, CpFieldRef, CpMethodRef)
+
+
+class ConstantPool:
+    """A growable, deduplicating pool of :data:`CpEntry` values.
+
+    Index 0 is reserved (never a valid entry), matching JVM convention.
+    """
+
+    def __init__(self):
+        self._entries: List[CpEntry] = []
+        self._index: Dict[CpEntry, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, entry: CpEntry) -> int:
+        """Insert ``entry`` (or find its existing copy); return its index."""
+        if not isinstance(entry, _ENTRY_TYPES):
+            raise ConstantPoolError(
+                f"not a constant-pool entry: {entry!r}")
+        existing = self._index.get(entry)
+        if existing is not None:
+            return existing
+        self._entries.append(entry)
+        index = len(self._entries)  # 1-based
+        self._index[entry] = index
+        return index
+
+    def get(self, index: int) -> CpEntry:
+        """Return the entry at 1-based ``index``."""
+        if not isinstance(index, int) or index < 1 or \
+                index > len(self._entries):
+            raise ConstantPoolError(
+                f"constant-pool index {index!r} out of range "
+                f"(1..{len(self._entries)})")
+        return self._entries[index - 1]
+
+    def get_typed(self, index: int, kind) -> CpEntry:
+        """Return the entry at ``index``, checking it is a ``kind``."""
+        entry = self.get(index)
+        if not isinstance(entry, kind):
+            raise ConstantPoolError(
+                f"constant-pool entry {index} is {type(entry).__name__}, "
+                f"expected {kind.__name__}")
+        return entry
+
+    def entries(self):
+        """Iterate ``(index, entry)`` pairs in index order."""
+        return enumerate(self._entries, start=1)
+
+    def copy(self) -> "ConstantPool":
+        """Shallow copy (entries are immutable, so this is a safe clone)."""
+        clone = ConstantPool()
+        clone._entries = list(self._entries)
+        clone._index = dict(self._index)
+        return clone

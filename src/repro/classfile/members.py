@@ -1,0 +1,188 @@
+"""Field and method members, access flags, and descriptor parsing.
+
+Descriptors follow JVM syntax restricted to the simulator's type system:
+
+* ``I`` — numeric (int family; one slot)
+* ``F`` — numeric (float family; one slot)
+* ``Lname;`` — reference to class ``name`` (dots or slashes accepted)
+* ``[<type>`` — array reference
+* ``V`` — void (return position only)
+
+Because every value is one slot, the argument count equals the number of
+parsed parameter types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bytecode.instructions import ExceptionEntry, Instruction
+from repro.errors import ClassFileError
+
+ACC_PUBLIC = 0x0001
+ACC_PRIVATE = 0x0002
+ACC_STATIC = 0x0008
+ACC_FINAL = 0x0010
+ACC_SYNCHRONIZED = 0x0020
+ACC_NATIVE = 0x0100
+
+_FLAG_NAMES = [
+    (ACC_PUBLIC, "public"),
+    (ACC_PRIVATE, "private"),
+    (ACC_STATIC, "static"),
+    (ACC_FINAL, "final"),
+    (ACC_SYNCHRONIZED, "synchronized"),
+    (ACC_NATIVE, "native"),
+]
+
+
+def flags_to_string(flags: int) -> str:
+    """Human-readable rendering of an access-flag mask."""
+    names = [name for bit, name in _FLAG_NAMES if flags & bit]
+    return " ".join(names) if names else "<none>"
+
+
+def parse_descriptor(descriptor: str) -> Tuple[List[str], str]:
+    """Parse a method descriptor into ``(param_types, return_type)``.
+
+    >>> parse_descriptor("(I[BLjava.lang.String;)V")
+    (['I', '[B', 'Ljava.lang.String;'], 'V')
+    """
+    if not descriptor.startswith("("):
+        raise ClassFileError(f"bad descriptor {descriptor!r}: missing '('")
+    close = descriptor.find(")")
+    if close < 0:
+        raise ClassFileError(f"bad descriptor {descriptor!r}: missing ')'")
+    params_src = descriptor[1:close]
+    ret = descriptor[close + 1:]
+    if not ret:
+        raise ClassFileError(
+            f"bad descriptor {descriptor!r}: missing return type")
+
+    params: List[str] = []
+    i = 0
+    while i < len(params_src):
+        t, i = _parse_one_type(params_src, i, descriptor)
+        params.append(t)
+    _validate_return(ret, descriptor)
+    return params, ret
+
+
+def _parse_one_type(src: str, i: int, descriptor: str) -> Tuple[str, int]:
+    start = i
+    while i < len(src) and src[i] == "[":
+        i += 1
+    if i >= len(src):
+        raise ClassFileError(f"bad descriptor {descriptor!r}: dangling '['")
+    c = src[i]
+    if c in "IFBCZSJD":
+        # all primitives are one slot; I/F are canonical, the rest are
+        # accepted for JVM-flavoured descriptors (byte/char/boolean/...)
+        return src[start:i + 1], i + 1
+    if c == "L":
+        semi = src.find(";", i)
+        if semi < 0:
+            raise ClassFileError(
+                f"bad descriptor {descriptor!r}: unterminated class type")
+        return src[start:semi + 1], semi + 1
+    raise ClassFileError(
+        f"bad descriptor {descriptor!r}: unknown type char {c!r}")
+
+
+def _validate_return(ret: str, descriptor: str) -> None:
+    if ret == "V":
+        return
+    t, end = _parse_one_type(ret, 0, descriptor)
+    if end != len(ret):
+        raise ClassFileError(
+            f"bad descriptor {descriptor!r}: trailing junk after return "
+            f"type")
+
+
+def arg_slot_count(descriptor: str) -> int:
+    """Number of argument slots a call with this descriptor pops
+    (excluding any receiver)."""
+    params, _ = parse_descriptor(descriptor)
+    return len(params)
+
+
+def returns_value(descriptor: str) -> bool:
+    """True when a call with this descriptor pushes a result."""
+    _, ret = parse_descriptor(descriptor)
+    return ret != "V"
+
+
+@dataclass
+class FieldInfo:
+    """One declared field.  ``default`` initialises the slot at object
+    creation (static fields at class initialisation)."""
+
+    name: str
+    flags: int = ACC_PUBLIC
+    default: object = None
+
+    @property
+    def is_static(self) -> bool:
+        return bool(self.flags & ACC_STATIC)
+
+
+@dataclass
+class MethodInfo:
+    """One declared method.
+
+    ``code`` is ``None`` exactly when the method is ``native``.
+    ``max_locals`` includes the receiver slot for instance methods.
+    """
+
+    name: str
+    descriptor: str
+    flags: int = ACC_PUBLIC
+    max_locals: int = 0
+    code: Optional[List[Instruction]] = None
+    exception_table: List[ExceptionEntry] = field(default_factory=list)
+
+    def __post_init__(self):
+        parse_descriptor(self.descriptor)  # validate eagerly
+        if self.is_native and self.code is not None:
+            raise ClassFileError(
+                f"native method {self.name}{self.descriptor} must not have "
+                f"code")
+        if not self.is_native and self.code is None:
+            raise ClassFileError(
+                f"non-native method {self.name}{self.descriptor} must have "
+                f"code")
+
+    @property
+    def is_native(self) -> bool:
+        return bool(self.flags & ACC_NATIVE)
+
+    @property
+    def is_static(self) -> bool:
+        return bool(self.flags & ACC_STATIC)
+
+    @property
+    def is_synchronized(self) -> bool:
+        return bool(self.flags & ACC_SYNCHRONIZED)
+
+    @property
+    def arg_slots(self) -> int:
+        """Stack slots popped at an invocation (receiver included for
+        instance methods)."""
+        slots = arg_slot_count(self.descriptor)
+        if not self.is_static:
+            slots += 1
+        return slots
+
+    @property
+    def returns_value(self) -> bool:
+        return returns_value(self.descriptor)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """(name, descriptor) — the method's identity within its class."""
+        return (self.name, self.descriptor)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"<MethodInfo {flags_to_string(self.flags)} "
+                f"{self.name}{self.descriptor}>")

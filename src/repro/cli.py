@@ -1,0 +1,124 @@
+"""Command-line interface.
+
+::
+
+    repro list                      # available workloads
+    repro table1 [--scale N]        # regenerate Table I
+    repro table2 [--scale N]        # regenerate Table II
+    repro profile WORKLOAD [...]    # run one workload under one agent
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.overhead import build_table1
+from repro.harness.report import render_table1, render_table2
+from repro.harness.runner import execute
+from repro.harness.statistics import build_table2
+from repro.workloads import full_suite, get_workload, workload_names
+
+
+def _cmd_list(_args) -> int:
+    for name in workload_names():
+        workload = get_workload(name)
+        print(f"{name:12s} {workload.description}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    table = build_table1(full_suite(scale=args.scale), runs=args.runs)
+    print(render_table1(table))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    table = build_table2(full_suite(scale=args.scale), runs=args.runs)
+    print(render_table2(table))
+    return 0
+
+
+def _agent_spec(name: str) -> AgentSpec:
+    if name == "none":
+        return AgentSpec.none()
+    if name == "spa":
+        return AgentSpec.spa()
+    if name == "ipa":
+        return AgentSpec.ipa()
+    if name == "ipa-dynamic":
+        return AgentSpec.ipa(instrumentation="dynamic")
+    if name == "ipa-nocomp":
+        return AgentSpec.ipa(compensate=False)
+    raise argparse.ArgumentTypeError(f"unknown agent {name!r}")
+
+
+def _cmd_profile(args) -> int:
+    workload = get_workload(args.workload, scale=args.scale)
+    result = execute(workload, RunConfig(agent=args.agent,
+                                         runs=args.runs))
+    print(f"workload:      {result.workload}")
+    print(f"agent:         {result.agent_label}")
+    print(f"cycles:        {result.cycles:,}")
+    print(f"seconds:       {result.seconds:.6f}")
+    print(f"instructions:  {result.instructions:,}")
+    print(f"gt native %:   "
+          f"{result.ground_truth_native_fraction * 100:.2f}")
+    if result.operations is not None:
+        print(f"operations:    {result.operations:,}")
+        print(f"ops/second:    {result.operations_per_second:,.0f}")
+    if result.agent_report:
+        print("agent report:")
+        for key, value in result.agent_report.items():
+            if isinstance(value, float):
+                print(f"  {key}: {value:.3f}")
+            else:
+                print(f"  {key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of 'A Quantitative Evaluation of "
+                     "the Contribution of Native Code to Java "
+                     "Workloads' (IISWC 2006)"))
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(
+        func=_cmd_list)
+
+    p1 = sub.add_parser("table1", help="regenerate Table I")
+    p1.add_argument("--scale", type=int, default=1)
+    p1.add_argument("--runs", type=int, default=1)
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="regenerate Table II")
+    p2.add_argument("--scale", type=int, default=1)
+    p2.add_argument("--runs", type=int, default=1)
+    p2.set_defaults(func=_cmd_table2)
+
+    pp = sub.add_parser("profile", help="profile one workload")
+    pp.add_argument("workload")
+    pp.add_argument("--agent", type=_agent_spec,
+                    default=AgentSpec.ipa(),
+                    help="none | spa | ipa | ipa-dynamic | ipa-nocomp")
+    pp.add_argument("--scale", type=int, default=1)
+    pp.add_argument("--runs", type=int, default=1)
+    pp.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) went away; exit quietly
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

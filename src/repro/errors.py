@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro simulator.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch simulator failures without masking genuine Python bugs.
+The sub-hierarchy mirrors the major subsystems: bytecode/class-file handling,
+linking and execution inside the virtual machine, the JNI layer, and the
+JVMTI layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BytecodeError(ReproError):
+    """Malformed bytecode: unknown opcode, bad operand, undefined label."""
+
+
+class VerifyError(BytecodeError):
+    """Bytecode failed structural or stack-discipline verification."""
+
+
+class ClassFileError(ReproError):
+    """Malformed class file or archive (bad magic, truncated data, ...)."""
+
+
+class ConstantPoolError(ClassFileError):
+    """Invalid constant-pool reference or entry."""
+
+
+class LinkageError(ReproError):
+    """A symbolic reference could not be resolved at link time."""
+
+
+class ClassNotFoundError(LinkageError):
+    """No class of the requested name is present on the class path."""
+
+
+class NoSuchMethodError(LinkageError):
+    """Method resolution failed."""
+
+
+class NoSuchFieldError(LinkageError):
+    """Field resolution failed."""
+
+
+class UnsatisfiedLinkError(LinkageError):
+    """A ``native`` method has no implementation in any loaded library."""
+
+
+class VMError(ReproError):
+    """Runtime failure inside the virtual machine."""
+
+
+class StackOverflowSimError(VMError):
+    """The simulated Java call stack exceeded its depth limit."""
+
+
+class DeadlockError(VMError):
+    """The scheduler found no runnable thread while threads remain alive."""
+
+
+class JavaException(VMError):
+    """A Java-level exception propagated out of the simulated program.
+
+    ``class_name`` is the Java class of the thrown object and ``jobject`` the
+    simulated exception instance (may be ``None`` for VM-synthesized throws).
+    """
+
+    def __init__(self, class_name: str, message: str = "", jobject=None):
+        super().__init__(f"{class_name}: {message}" if message else class_name)
+        self.class_name = class_name
+        self.message = message
+        self.jobject = jobject
+
+
+class JNIError(ReproError):
+    """Misuse of the JNI layer (bad method id, wrong arity, ...)."""
+
+
+class JVMTIError(ReproError):
+    """Misuse of the JVMTI layer (bad capability, phase error, ...)."""
+
+
+class InstrumentationError(ReproError):
+    """The bytecode instrumenter could not transform a class."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid or failed self-checks."""
+
+
+class HarnessError(ReproError):
+    """The benchmark harness was misconfigured."""

@@ -1,0 +1,24 @@
+"""Benchmark harness: runs workloads under agent configurations and
+regenerates the paper's Tables I and II (plus the ablations)."""
+
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import RunResult, execute, execute_many
+from repro.harness.overhead import OverheadRow, Table1, build_table1
+from repro.harness.statistics import StatisticsRow, Table2, build_table2
+from repro.harness.report import render_table1, render_table2
+
+__all__ = [
+    "AgentSpec",
+    "RunConfig",
+    "RunResult",
+    "execute",
+    "execute_many",
+    "OverheadRow",
+    "Table1",
+    "build_table1",
+    "StatisticsRow",
+    "Table2",
+    "build_table2",
+    "render_table1",
+    "render_table2",
+]

@@ -1,0 +1,52 @@
+"""Run configuration for the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.jvm.machine import VMConfig
+
+
+@dataclass
+class AgentSpec:
+    """How to create the profiling agent for a run.
+
+    ``factory`` is called once per run (agents are stateful and
+    single-use, like a freshly ``dlopen``-ed agent library); ``None``
+    means an unprofiled baseline run.
+    """
+
+    label: str
+    factory: Optional[Callable] = None
+
+    @classmethod
+    def none(cls) -> "AgentSpec":
+        return cls("original", None)
+
+    @classmethod
+    def spa(cls) -> "AgentSpec":
+        from repro.agents.spa import SPA
+
+        return cls("spa", SPA)
+
+    @classmethod
+    def ipa(cls, **kwargs) -> "AgentSpec":
+        from repro.agents.ipa import IPA
+
+        return cls("ipa", lambda: IPA(**kwargs))
+
+
+@dataclass
+class RunConfig:
+    """One harness execution: a workload under an agent spec."""
+
+    agent: AgentSpec = field(default_factory=AgentSpec.none)
+    vm_config: VMConfig = field(default_factory=VMConfig)
+    #: Repetitions; the paper took the median of 15.  The simulator is
+    #: deterministic, so the default is 1 (medians are degenerate); the
+    #: knob exists to mirror the paper's procedure in the benches.
+    runs: int = 1
+    #: Optional host-side sampling profiler factory (the system-specific
+    #: related-work approach; see repro.agents.sampling).
+    sampler: Optional[Callable] = None

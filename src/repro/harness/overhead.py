@@ -1,0 +1,126 @@
+"""Table I — execution time and profiling overhead for SPA and IPA.
+
+For TIME workloads (SPEC JVM98) the overhead formula is
+``time_with_profiling / time_without - 1``; for THROUGHPUT workloads
+(SPEC JBB2005) it is ``ops_without / ops_with - 1`` — exactly the
+paper's two formulas.  A geometric-mean row summarises the JVM98 times,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import RunResult, execute
+from repro.jvm.machine import VMConfig
+from repro.workloads.base import MetricKind, Workload
+
+
+@dataclass
+class OverheadRow:
+    """One Table I row."""
+
+    benchmark: str
+    metric: MetricKind
+    value_original: float   # seconds, or operations/second
+    value_spa: float
+    value_ipa: float
+    overhead_spa_percent: float
+    overhead_ipa_percent: float
+
+
+@dataclass
+class Table1:
+    """The full Table I: JVM98 rows, their geometric mean, JBB rows."""
+
+    time_rows: List[OverheadRow]
+    geomean_row: Optional[OverheadRow]
+    throughput_rows: List[OverheadRow]
+    #: Raw per-(workload, agent) results for deeper analysis.
+    raw: Dict[str, Dict[str, RunResult]]
+
+    @property
+    def rows(self) -> List[OverheadRow]:
+        rows = list(self.time_rows)
+        if self.geomean_row is not None:
+            rows.append(self.geomean_row)
+        rows.extend(self.throughput_rows)
+        return rows
+
+
+def _overhead_for(metric: MetricKind, base: float,
+                  measured: float) -> float:
+    if metric is MetricKind.TIME:
+        return units.overhead_percent(base, measured)
+    return units.throughput_overhead_percent(base, measured)
+
+
+def _row_from_results(workload: Workload, base: RunResult,
+                      spa: RunResult, ipa: RunResult) -> OverheadRow:
+    if workload.metric is MetricKind.TIME:
+        values = (base.seconds, spa.seconds, ipa.seconds)
+    else:
+        values = (base.operations_per_second,
+                  spa.operations_per_second,
+                  ipa.operations_per_second)
+    return OverheadRow(
+        benchmark=workload.name,
+        metric=workload.metric,
+        value_original=values[0],
+        value_spa=values[1],
+        value_ipa=values[2],
+        overhead_spa_percent=_overhead_for(workload.metric, values[0],
+                                           values[1]),
+        overhead_ipa_percent=_overhead_for(workload.metric, values[0],
+                                           values[2]),
+    )
+
+
+def _geomean_row(rows: List[OverheadRow]) -> Optional[OverheadRow]:
+    if not rows:
+        return None
+    return OverheadRow(
+        benchmark="geom. mean",
+        metric=MetricKind.TIME,
+        value_original=units.geometric_mean(
+            r.value_original for r in rows),
+        value_spa=units.geometric_mean(r.value_spa for r in rows),
+        value_ipa=units.geometric_mean(r.value_ipa for r in rows),
+        overhead_spa_percent=units.geometric_mean(
+            r.value_spa for r in rows) / units.geometric_mean(
+            r.value_original for r in rows) * 100.0 - 100.0,
+        overhead_ipa_percent=units.geometric_mean(
+            r.value_ipa for r in rows) / units.geometric_mean(
+            r.value_original for r in rows) * 100.0 - 100.0,
+    )
+
+
+def build_table1(workloads: List[Workload],
+                 vm_config: Optional[VMConfig] = None,
+                 runs: int = 1) -> Table1:
+    """Run every workload under {original, SPA, IPA} and build Table I."""
+    vm_config = vm_config or VMConfig()
+    specs = [AgentSpec.none(), AgentSpec.spa(), AgentSpec.ipa()]
+    time_rows: List[OverheadRow] = []
+    throughput_rows: List[OverheadRow] = []
+    raw: Dict[str, Dict[str, RunResult]] = {}
+
+    for workload in workloads:
+        results = {}
+        for spec in specs:
+            config = RunConfig(agent=spec, vm_config=vm_config,
+                               runs=runs)
+            results[spec.label] = execute(workload, config)
+        raw[workload.name] = results
+        row = _row_from_results(workload, results["original"],
+                                results["spa"], results["ipa"])
+        if workload.metric is MetricKind.TIME:
+            time_rows.append(row)
+        else:
+            throughput_rows.append(row)
+
+    return Table1(time_rows, _geomean_row(time_rows), throughput_rows,
+                  raw)

@@ -1,0 +1,133 @@
+"""Execute one workload under one configuration and collect metrics."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.errors import HarnessError
+from repro.harness.config import RunConfig
+from repro.jni.stdlib import build_java_library
+from repro.jvm.machine import JavaVM, VMConfig
+from repro.launcher import runtime_archive
+from repro.workloads.base import MetricKind, Workload
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one workload execution."""
+
+    workload: str
+    agent_label: str
+    cycles: int
+    seconds: float
+    instructions: int
+    ground_truth: Dict[str, int]
+    ground_truth_native_fraction: float
+    agent_report: Optional[Dict]
+    sampler_report: Optional[Dict]
+    validation_ok: bool
+    validation_detail: str
+    jit_compiled: int
+    jit_vetoed: bool
+    operations: Optional[int] = None
+    console: List[str] = field(default_factory=list)
+
+    @property
+    def operations_per_second(self) -> Optional[float]:
+        if self.operations is None or self.seconds <= 0:
+            return None
+        return self.operations / self.seconds
+
+
+def _build_vm(workload: Workload, config: RunConfig) -> JavaVM:
+    vm_config = VMConfig(
+        clock_hz=config.vm_config.clock_hz,
+        cost_model=config.vm_config.cost_model,
+        jit_policy=config.vm_config.jit_policy.copy(),
+        jvmti_version=config.vm_config.jvmti_version,
+    )
+    vm = JavaVM(vm_config)
+    vm.native_registry.register(build_java_library(), preload=True)
+    for library in workload.native_libraries():
+        vm.native_registry.register(library)
+
+    agent = None
+    if config.agent.factory is not None:
+        agent = config.agent.factory()
+        vm.attach_agent(agent)
+    if config.sampler is not None:
+        sampler = config.sampler()
+        sampler.install(vm)
+        vm.sampler = sampler
+
+    archives = [runtime_archive(), workload.archive]
+    if agent is not None:
+        archives = agent.instrument_archives(archives)
+    vm.loader.add_boot_archive(archives[0])
+    vm.loader.add_classpath_archive(archives[1])
+    workload.install_files(vm)
+    return vm
+
+
+def _run_once(workload: Workload, config: RunConfig) -> RunResult:
+    vm = _build_vm(workload, config)
+    vm.launch(workload.main_class)
+
+    check = workload.validate(vm)
+    operations = None
+    if workload.metric is MetricKind.THROUGHPUT:
+        operations = workload.operations(vm)
+
+    agent_report = None
+    if vm.agents:
+        agent_report = vm.agents[0].report()
+    sampler_report = None
+    sampler = getattr(vm, "sampler", None)
+    if sampler is not None:
+        sampler_report = sampler.report()
+
+    return RunResult(
+        workload=workload.name,
+        agent_label=config.agent.label,
+        cycles=vm.total_cycles,
+        seconds=units.cycles_to_seconds(vm.total_cycles,
+                                        vm.config.clock_hz),
+        instructions=vm.instructions_retired,
+        ground_truth=vm.ground_truth(),
+        ground_truth_native_fraction=vm.ground_truth_native_fraction(),
+        agent_report=agent_report,
+        sampler_report=sampler_report,
+        validation_ok=check.ok,
+        validation_detail=check.detail,
+        jit_compiled=vm.jit.compile_count,
+        jit_vetoed=vm.jit.vetoed,
+        operations=operations,
+        console=list(vm.console),
+    )
+
+
+def execute(workload: Workload,
+            config: Optional[RunConfig] = None) -> RunResult:
+    """Run ``workload`` under ``config``; with ``runs > 1`` the
+    median-cycles run is returned (the paper's median-of-15 procedure —
+    degenerate here because the simulator is deterministic)."""
+    config = config or RunConfig()
+    if config.runs < 1:
+        raise HarnessError(f"runs must be >= 1, got {config.runs}")
+    results = [_run_once(workload, config) for _ in range(config.runs)]
+    if not all(r.validation_ok for r in results):
+        bad = next(r for r in results if not r.validation_ok)
+        raise HarnessError(
+            f"workload {workload.name} failed validation under "
+            f"{config.agent.label}: {bad.validation_detail}")
+    median_cycles = statistics.median(r.cycles for r in results)
+    return min(results, key=lambda r: abs(r.cycles - median_cycles))
+
+
+def execute_many(workload: Workload,
+                 configs: List[RunConfig]) -> List[RunResult]:
+    """Run the same workload under several configurations."""
+    return [execute(workload, config) for config in configs]

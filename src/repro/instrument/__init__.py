@@ -1,0 +1,30 @@
+"""Bytecode instrumentation: the paper's Section IV transformation.
+
+For every ``native`` method, the original is renamed with the agreed
+prefix (still ``native``) and a synthesized Java wrapper with the
+original name/signature brackets the call with ``J2N_Begin()`` /
+``J2N_End()`` in a try/finally (Figure 2 of the paper).
+
+Two drivers exist, mirroring the paper's Section IV discussion:
+
+* :class:`~repro.instrument.static_instr.StaticInstrumenter` — offline,
+  over serialized class files and archives (the ASM-based tool applied
+  to application classes and ``rt.jar``);
+* :class:`~repro.instrument.dynamic_instr.DynamicInstrumenter` — at
+  class-load time through the JVMTI ``ClassFileLoadHook`` (costs
+  simulated cycles at runtime, the overhead the paper avoided).
+"""
+
+from repro.instrument.wrapper_gen import (
+    InstrumentationConfig,
+    instrument_classfile,
+)
+from repro.instrument.static_instr import StaticInstrumenter
+from repro.instrument.dynamic_instr import DynamicInstrumenter
+
+__all__ = [
+    "InstrumentationConfig",
+    "instrument_classfile",
+    "StaticInstrumenter",
+    "DynamicInstrumenter",
+]

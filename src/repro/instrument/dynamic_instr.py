@@ -1,0 +1,53 @@
+"""Dynamic instrumentation via the JVMTI ``ClassFileLoadHook``.
+
+The alternative the paper rejected for its measured runs: the agent
+rewrites class bytes as classes are loaded, which (a) charges simulated
+cycles *during* the profiled run and (b) in reality forces the rewriter
+to run in native code or a helper process.  It is implemented here to
+quantify that trade-off (ablation E5 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.classfile.serializer import dump_class, load_class
+from repro.instrument.static_instr import InstrumentationStats
+from repro.instrument.wrapper_gen import (
+    InstrumentationConfig,
+    instrument_classfile,
+)
+
+#: Simulated cycles to scan one loaded class for native methods.
+SCAN_COST_PER_CLASS = 2_500
+#: Simulated cycles to rewrite one native method (parse, synthesize
+#: wrapper, re-serialize) with a native-code rewriter.
+REWRITE_COST_PER_METHOD = 18_000
+
+
+class DynamicInstrumenter:
+    """A ``ClassFileLoadHook`` callback with cost accounting.
+
+    Use as ``callbacks[CLASS_FILE_LOAD_HOOK] = instrumenter.hook``.
+    """
+
+    def __init__(self, config: Optional[InstrumentationConfig] = None):
+        self.config = config or InstrumentationConfig()
+        self.stats = InstrumentationStats()
+
+    def hook(self, env, name: str, data: bytes) -> Optional[bytes]:
+        """JVMTI callback: return transformed bytes or ``None``."""
+        env.charge(SCAN_COST_PER_CLASS)
+        self.stats.classes_scanned += 1
+        if self.config.is_excluded(name):
+            return None
+        cf = load_class(data)
+        if not cf.has_native_methods():
+            return None
+        wrapped = instrument_classfile(cf, self.config)
+        if wrapped == 0:
+            return None
+        env.charge(REWRITE_COST_PER_METHOD * wrapped)
+        self.stats.classes_instrumented += 1
+        self.stats.methods_wrapped += wrapped
+        return dump_class(cf)

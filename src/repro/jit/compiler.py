@@ -1,0 +1,54 @@
+"""The JIT compiler: compilation decisions and accounting."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jit.policy import JitPolicy
+from repro.jvm.costmodel import ChargeTag
+
+
+class JitCompiler:
+    """Per-VM JIT state.
+
+    ``enabled`` combines the policy switch with the JVMTI veto: when any
+    agent holds the ``can_generate_method_entry_events`` /
+    ``can_generate_method_exit_events`` capabilities, compilation is off
+    for the whole run — the behaviour the paper observed on HotSpot and
+    the root cause of SPA's overhead.
+    """
+
+    def __init__(self, vm, policy: JitPolicy):
+        self._vm = vm
+        self.policy = policy
+        self._vetoed = False
+        self.methods_compiled: List = []
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy.enabled and not self._vetoed
+
+    @property
+    def vetoed(self) -> bool:
+        return self._vetoed
+
+    def veto(self, reason: str) -> None:
+        """Disable compilation for the rest of the run (JVMTI method
+        events requested)."""
+        self._vetoed = True
+        self._veto_reason = reason
+
+    def compile(self, thread, method) -> None:
+        """Compile ``method``: charge VM cycles and swap its cost array."""
+        if method.compiled or method.info.code is None:
+            return
+        cost = (self._vm.cost_model.jit_compile_per_instruction
+                * len(method.info.code))
+        if thread is not None:
+            thread.charge(cost, ChargeTag.VM)
+        method.mark_compiled()
+        self.methods_compiled.append(method)
+
+    @property
+    def compile_count(self) -> int:
+        return len(self.methods_compiled)

@@ -1,0 +1,29 @@
+"""JIT policy knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class JitPolicy:
+    """Tunable compilation policy.
+
+    ``enabled=False`` models ``-Xint``; the JVMTI layer additionally
+    forces the JIT off for the whole run when an agent requests the
+    method-entry/exit event capabilities (see
+    :class:`repro.jvmti.capabilities.Capabilities`).
+    """
+
+    #: Master switch (the JVMTI capability veto is separate).
+    enabled: bool = True
+    #: Compile after this many invocations of a method.
+    invoke_threshold: int = 40
+    #: Compile after this many taken backward branches (the simulator's
+    #: on-stack-replacement stand-in: the switched cost array takes
+    #: effect on the next cost lookup).
+    backedge_threshold: int = 1500
+
+    def copy(self) -> "JitPolicy":
+        return JitPolicy(self.enabled, self.invoke_threshold,
+                         self.backedge_threshold)

@@ -1,0 +1,29 @@
+"""JNI layer: native libraries, name mangling, and the JNI function
+table through which native code re-enters Java.
+
+The pieces the paper's IPA depends on live here:
+
+* :func:`~repro.jni.mangling.mangle` and prefix-aware resolution
+  (:class:`~repro.jni.library.NativeRegistry.resolve`) implement native
+  method linking including the JVMTI 1.1 *native method prefixing* retry;
+* :class:`~repro.jni.function_table.JNIFunctionTable` holds the 90
+  ``Call<Ret><Kind>Method<Variant>`` entries that JVMTI *JNI function
+  interception* can wrap.
+"""
+
+from repro.jni.mangling import mangle
+from repro.jni.library import NativeLibrary, NativeRegistry
+from repro.jni.function_table import (
+    JNIEnv,
+    JNIFunctionTable,
+    CALL_FUNCTION_NAMES,
+)
+
+__all__ = [
+    "mangle",
+    "NativeLibrary",
+    "NativeRegistry",
+    "JNIEnv",
+    "JNIFunctionTable",
+    "CALL_FUNCTION_NAMES",
+]

@@ -1,0 +1,271 @@
+"""The JNI environment and function table.
+
+``JNIEnv`` is what native implementations receive: utilities for
+touching the simulated heap, plus the **function table** through which
+all native-to-Java method invocation flows.  The table contains the full
+JNI matrix of 90 invocation functions::
+
+    Call{,Static,Nonvirtual}{Object,Boolean,Byte,Char,Short,Int,Long,
+                             Float,Double,Void}Method{,A,V}
+
+(3 dispatch kinds x 10 return types x 3 argument-passing variants —
+the "A"/"V" variants take the same Python argument tuple here, but each
+has its own table slot because the paper's IPA intercepts every slot).
+
+JVMTI *JNI function interception* swaps table entries; native code must
+therefore always call through :meth:`JNIEnv.call_jni` (the typed helpers
+like :meth:`call_int_method` do) so that interception wrappers are hit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bytecode.opcodes import ArrayKind
+from repro.errors import JNIError
+from repro.jvm.costmodel import ChargeTag
+from repro.jvm.values import JArray, JObject
+
+_RETURN_TYPES = ("Object", "Boolean", "Byte", "Char", "Short", "Int",
+                 "Long", "Float", "Double", "Void")
+_DISPATCH_KINDS = ("", "Static", "Nonvirtual")
+_VARIANTS = ("", "A", "V")
+
+#: All 90 JNI method-invocation function names.
+CALL_FUNCTION_NAMES: Tuple[str, ...] = tuple(
+    f"Call{kind}{ret}Method{variant}"
+    for kind in _DISPATCH_KINDS
+    for ret in _RETURN_TYPES
+    for variant in _VARIANTS
+)
+
+
+class JNIFunctionTable:
+    """The (interceptable) JNI function table of one VM."""
+
+    def __init__(self, vm):
+        self._vm = vm
+        self._functions: Dict[str, Callable] = {}
+        for name in CALL_FUNCTION_NAMES:
+            kind, void = _parse_call_name(name)
+            self._functions[name] = _make_call_function(kind, void)
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise JNIError(f"no JNI function {name!r}")
+
+    def snapshot(self) -> Dict[str, Callable]:
+        """A copy of the current table (JVMTI ``GetJNIFunctionTable``)."""
+        return dict(self._functions)
+
+    def replace(self, name: str, fn: Callable) -> Callable:
+        """Swap one entry; returns the previous implementation."""
+        if name not in self._functions:
+            raise JNIError(f"no JNI function {name!r}")
+        previous = self._functions[name]
+        self._functions[name] = fn
+        return previous
+
+    def install(self, table: Dict[str, Callable]) -> None:
+        """Install a full table (JVMTI ``SetJNIFunctionTable``)."""
+        unknown = set(table) - set(self._functions)
+        if unknown:
+            raise JNIError(f"unknown JNI functions {sorted(unknown)}")
+        self._functions.update(table)
+
+    @property
+    def names(self) -> List[str]:
+        return list(self._functions)
+
+
+def _parse_call_name(name: str) -> Tuple[str, bool]:
+    body = name[len("Call"):]
+    if body.endswith(("MethodA", "MethodV")):
+        body = body[:-len("MethodA")]
+    else:
+        body = body[:-len("Method")]
+    for kind in ("Static", "Nonvirtual"):
+        if body.startswith(kind):
+            return kind, body[len(kind):] == "Void"
+    return "", body == "Void"
+
+
+def _make_call_function(kind: str, void: bool) -> Callable:
+    """Build the shared implementation for one table slot."""
+
+    def call(env: "JNIEnv", *call_args):
+        vm = env.vm
+        thread = env.thread
+        thread.charge(vm.cost_model.jni_call_base, ChargeTag.NATIVE)
+        vm.jni_invocations += 1
+        if kind == "Static":
+            method_id = call_args[0]
+            args = list(call_args[1:])
+            if not method_id.info.is_static:
+                raise JNIError(
+                    f"CallStatic* on instance method "
+                    f"{method_id.qualified_name}")
+            target = method_id
+        else:
+            receiver = call_args[0]
+            method_id = call_args[1]
+            args = [receiver] + list(call_args[2:])
+            if method_id.info.is_static:
+                raise JNIError(
+                    f"Call*Method on static method "
+                    f"{method_id.qualified_name}")
+            if receiver is None:
+                env.throw("java.lang.NullPointerException",
+                          "JNI call on null receiver")
+            if kind == "Nonvirtual":
+                target = method_id
+            else:
+                dispatched = receiver.jclass.resolve_method(
+                    method_id.info.name, method_id.info.descriptor)
+                target = dispatched if dispatched is not None \
+                    else method_id
+        result = vm.interpreter.call_method(thread, target, args)
+        return None if void else result
+
+    return call
+
+
+class JNIEnv:
+    """The environment handed to native implementations.
+
+    One instance is bound to (vm, thread); create via
+    :meth:`repro.jvm.machine.JavaVM.jni_env`.
+    """
+
+    __slots__ = ("vm", "thread")
+
+    def __init__(self, vm, thread):
+        self.vm = vm
+        self.thread = thread
+
+    # -- accounting -----------------------------------------------------------
+
+    def charge(self, cycles: int) -> None:
+        """Consume ``cycles`` of native execution time."""
+        self.thread.charge(cycles, ChargeTag.NATIVE)
+
+    # -- class/method lookup ----------------------------------------------------
+
+    def find_class(self, name: str):
+        """JNI ``FindClass``."""
+        self.charge(60)
+        return self.vm.loader.load(name)
+
+    def get_method_id(self, class_name: str, name: str, descriptor: str):
+        """JNI ``GetMethodID`` (instance methods)."""
+        self.charge(40)
+        method = self.vm.loader.load(class_name).resolve_method(
+            name, descriptor)
+        if method is None or method.info.is_static:
+            raise JNIError(
+                f"GetMethodID: no instance method "
+                f"{class_name}.{name}{descriptor}")
+        return method
+
+    def get_static_method_id(self, class_name: str, name: str,
+                             descriptor: str):
+        """JNI ``GetStaticMethodID``."""
+        self.charge(40)
+        method = self.vm.loader.load(class_name).resolve_method(
+            name, descriptor)
+        if method is None or not method.info.is_static:
+            raise JNIError(
+                f"GetStaticMethodID: no static method "
+                f"{class_name}.{name}{descriptor}")
+        return method
+
+    # -- invocation ---------------------------------------------------------------
+
+    def call_jni(self, function_name: str, *args):
+        """Invoke a JNI function table entry by name (interceptable)."""
+        fn = self.vm.jni_table.get(function_name)
+        return fn(self, *args)
+
+    def call_int_method(self, obj, method_id, *args):
+        return self.call_jni("CallIntMethod", obj, method_id, *args)
+
+    def call_object_method(self, obj, method_id, *args):
+        return self.call_jni("CallObjectMethod", obj, method_id, *args)
+
+    def call_void_method(self, obj, method_id, *args):
+        return self.call_jni("CallVoidMethod", obj, method_id, *args)
+
+    def call_static_int_method(self, method_id, *args):
+        return self.call_jni("CallStaticIntMethod", method_id, *args)
+
+    def call_static_object_method(self, method_id, *args):
+        return self.call_jni("CallStaticObjectMethod", method_id, *args)
+
+    def call_static_void_method(self, method_id, *args):
+        return self.call_jni("CallStaticVoidMethod", method_id, *args)
+
+    def call_nonvirtual_void_method(self, obj, method_id, *args):
+        return self.call_jni("CallNonvirtualVoidMethod", obj, method_id,
+                             *args)
+
+    # -- strings --------------------------------------------------------------------
+
+    def new_string(self, value: str) -> JObject:
+        """JNI ``NewStringUTF``: allocate a fresh (non-interned) string."""
+        self.charge(30 + len(value) // 4)
+        string_class = self.vm.loader.load("java.lang.String")
+        return self.vm.heap.new_string(string_class, value)
+
+    def get_string(self, jstring: Optional[JObject]) -> str:
+        """JNI ``GetStringUTFChars``."""
+        if jstring is None:
+            self.throw("java.lang.NullPointerException", "null string")
+        if jstring.string_value is None:
+            raise JNIError(f"{jstring!r} is not a java.lang.String")
+        self.charge(20 + len(jstring.string_value) // 4)
+        return jstring.string_value
+
+    def intern_string(self, value: str) -> JObject:
+        return self.vm.intern_string(value)
+
+    # -- arrays ----------------------------------------------------------------------
+
+    def new_array(self, kind: ArrayKind, length: int) -> JArray:
+        self.charge(30 + length // 8)
+        return self.vm.heap.alloc_array(kind, length)
+
+    def array_region(self, array: JArray, start: int, length: int) -> list:
+        """JNI ``Get<Type>ArrayRegion`` (returns a Python list copy)."""
+        if array is None:
+            self.throw("java.lang.NullPointerException", "null array")
+        if start < 0 or length < 0 or start + length > len(array.data):
+            self.throw("java.lang.ArrayIndexOutOfBoundsException",
+                       f"region [{start}, {start + length})")
+        self.charge(10 + length // 4)
+        return array.data[start:start + length]
+
+    def set_array_region(self, array: JArray, start: int,
+                         values: list) -> None:
+        """JNI ``Set<Type>ArrayRegion``."""
+        if array is None:
+            self.throw("java.lang.NullPointerException", "null array")
+        if start < 0 or start + len(values) > len(array.data):
+            self.throw("java.lang.ArrayIndexOutOfBoundsException",
+                       f"region [{start}, {start + len(values)})")
+        self.charge(10 + len(values) // 4)
+        normalize = array.normalize
+        array.data[start:start + len(values)] = [
+            normalize(v) for v in values]
+
+    # -- objects and exceptions -----------------------------------------------------------
+
+    def alloc_object(self, loaded_class) -> JObject:
+        """JNI ``AllocObject`` (no constructor call)."""
+        self.charge(40)
+        return self.vm.heap.alloc_object(loaded_class)
+
+    def throw(self, class_name: str, message: str = ""):
+        """Throw a Java exception from native code (does not return)."""
+        self.vm.interpreter.throw(self.thread, class_name, message)

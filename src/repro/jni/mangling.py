@@ -1,0 +1,15 @@
+"""JNI symbol-name mangling.
+
+A native method ``pkg.Cls.foo`` resolves to the library symbol
+``Java_pkg_Cls_foo`` (dots become underscores).  Unlike real JNI we do
+not escape embedded underscores — simulator method names that matter for
+resolution avoid ambiguous underscores, and instrumentation prefixes are
+*stripped before mangling* (the JVMTI retry), so no escaping is needed.
+"""
+
+from __future__ import annotations
+
+
+def mangle(class_name: str, method_name: str) -> str:
+    """Return the library symbol for a native method."""
+    return f"Java_{class_name.replace('.', '_')}_{method_name}"

@@ -1,0 +1,412 @@
+"""The core native library ("java") — the simulator's JDK natives.
+
+Every function here is the implementation of a ``native`` method
+declared by the runtime library (:mod:`repro.jvm.runtime_lib`).  As in
+the real JDK, the natives cluster around: array/memory primitives
+(``System.arraycopy``), string internals, math, I/O streams, CRC32,
+threads, and reflection-ish odds and ends.  Each implementation charges
+simulated cycles proportional to the work it models.
+
+The library is **preloaded** (linked at VM creation), mirroring how core
+JDK natives are available before any ``System.loadLibrary`` call.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+from repro.bytecode.opcodes import ArrayKind
+from repro.errors import JNIError
+from repro.jni.library import NativeLibrary
+from repro.jvm.values import JArray, JObject
+
+_IOE = "java.io.IOException"
+_FNF = "java.io.FileNotFoundException"
+
+
+def _string_of(env, obj) -> str:
+    if obj is None:
+        env.throw("java.lang.NullPointerException", "null string")
+    value = getattr(obj, "string_value", None)
+    if value is None:
+        raise JNIError(f"expected a java.lang.String, got {obj!r}")
+    return value
+
+
+def build_java_library() -> NativeLibrary:
+    """Construct the core native library."""
+    lib = NativeLibrary("java")
+
+    # -- java.lang.Object ----------------------------------------------------
+
+    @lib.native_method("java.lang.Object", "hashCode")
+    def object_hash_code(env, this):
+        env.charge(90)
+        return this.object_id
+
+    @lib.native_method("java.lang.Object", "toString")
+    def object_to_string(env, this):
+        env.charge(180)
+        return env.new_string(
+            f"{this.class_name}@{this.object_id:x}")
+
+    # -- java.lang.String ----------------------------------------------------------
+
+    @lib.native_method("java.lang.String", "length")
+    def string_length(env, this):
+        env.charge(120)
+        return len(_string_of(env, this))
+
+    @lib.native_method("java.lang.String", "charAt")
+    def string_char_at(env, this, index):
+        value = _string_of(env, this)
+        env.charge(110)
+        if index < 0 or index >= len(value):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      f"string index {index}")
+        return ord(value[index])
+
+    @lib.native_method("java.lang.String", "equals")
+    def string_equals(env, this, other):
+        value = _string_of(env, this)
+        other_value = getattr(other, "string_value", None)
+        env.charge(180 + min(len(value),
+                             len(other_value or "")) // 2)
+        return 1 if value == other_value else 0
+
+    @lib.native_method("java.lang.String", "hashCode")
+    def string_hash_code(env, this):
+        value = _string_of(env, this)
+        env.charge(160 + len(value))
+        h = 0
+        for ch in value:
+            h = (h * 31 + ord(ch)) & 0xFFFFFFFF
+        if h >= 1 << 31:
+            h -= 1 << 32
+        return h
+
+    @lib.native_method("java.lang.String", "intern")
+    def string_intern(env, this):
+        value = _string_of(env, this)
+        env.charge(260)
+        return env.intern_string(value)
+
+    @lib.native_method("java.lang.String", "substring")
+    def string_substring(env, this, begin, end):
+        value = _string_of(env, this)
+        if begin < 0 or end > len(value) or begin > end:
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      f"substring [{begin}, {end})")
+        env.charge(220 + (end - begin) // 2)
+        return env.new_string(value[begin:end])
+
+    @lib.native_method("java.lang.String", "concat")
+    def string_concat(env, this, other):
+        value = _string_of(env, this)
+        other_value = _string_of(env, other)
+        env.charge(240 + (len(value) + len(other_value)) // 2)
+        return env.new_string(value + other_value)
+
+    @lib.native_method("java.lang.String", "compareTo")
+    def string_compare_to(env, this, other):
+        value = _string_of(env, this)
+        other_value = _string_of(env, other)
+        env.charge(190 + min(len(value), len(other_value)) // 2)
+        if value < other_value:
+            return -1
+        return 1 if value > other_value else 0
+
+    @lib.native_method("java.lang.String", "indexOf")
+    def string_index_of(env, this, ch, from_index):
+        value = _string_of(env, this)
+        env.charge(200 + len(value) // 2)
+        return value.find(chr(ch), max(0, from_index))
+
+    @lib.native_method("java.lang.String", "getChars")
+    def string_get_chars(env, this, src_begin, src_end, dst, dst_begin):
+        value = _string_of(env, this)
+        if src_begin < 0 or src_end > len(value) or src_begin > src_end:
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      f"getChars [{src_begin}, {src_end})")
+        count = src_end - src_begin
+        env.charge(260 + count // 2)
+        env.set_array_region(
+            dst, dst_begin,
+            [ord(c) for c in value[src_begin:src_end]])
+        return None
+
+    @lib.native_method("java.lang.String", "toCharArray")
+    def string_to_char_array(env, this):
+        value = _string_of(env, this)
+        env.charge(190 + len(value) // 2)
+        array = env.vm.heap.alloc_array(ArrayKind.CHAR, len(value))
+        array.data[:] = [ord(c) for c in value]
+        return array
+
+    @lib.native_method("java.lang.String", "fromChars")
+    def string_from_chars(env, chars, offset, count):
+        if chars is None:
+            env.throw("java.lang.NullPointerException", "null chars")
+        if offset < 0 or count < 0 or offset + count > len(chars.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      f"fromChars [{offset}, {offset + count})")
+        env.charge(210 + count // 2)
+        return env.new_string(
+            "".join(chr(c) for c in chars.data[offset:offset + count]))
+
+    @lib.native_method("java.lang.String", "valueOfInt")
+    def string_value_of_int(env, value):
+        env.charge(240)
+        return env.new_string(str(value))
+
+    # -- java.lang.System ---------------------------------------------------------------
+
+    @lib.native_method("java.lang.System", "arraycopy")
+    def system_arraycopy(env, src, src_pos, dst, dst_pos, length):
+        if src is None or dst is None:
+            env.throw("java.lang.NullPointerException", "arraycopy")
+        if not isinstance(src, JArray) or not isinstance(dst, JArray):
+            env.throw("java.lang.ArrayStoreException",
+                      "arraycopy of non-arrays")
+        if (length < 0 or src_pos < 0 or dst_pos < 0
+                or src_pos + length > len(src.data)
+                or dst_pos + length > len(dst.data)):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      f"arraycopy length {length}")
+        env.charge(220 + length // 2)
+        dst.data[dst_pos:dst_pos + length] = \
+            src.data[src_pos:src_pos + length]
+        return None
+
+    @lib.native_method("java.lang.System", "currentTimeMillis")
+    def system_current_time_millis(env):
+        env.charge(120)
+        total = env.vm.threads.total_cycles()
+        return total * 1000 // env.vm.config.clock_hz
+
+    @lib.native_method("java.lang.System", "loadLibrary0")
+    def system_load_library(env, name):
+        env.charge(2500)
+        env.vm.native_registry.load_library(_string_of(env, name))
+        return None
+
+    @lib.native_method("java.lang.System", "initOut")
+    def system_init_out(env):
+        env.charge(150)
+        stream_class = env.find_class("java.io.PrintStream")
+        return env.vm.heap.alloc_object(stream_class)
+
+    @lib.native_method("java.lang.System", "identityHashCode")
+    def system_identity_hash_code(env, obj):
+        env.charge(60)
+        return 0 if obj is None else obj.object_id
+
+    # -- java.lang.Math --------------------------------------------------------------------
+
+    @lib.native_method("java.lang.Math", "sqrt")
+    def math_sqrt(env, value):
+        env.charge(130)
+        if value < 0:
+            return float("nan")
+        return math.sqrt(value)
+
+    @lib.native_method("java.lang.Math", "sin")
+    def math_sin(env, value):
+        env.charge(170)
+        return math.sin(value)
+
+    @lib.native_method("java.lang.Math", "cos")
+    def math_cos(env, value):
+        env.charge(170)
+        return math.cos(value)
+
+    @lib.native_method("java.lang.Math", "log")
+    def math_log(env, value):
+        env.charge(190)
+        if value <= 0:
+            return float("nan") if value < 0 else float("-inf")
+        return math.log(value)
+
+    @lib.native_method("java.lang.Math", "pow")
+    def math_pow(env, base, exponent):
+        env.charge(260)
+        return float(base) ** float(exponent)
+
+    @lib.native_method("java.lang.Math", "floor")
+    def math_floor(env, value):
+        env.charge(90)
+        return float(math.floor(value))
+
+    # -- java.lang.Integer --------------------------------------------------------------------
+
+    @lib.native_method("java.lang.Integer", "parseInt")
+    def integer_parse_int(env, text):
+        value = _string_of(env, text)
+        env.charge(260 + 2 * len(value))
+        try:
+            return int(value.strip())
+        except ValueError:
+            env.throw("java.lang.NumberFormatException", value)
+
+    @lib.native_method("java.lang.Integer", "toString")
+    def integer_to_string(env, value):
+        env.charge(240)
+        return env.new_string(str(value))
+
+    # -- java.lang.Float -----------------------------------------------------------------------
+
+    @lib.native_method("java.lang.Float", "floatToIntBits")
+    def float_to_int_bits(env, value):
+        env.charge(60)
+        import struct
+        bits = struct.unpack(">i", struct.pack(">f", value))[0]
+        return bits
+
+    @lib.native_method("java.lang.Float", "intBitsToFloat")
+    def int_bits_to_float(env, bits):
+        env.charge(60)
+        import struct
+        return struct.unpack(">f", struct.pack(">i", bits))[0]
+
+    # -- java.lang.Thread --------------------------------------------------------------------------
+
+    @lib.native_method("java.lang.Thread", "start0")
+    def thread_start0(env, this):
+        env.charge(350)
+        vm = env.vm
+        name_obj = this.fields.get("name")
+        name = getattr(name_obj, "string_value", None) or \
+            f"Thread-{this.object_id}"
+        sim = vm.threads.create(name, java_object=this)
+        vm.threads.enqueue(sim)
+        return None
+
+    @lib.native_method("java.lang.Thread", "join")
+    def thread_join(env, this):
+        env.charge(220)
+        sim = env.vm.threads.find_by_java_object(this)
+        if sim is not None:
+            env.vm.ensure_thread_finished(sim)
+        return None
+
+    # -- java.io streams ------------------------------------------------------------------------------
+
+    @lib.native_method("java.io.FileInputStream", "open0")
+    def fis_open(env, this, name):
+        env.charge(5000)
+        file_name = _string_of(env, name)
+        if file_name not in env.vm.files:
+            env.throw(_FNF, file_name)
+        this.fields["name"] = name
+        this.fields["pos"] = 0
+        return None
+
+    @lib.native_method("java.io.FileInputStream", "readBytes")
+    def fis_read_bytes(env, this, buffer, offset, length):
+        name = _string_of(env, this.fields.get("name"))
+        data = env.vm.files.get(name)
+        if data is None:
+            env.throw(_IOE, f"closed: {name}")
+        pos = this.fields["pos"]
+        if pos >= len(data):
+            env.charge(800)
+            return -1
+        count = min(length, len(data) - pos)
+        if offset < 0 or length < 0 or \
+                offset + length > len(buffer.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      "read buffer")
+        env.charge(4500 + count // 2)
+        chunk = data[pos:pos + count]
+        normalize = buffer.normalize
+        buffer.data[offset:offset + count] = [
+            normalize(b) for b in chunk]
+        this.fields["pos"] = pos + count
+        return count
+
+    @lib.native_method("java.io.FileInputStream", "read0")
+    def fis_read0(env, this):
+        name = _string_of(env, this.fields.get("name"))
+        data = env.vm.files.get(name)
+        if data is None:
+            env.throw(_IOE, f"closed: {name}")
+        pos = this.fields["pos"]
+        env.charge(850)
+        if pos >= len(data):
+            return -1
+        this.fields["pos"] = pos + 1
+        return data[pos]
+
+    @lib.native_method("java.io.FileInputStream", "available")
+    def fis_available(env, this):
+        name = _string_of(env, this.fields.get("name"))
+        data = env.vm.files.get(name)
+        if data is None:
+            env.throw(_IOE, f"closed: {name}")
+        env.charge(400)
+        return max(0, len(data) - this.fields["pos"])
+
+    @lib.native_method("java.io.FileInputStream", "close")
+    def fis_close(env, this):
+        env.charge(600)
+        return None
+
+    @lib.native_method("java.io.FileOutputStream", "open0")
+    def fos_open(env, this, name):
+        env.charge(5200)
+        file_name = _string_of(env, name)
+        env.vm.files[file_name] = bytearray()
+        this.fields["name"] = name
+        return None
+
+    @lib.native_method("java.io.FileOutputStream", "writeBytes")
+    def fos_write_bytes(env, this, buffer, offset, length):
+        name = _string_of(env, this.fields.get("name"))
+        sink = env.vm.files.get(name)
+        if sink is None or not isinstance(sink, bytearray):
+            env.throw(_IOE, f"not open for write: {name}")
+        if offset < 0 or length < 0 or \
+                offset + length > len(buffer.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      "write buffer")
+        env.charge(4500 + length // 2)
+        sink.extend((b & 0xFF) for b in
+                    buffer.data[offset:offset + length])
+        return None
+
+    @lib.native_method("java.io.FileOutputStream", "close")
+    def fos_close(env, this):
+        env.charge(650)
+        return None
+
+    @lib.native_method("java.io.PrintStream", "println")
+    def ps_println(env, this, text):
+        value = "" if text is None else _string_of(env, text)
+        env.charge(110 + len(value) // 2)
+        env.vm.console.append(value)
+        return None
+
+    @lib.native_method("java.io.PrintStream", "printlnInt")
+    def ps_println_int(env, this, value):
+        env.charge(120)
+        env.vm.console.append(str(value))
+        return None
+
+    # -- java.util.zip.CRC32 ---------------------------------------------------------------------------------
+
+    @lib.native_method("java.util.zip.CRC32", "updateBytes")
+    def crc32_update_bytes(env, this, buffer, offset, length):
+        if buffer is None:
+            env.throw("java.lang.NullPointerException", "crc buffer")
+        if offset < 0 or length < 0 or \
+                offset + length > len(buffer.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      "crc region")
+        env.charge(60 + length)
+        chunk = bytes((b & 0xFF) for b in
+                      buffer.data[offset:offset + length])
+        this.fields["crc"] = zlib.crc32(chunk, this.fields["crc"])
+        return None
+
+    return lib

@@ -1,0 +1,45 @@
+"""The virtual machine: heap, frames, threads, class loading, the
+interpreter, and the :class:`~repro.jvm.machine.JavaVM` facade.
+
+The VM executes the bytecode ISA of :mod:`repro.bytecode` over classes
+loaded from :mod:`repro.classfile` archives, charging virtual cycles per
+the cost model.  Execution is fully deterministic: threads are run one
+at a time on a single simulated CPU (a valid serialization — see
+DESIGN.md), and no wall-clock or OS state is consulted.
+
+``JavaVM``/``VMConfig`` are lazy exports (PEP 562) because the machine
+module pulls in the JNI layer, which depends on the eager part of this
+package.
+"""
+
+from repro.jvm.values import JArray, JObject, NULL
+from repro.jvm.costmodel import ChargeTag, CostModel
+
+__all__ = [
+    "JArray",
+    "JObject",
+    "NULL",
+    "ChargeTag",
+    "CostModel",
+    "JavaVM",
+    "VMConfig",
+]
+
+_LAZY = {
+    "JavaVM": ("repro.jvm.machine", "JavaVM"),
+    "VMConfig": ("repro.jvm.machine", "VMConfig"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

@@ -1,0 +1,31 @@
+"""Stack frames of the simulated Java call stack."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Frame:
+    """One activation of a bytecode method.
+
+    ``locals`` holds ``max_locals`` slots (arguments pre-stored at the
+    low indices, receiver in slot 0 for instance methods); ``stack`` is
+    the operand stack; ``pc`` indexes into the method's instruction list.
+    """
+
+    __slots__ = ("method", "locals", "stack", "pc")
+
+    def __init__(self, method, args: List):
+        self.method = method
+        n_locals = method.info.max_locals
+        slots = list(args)
+        if len(slots) < n_locals:
+            slots.extend([None] * (n_locals - len(slots)))
+        self.locals = slots
+        self.stack: List = []
+        self.pc = 0
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"<Frame {self.method.owner.name}."
+                f"{self.method.info.name} pc={self.pc} "
+                f"stack={len(self.stack)}>")

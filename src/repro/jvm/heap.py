@@ -1,0 +1,66 @@
+"""Heap: object and array allocation, string interning, statistics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bytecode.opcodes import ArrayKind
+from repro.errors import VMError
+from repro.jvm.values import JArray, JObject
+
+STRING_CLASS = "java.lang.String"
+
+
+class Heap:
+    """Allocates simulated objects.  Purely bookkeeping — there is no
+    garbage collector (workloads are sized to fit comfortably in host
+    memory; the paper's phenomena do not involve GC)."""
+
+    def __init__(self):
+        self._next_id = 1
+        self._intern_table: Dict[str, JObject] = {}
+        self.objects_allocated = 0
+        self.arrays_allocated = 0
+        self.strings_allocated = 0
+
+    def _take_id(self) -> int:
+        object_id = self._next_id
+        self._next_id += 1
+        return object_id
+
+    def alloc_object(self, loaded_class) -> JObject:
+        """Allocate an instance of ``loaded_class`` with default fields."""
+        fields = dict(loaded_class.instance_field_defaults)
+        self.objects_allocated += 1
+        return JObject(loaded_class, fields, self._take_id())
+
+    def alloc_array(self, kind: ArrayKind, length: int) -> JArray:
+        """Allocate an array.  Raises for negative lengths (the
+        interpreter converts that into ``NegativeArraySizeException``)."""
+        if length < 0:
+            raise VMError(f"negative array length {length}")
+        self.arrays_allocated += 1
+        return JArray(kind, length, self._take_id())
+
+    def new_string(self, string_class, value: str) -> JObject:
+        """Allocate a ``java.lang.String`` with payload ``value``."""
+        if string_class.name != STRING_CLASS:
+            raise VMError(
+                f"new_string requires {STRING_CLASS}, got "
+                f"{string_class.name}")
+        fields = dict(string_class.instance_field_defaults)
+        self.strings_allocated += 1
+        return JObject(string_class, fields, self._take_id(),
+                       string_value=value)
+
+    def intern(self, string_class, value: str) -> JObject:
+        """Return the canonical string object for ``value``."""
+        interned = self._intern_table.get(value)
+        if interned is None:
+            interned = self.new_string(string_class, value)
+            self._intern_table[value] = interned
+        return interned
+
+    @property
+    def intern_table_size(self) -> int:
+        return len(self._intern_table)

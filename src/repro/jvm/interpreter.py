@@ -1,0 +1,639 @@
+"""The bytecode interpreter.
+
+Execution model
+---------------
+
+Each thread owns an explicit frame stack; :meth:`Interpreter.call_method`
+pushes a frame and drives the inner loop until the stack returns to its
+entry depth, so Java-to-Java calls never consume Python stack.  The loop
+re-enters Python recursion only at native boundaries: a ``native`` method
+runs as a host callable, and if that callable invokes Java code through a
+JNI ``Call*Method*`` function, a nested :meth:`call_method` runs on the
+same thread's frame stack.
+
+Cycle accounting
+----------------
+
+Per-instruction costs come from the executing method's *active* cost
+array (interpreted or compiled — the JIT swaps it).  Costs accumulate in
+a loop-local counter and are flushed to the thread — tagged
+``BYTECODE`` — at every boundary where simulated time becomes
+observable: method entry/exit, native calls, JVMTI event dispatch, and
+exception dispatch.  This guarantees that any PCL timestamp read inside
+an agent callback or native function sees an up-to-date counter.
+
+Exceptions
+----------
+
+Java exceptions unwind frame by frame, honouring exception tables and
+firing ``MethodExit`` events for every popped frame (the JVMTI contract
+the paper's SPA depends on).  An exception that unwinds past the entry
+depth of a :meth:`call_method` activation is surfaced to the host caller
+as an :class:`Unwind`; at the thread's top level the machine records it
+as the thread's uncaught exception.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.opcodes import ArrayKind, Op
+from repro.classfile.constant_pool import (
+    CpClass,
+    CpFieldRef,
+    CpFloat,
+    CpInt,
+    CpMethodRef,
+    CpString,
+)
+from repro.errors import (
+    DeadlockError,
+    NoSuchFieldError,
+    NoSuchMethodError,
+    StackOverflowSimError,
+    VMError,
+)
+from repro.jvm.costmodel import ChargeTag
+from repro.jvm.frame import Frame
+from repro.jvm.values import NULL, JArray, JObject, wrap_int32
+
+_THROWABLE = "java.lang.Throwable"
+_NPE = "java.lang.NullPointerException"
+_AIOOBE = "java.lang.ArrayIndexOutOfBoundsException"
+_ARITH = "java.lang.ArithmeticException"
+_CCE = "java.lang.ClassCastException"
+_NASE = "java.lang.NegativeArraySizeException"
+_IMSE = "java.lang.IllegalMonitorStateException"
+
+
+class Unwind(Exception):
+    """A Java exception crossing a host (native/JNI) boundary."""
+
+    def __init__(self, jobject):
+        super().__init__(getattr(jobject, "class_name", "<exception>"))
+        self.jobject = jobject
+
+
+class Interpreter:
+    """Executes bytecode for one :class:`~repro.jvm.machine.JavaVM`."""
+
+    def __init__(self, vm):
+        self._vm = vm
+
+    # -- public entry points -----------------------------------------------------
+
+    def call_method(self, thread, method, args: List):
+        """Invoke ``method`` with ``args`` on ``thread``; return its result.
+
+        Fires the same events a bytecode-level invocation would.  Raises
+        :class:`Unwind` if a Java exception escapes the call.
+        """
+        if method.is_native:
+            return self._invoke_native(thread, method, args)
+        self._enter_bytecode_method(thread, method, args)
+        return self._run(thread, len(thread.frames) - 1)
+
+    def synthesize_exception(self, thread, class_name: str,
+                             message: str = "") -> JObject:
+        """Allocate a VM-synthesized exception object (no constructor)."""
+        vm = self._vm
+        cls = vm.loader.load(class_name)
+        obj = vm.heap.alloc_object(cls)
+        if message:
+            obj.fields["message"] = vm.intern_string(message)
+        return obj
+
+    def throw(self, thread, class_name: str, message: str = ""):
+        """Raise a Java exception from host code (native implementations)."""
+        raise Unwind(self.synthesize_exception(thread, class_name, message))
+
+    # -- method entry/exit helpers ----------------------------------------------
+
+    def _enter_bytecode_method(self, thread, method, args: List) -> None:
+        vm = self._vm
+        if len(thread.frames) >= vm.cost_model.max_frames:
+            raise StackOverflowSimError(
+                f"simulated stack overflow in {method.qualified_name}")
+        method.invocation_count += 1
+        jit = vm.jit
+        if (jit.enabled and not method.compiled
+                and method.invocation_count >= jit.policy.invoke_threshold):
+            jit.compile(thread, method)
+        if vm.jvmti.method_entry_enabled:
+            vm.jvmti.dispatch_method_entry(thread, method)
+        thread.frames.append(Frame(method, args))
+        vm.method_invocations += 1
+
+    def _exit_method_event(self, thread, method,
+                           by_exception: bool) -> None:
+        vm = self._vm
+        if vm.jvmti.method_exit_enabled:
+            vm.jvmti.dispatch_method_exit(thread, method, by_exception)
+
+    def _invoke_native(self, thread, method, args: List):
+        """Run a native method to completion on the host."""
+        vm = self._vm
+        if vm.jvmti.method_entry_enabled:
+            vm.jvmti.dispatch_method_entry(thread, method)
+        impl = method.native_impl
+        if not method.native_resolved:
+            impl = vm.native_registry.resolve(method)
+            if impl is None:
+                exc = self.synthesize_exception(
+                    thread, "java.lang.UnsatisfiedLinkError",
+                    method.qualified_name)
+                self._exit_method_event(thread, method, by_exception=True)
+                raise Unwind(exc)
+            method.native_impl = impl
+            method.native_resolved = True
+        thread.charge(vm.cost_model.native_invoke_base, ChargeTag.NATIVE)
+        vm.native_invocations += 1
+        env = vm.jni_env(thread)
+        try:
+            result = impl(env, *args)
+        except Unwind:
+            self._exit_method_event(thread, method, by_exception=True)
+            raise
+        self._exit_method_event(thread, method, by_exception=False)
+        return result
+
+    # -- the interpreter loop --------------------------------------------------------
+
+    def _run(self, thread, base: int):  # noqa: C901 - the dispatch loop
+        vm = self._vm
+        jvmti = vm.jvmti
+        loader = vm.loader
+        heap = vm.heap
+        jit = vm.jit
+        frames = thread.frames
+        charge = thread.charge
+        tag_bytecode = ChargeTag.BYTECODE
+
+        # cached per-frame state; reloaded whenever `refresh` is set
+        frame = frames[-1]
+        method = frame.method
+        code = method.info.code
+        costs = method.active_costs
+        cp = method.owner.constant_pool
+        stack = frame.stack
+        locals_ = frame.locals
+        pc = frame.pc
+        pending = 0
+        icount = 0
+
+        def flush():
+            nonlocal pending, icount
+            if pending:
+                charge(pending, tag_bytecode)
+                pending = 0
+            if icount:
+                vm.instructions_retired += icount
+                icount = 0
+
+        def refresh():
+            nonlocal frame, method, code, costs, cp, stack, locals_, pc
+            frame = frames[-1]
+            method = frame.method
+            code = method.info.code
+            costs = method.active_costs
+            cp = method.owner.constant_pool
+            stack = frame.stack
+            locals_ = frame.locals
+            pc = frame.pc
+
+        def dispatch_exception(exc_obj):
+            """Unwind until a handler is found; returns True if handled
+            within this activation, else raises Unwind."""
+            nonlocal pc
+            flush()
+            while True:
+                current = frames[-1]
+                m = current.method
+                handler_pc = self._find_handler(m, current.pc, exc_obj)
+                if handler_pc is not None:
+                    current.stack.clear()
+                    current.stack.append(exc_obj)
+                    current.pc = handler_pc
+                    refresh()
+                    return True
+                self._exit_method_event(thread, m, by_exception=True)
+                frames.pop()
+                if len(frames) == base:
+                    raise Unwind(exc_obj)
+                refresh()
+
+        def throw_vm(class_name, message=""):
+            frame.pc = pc
+            exc_obj = self.synthesize_exception(thread, class_name, message)
+            return dispatch_exception(exc_obj)
+
+        while True:
+            ins = code[pc]
+            op = ins.op
+            pending += costs[pc]
+            icount += 1
+
+            if op is Op.ILOAD or op is Op.ALOAD:
+                stack.append(locals_[ins.operand])
+                pc += 1
+            elif op is Op.ISTORE or op is Op.ASTORE:
+                locals_[ins.operand] = stack.pop()
+                pc += 1
+            elif op is Op.ICONST:
+                stack.append(ins.operand)
+                pc += 1
+            elif op is Op.IINC:
+                idx, delta = ins.operand
+                locals_[idx] = wrap_int32(locals_[idx] + delta)
+                pc += 1
+            elif op is Op.IADD:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] + b) \
+                    if type(b) is int and type(stack[-1]) is int \
+                    else stack[-1] + b
+                pc += 1
+            elif op is Op.ISUB:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] - b) \
+                    if type(b) is int and type(stack[-1]) is int \
+                    else stack[-1] - b
+                pc += 1
+            elif op is Op.IMUL:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] * b) \
+                    if type(b) is int and type(stack[-1]) is int \
+                    else stack[-1] * b
+                pc += 1
+            elif Op.GOTO <= op <= Op.IF_ACMPNE:
+                taken = False
+                target = ins.operand
+                if op is Op.GOTO:
+                    taken = True
+                elif op is Op.IFEQ:
+                    taken = stack.pop() == 0
+                elif op is Op.IFNE:
+                    taken = stack.pop() != 0
+                elif op is Op.IFLT:
+                    taken = stack.pop() < 0
+                elif op is Op.IFLE:
+                    taken = stack.pop() <= 0
+                elif op is Op.IFGT:
+                    taken = stack.pop() > 0
+                elif op is Op.IFGE:
+                    taken = stack.pop() >= 0
+                elif op is Op.IFNULL:
+                    taken = stack.pop() is NULL
+                elif op is Op.IFNONNULL:
+                    taken = stack.pop() is not NULL
+                elif op is Op.IF_ACMPEQ:
+                    b = stack.pop()
+                    taken = stack.pop() is b
+                elif op is Op.IF_ACMPNE:
+                    b = stack.pop()
+                    taken = stack.pop() is not b
+                else:  # integer comparisons
+                    b = stack.pop()
+                    a = stack.pop()
+                    if op is Op.IF_ICMPEQ:
+                        taken = a == b
+                    elif op is Op.IF_ICMPNE:
+                        taken = a != b
+                    elif op is Op.IF_ICMPLT:
+                        taken = a < b
+                    elif op is Op.IF_ICMPLE:
+                        taken = a <= b
+                    elif op is Op.IF_ICMPGT:
+                        taken = a > b
+                    else:  # IF_ICMPGE
+                        taken = a >= b
+                if taken:
+                    if target <= pc and not method.compiled:
+                        method.backedge_count += 1
+                        if (jit.enabled and method.backedge_count
+                                >= jit.policy.backedge_threshold):
+                            flush()
+                            jit.compile(thread, method)
+                            costs = method.active_costs
+                    pc = target
+                else:
+                    pc += 1
+            elif op is Op.IALOAD or op is Op.AALOAD:
+                index = stack.pop()
+                array = stack.pop()
+                if array is NULL:
+                    throw_vm(_NPE, "array load")
+                    continue
+                if index < 0 or index >= len(array.data):
+                    throw_vm(_AIOOBE, str(index))
+                    continue
+                stack.append(array.data[index])
+                pc += 1
+            elif op is Op.IASTORE or op is Op.AASTORE:
+                value = stack.pop()
+                index = stack.pop()
+                array = stack.pop()
+                if array is NULL:
+                    throw_vm(_NPE, "array store")
+                    continue
+                if index < 0 or index >= len(array.data):
+                    throw_vm(_AIOOBE, str(index))
+                    continue
+                array.data[index] = array.normalize(value)
+                pc += 1
+            elif op is Op.GETFIELD:
+                ref = cp.get_typed(ins.operand, CpFieldRef)
+                obj = stack.pop()
+                if obj is NULL:
+                    throw_vm(_NPE, f"getfield {ref.field_name}")
+                    continue
+                try:
+                    stack.append(obj.fields[ref.field_name])
+                except (KeyError, AttributeError):
+                    raise NoSuchFieldError(
+                        f"{obj!r} has no field {ref.field_name}")
+                pc += 1
+            elif op is Op.PUTFIELD:
+                ref = cp.get_typed(ins.operand, CpFieldRef)
+                value = stack.pop()
+                obj = stack.pop()
+                if obj is NULL:
+                    throw_vm(_NPE, f"putfield {ref.field_name}")
+                    continue
+                if ref.field_name not in obj.fields:
+                    raise NoSuchFieldError(
+                        f"{obj!r} has no field {ref.field_name}")
+                obj.fields[ref.field_name] = value
+                pc += 1
+            elif op is Op.GETSTATIC or op is Op.PUTSTATIC:
+                ref = cp.get_typed(ins.operand, CpFieldRef)
+                frame.pc = pc
+                flush()
+                cls = loader.load(ref.class_name)
+                holder = cls.resolve_static_holder(ref.field_name)
+                if holder is None:
+                    raise NoSuchFieldError(
+                        f"{ref.class_name} has no static "
+                        f"{ref.field_name}")
+                if op is Op.GETSTATIC:
+                    stack.append(holder.statics[ref.field_name])
+                else:
+                    holder.statics[ref.field_name] = stack.pop()
+                pc += 1
+            elif op in (Op.INVOKESTATIC, Op.INVOKEVIRTUAL,
+                        Op.INVOKESPECIAL):
+                ref = cp.get_typed(ins.operand, CpMethodRef)
+                # the frame stays at the invoke pc so exception-table
+                # ranges cover in-flight calls; RETURN advances past it
+                frame.pc = pc
+                flush()
+                target_class = loader.load(ref.class_name)
+                resolved = target_class.resolve_method(
+                    ref.method_name, ref.descriptor)
+                if resolved is None:
+                    raise NoSuchMethodError(
+                        f"{ref.class_name}.{ref.method_name}"
+                        f"{ref.descriptor}")
+                n_args = resolved.info.arg_slots
+                if op is not Op.INVOKESTATIC and resolved.info.is_static:
+                    raise NoSuchMethodError(
+                        f"instance invoke of static "
+                        f"{resolved.qualified_name}")
+                if op is Op.INVOKESTATIC and not resolved.info.is_static:
+                    raise NoSuchMethodError(
+                        f"static invoke of instance "
+                        f"{resolved.qualified_name}")
+                if n_args:
+                    args = stack[-n_args:]
+                    del stack[-n_args:]
+                else:
+                    args = []
+                if op is not Op.INVOKESTATIC:
+                    receiver = args[0]
+                    if receiver is NULL:
+                        frame.pc = pc
+                        throw_vm(_NPE,
+                                 f"invoke {ref.method_name} on null")
+                        continue
+                    if op is Op.INVOKEVIRTUAL:
+                        receiver_class = getattr(receiver, "jclass", None)
+                        if receiver_class is None:  # array receiver
+                            receiver_class = loader.load(
+                                "java.lang.Object")
+                        dispatched = receiver_class.resolve_method(
+                            ref.method_name, ref.descriptor)
+                        if dispatched is not None:
+                            resolved = dispatched
+                if resolved.is_native:
+                    try:
+                        result = self._invoke_native(thread, resolved,
+                                                     args)
+                    except Unwind as unwind:
+                        frame.pc = pc
+                        dispatch_exception(unwind.jobject)
+                        continue
+                    if resolved.info.returns_value:
+                        stack.append(result)
+                    pc += 1
+                else:
+                    self._enter_bytecode_method(thread, resolved, args)
+                    refresh()
+            elif op is Op.RETURN or op is Op.IRETURN or op is Op.ARETURN:
+                result = stack.pop() if op is not Op.RETURN else None
+                has_result = op is not Op.RETURN
+                flush()
+                self._exit_method_event(thread, method,
+                                        by_exception=False)
+                frames.pop()
+                if len(frames) == base:
+                    return result
+                refresh()
+                pc += 1  # resume the caller after its invoke instruction
+                if has_result:
+                    stack.append(result)
+            elif op is Op.LDC:
+                entry = cp.get(ins.operand)
+                if type(entry) is CpInt or type(entry) is CpFloat:
+                    stack.append(entry.value)
+                elif type(entry) is CpString:
+                    frame.pc = pc
+                    flush()
+                    stack.append(vm.intern_string(entry.value))
+                else:
+                    raise VMError(f"ldc of unsupported constant {entry!r}")
+                pc += 1
+            elif op is Op.IDIV or op is Op.IREM:
+                b = stack.pop()
+                a = stack.pop()
+                if type(a) is int and type(b) is int:
+                    if b == 0:
+                        throw_vm(_ARITH, "/ by zero")
+                        continue
+                    quotient = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        quotient = -quotient
+                    if op is Op.IDIV:
+                        stack.append(wrap_int32(quotient))
+                    else:
+                        stack.append(wrap_int32(a - quotient * b))
+                else:
+                    if b == 0:
+                        throw_vm(_ARITH, "/ by zero")
+                        continue
+                    stack.append(a / b if op is Op.IDIV else a % b)
+                pc += 1
+            elif op is Op.FDIV:
+                b = stack.pop()
+                a = stack.pop()
+                if b == 0:
+                    throw_vm(_ARITH, "/ by zero")
+                    continue
+                stack.append(a / b)
+                pc += 1
+            elif op is Op.INEG:
+                stack[-1] = wrap_int32(-stack[-1]) \
+                    if type(stack[-1]) is int else -stack[-1]
+                pc += 1
+            elif op is Op.ISHL:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] << (b & 31))
+                pc += 1
+            elif op is Op.ISHR:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] >> (b & 31))
+                pc += 1
+            elif op is Op.IUSHR:
+                b = stack.pop()
+                stack[-1] = wrap_int32(
+                    (stack[-1] & 0xFFFFFFFF) >> (b & 31))
+                pc += 1
+            elif op is Op.IAND:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] & b)
+                pc += 1
+            elif op is Op.IOR:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] | b)
+                pc += 1
+            elif op is Op.IXOR:
+                b = stack.pop()
+                stack[-1] = wrap_int32(stack[-1] ^ b)
+                pc += 1
+            elif op is Op.I2F:
+                stack[-1] = float(stack[-1])
+                pc += 1
+            elif op is Op.F2I:
+                stack[-1] = wrap_int32(int(stack[-1]))
+                pc += 1
+            elif op is Op.FCMP:
+                b = stack.pop()
+                a = stack.pop()
+                stack.append(-1 if a < b else (1 if a > b else 0))
+                pc += 1
+            elif op is Op.POP:
+                stack.pop()
+                pc += 1
+            elif op is Op.DUP:
+                stack.append(stack[-1])
+                pc += 1
+            elif op is Op.DUP_X1:
+                top = stack[-1]
+                stack.insert(-2, top)
+                pc += 1
+            elif op is Op.SWAP:
+                stack[-1], stack[-2] = stack[-2], stack[-1]
+                pc += 1
+            elif op is Op.ACONST_NULL:
+                stack.append(NULL)
+                pc += 1
+            elif op is Op.NEW:
+                ref = cp.get_typed(ins.operand, CpClass)
+                frame.pc = pc
+                flush()
+                cls = loader.load(ref.name)
+                stack.append(heap.alloc_object(cls))
+                pc += 1
+            elif op is Op.NEWARRAY:
+                length = stack.pop()
+                if length < 0:
+                    throw_vm(_NASE, str(length))
+                    continue
+                stack.append(heap.alloc_array(ins.operand, length))
+                pc += 1
+            elif op is Op.ARRAYLENGTH:
+                array = stack.pop()
+                if array is NULL:
+                    throw_vm(_NPE, "arraylength")
+                    continue
+                stack.append(len(array.data))
+                pc += 1
+            elif op is Op.INSTANCEOF:
+                ref = cp.get_typed(ins.operand, CpClass)
+                obj = stack.pop()
+                if obj is NULL:
+                    stack.append(0)
+                elif isinstance(obj, JArray):
+                    stack.append(
+                        1 if ref.name == "java.lang.Object" else 0)
+                else:
+                    stack.append(
+                        1 if obj.jclass.is_subclass_of(ref.name) else 0)
+                pc += 1
+            elif op is Op.CHECKCAST:
+                ref = cp.get_typed(ins.operand, CpClass)
+                obj = stack[-1]
+                if obj is not NULL and not isinstance(obj, JArray) and \
+                        not obj.jclass.is_subclass_of(ref.name):
+                    throw_vm(_CCE,
+                             f"{obj.class_name} -> {ref.name}")
+                    continue
+                pc += 1
+            elif op is Op.ATHROW:
+                exc_obj = stack.pop()
+                if exc_obj is NULL:
+                    throw_vm(_NPE, "throw null")
+                    continue
+                frame.pc = pc
+                dispatch_exception(exc_obj)
+            elif op is Op.MONITORENTER:
+                obj = stack.pop()
+                if obj is NULL:
+                    throw_vm(_NPE, "monitorenter")
+                    continue
+                if obj.monitor_owner is None or obj.monitor_owner is thread:
+                    obj.monitor_owner = thread
+                    obj.monitor_count += 1
+                else:
+                    raise DeadlockError(
+                        f"monitor of {obj!r} held by "
+                        f"{obj.monitor_owner.name} while "
+                        f"{thread.name} runs (sequential model)")
+                pc += 1
+            elif op is Op.MONITOREXIT:
+                obj = stack.pop()
+                if obj is NULL:
+                    throw_vm(_NPE, "monitorexit")
+                    continue
+                if obj.monitor_owner is not thread:
+                    throw_vm(_IMSE, "not monitor owner")
+                    continue
+                obj.monitor_count -= 1
+                if obj.monitor_count == 0:
+                    obj.monitor_owner = None
+                pc += 1
+            elif op is Op.NOP:
+                pc += 1
+            else:  # pragma: no cover - exhaustive over the ISA
+                raise VMError(f"unhandled opcode {op!r}")
+
+    # -- exception-table search -------------------------------------------------------
+
+    def _find_handler(self, method, pc: int, exc_obj) -> Optional[int]:
+        for entry in method.info.exception_table:
+            if entry.start <= pc < entry.end:
+                if entry.catch_type is None:
+                    return entry.handler
+                jclass = getattr(exc_obj, "jclass", None)
+                if jclass is not None and \
+                        jclass.is_subclass_of(entry.catch_type):
+                    return entry.handler
+        return None

@@ -1,0 +1,246 @@
+"""The :class:`JavaVM` facade: wiring, launch protocol, and results.
+
+Launch protocol (mirrors a real JVM run with ``-agentlib:``):
+
+1. construct the VM with a :class:`VMConfig`;
+2. attach agents (``Agent_OnLoad`` runs: capabilities, callbacks,
+   events; agent native libraries and runtime classes are installed;
+   static instrumentation rewrites the launch archives);
+3. :meth:`JavaVM.launch` — creates the bootstrap (main) thread (which,
+   per the JVMTI contract the paper leans on, gets **no** ThreadStart
+   event), fires VMInit, runs ``main.main()V``, drains threads started
+   but not yet joined, fires ThreadEnd for every thread, and finally
+   VMDeath.
+
+All results (cycle totals, ground-truth tags, agent reports) are read
+off the VM afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.errors import NoSuchMethodError, VMError
+from repro.jit.compiler import JitCompiler
+from repro.jit.policy import JitPolicy
+from repro.jni.function_table import JNIEnv, JNIFunctionTable
+from repro.jni.library import NativeRegistry
+from repro.jvm.classloader import ClassLoader
+from repro.jvm.costmodel import ChargeTag, CostModel
+from repro.jvm.heap import Heap
+from repro.jvm.interpreter import Interpreter, Unwind
+from repro.jvm.threads import SimThread, ThreadManager, ThreadState
+from repro.jvmti.host import (
+    JVMTI_VERSION_1_1,
+    JVMTIHost,
+)
+from repro.pcl.counters import PCL
+
+MAIN_DESCRIPTOR = "()V"
+
+
+@dataclass
+class VMConfig:
+    """Launch configuration."""
+
+    clock_hz: int = units.DEFAULT_CLOCK_HZ
+    cost_model: CostModel = field(default_factory=CostModel)
+    jit_policy: JitPolicy = field(default_factory=JitPolicy)
+    #: JVMTI version exposed to agents: (1, 0) or (1, 1).
+    jvmti_version: tuple = JVMTI_VERSION_1_1
+
+
+class JavaVM:
+    """One simulated JVM instance (single launch, then read results)."""
+
+    def __init__(self, config: Optional[VMConfig] = None):
+        self.config = config or VMConfig()
+        self.cost_model = self.config.cost_model
+        self.heap = Heap()
+        self.threads = ThreadManager()
+        self.loader = ClassLoader(self)
+        self.jvmti = JVMTIHost(self, self.config.jvmti_version)
+        self.jit = JitCompiler(self, self.config.jit_policy)
+        self.native_registry = NativeRegistry(self)
+        self.jni_table = JNIFunctionTable(self)
+        self.interpreter = Interpreter(self)
+        self.pcl = PCL(self)
+        self.console: List[str] = []
+        self.agents: List = []
+        self._launched = False
+        self._dead = False
+        # statistics
+        self.instructions_retired = 0
+        self.method_invocations = 0
+        self.native_invocations = 0
+        self.jni_invocations = 0
+        # simulated file system: name -> bytes (inputs) / bytearray (outputs)
+        self.files: Dict[str, bytes] = {}
+
+    # -- configuration ------------------------------------------------------------
+
+    def attach_agent(self, agent) -> None:
+        """Attach a profiling agent (before :meth:`launch`)."""
+        if self._launched:
+            raise VMError("cannot attach agents after launch")
+        env = self.jvmti.attach(agent)
+        agent.on_load(env)
+        for library in agent.native_libraries():
+            self.native_registry.register(library, preload=True)
+        runtime = agent.runtime_classes()
+        if runtime is not None:
+            self.loader.prepend_boot_archive(runtime)
+        self.agents.append(agent)
+
+    def add_file(self, name: str, data: bytes) -> None:
+        """Install an input file into the simulated file system."""
+        self.files[name] = data
+
+    def jni_env(self, thread) -> JNIEnv:
+        return JNIEnv(self, thread)
+
+    # -- string helper used across the VM ----------------------------------------------
+
+    def intern_string(self, value: str):
+        string_class = self.loader.load("java.lang.String")
+        return self.heap.intern(string_class, value)
+
+    def new_string(self, value: str):
+        string_class = self.loader.load("java.lang.String")
+        return self.heap.new_string(string_class, value)
+
+    # -- launch -----------------------------------------------------------------------
+
+    def launch(self, main_class_name: str) -> "JavaVM":
+        """Run ``main_class_name.main()V`` to completion and shut down."""
+        if self._launched:
+            raise VMError("JavaVM instances are single-launch")
+        self._launched = True
+
+        main_thread = self.threads.create("main")
+        main_thread.state = ThreadState.RUNNING
+        self.threads.current = main_thread
+
+        self.jvmti.dispatch_vm_init()
+
+        main_class = self.loader.load(main_class_name)
+        main_method = main_class.resolve_method("main", MAIN_DESCRIPTOR)
+        if main_method is None or not main_method.info.is_static:
+            raise NoSuchMethodError(
+                f"no static main{MAIN_DESCRIPTOR} in {main_class_name}")
+
+        # like a real launcher, enter Java through the JNI invocation
+        # interface — so agents intercepting the JNI function table see
+        # the initial native->Java transition of the main thread
+        try:
+            self.jni_env(main_thread).call_static_void_method(main_method)
+        except Unwind as unwind:
+            self._report_uncaught(main_thread, unwind.jobject)
+        self._finish_thread(main_thread)
+
+        # drain threads that were started but never joined
+        while self.threads.has_queued:
+            thread = self.threads.dequeue()
+            self.run_thread(thread)
+
+        self.threads.current = None
+        self._dead = True
+        self.jvmti.dispatch_vm_death()
+        return self
+
+    def run_thread(self, thread: SimThread) -> None:
+        """Execute a queued thread to completion (called by the drain
+        loop and by ``Thread.join``)."""
+        if thread.state is ThreadState.TERMINATED:
+            return
+        if thread.state is ThreadState.RUNNING:
+            raise VMError(f"thread {thread.name!r} is already running "
+                          f"(self-join?)")
+        previous = self.threads.current
+        self.threads.current = thread
+        thread.state = ThreadState.RUNNING
+        self.jvmti.dispatch_thread_start(thread)
+        run_method = None
+        if thread.java_object is not None:
+            run_method = thread.java_object.jclass.resolve_method(
+                "run", "()V")
+        if run_method is None:
+            raise VMError(f"thread {thread.name!r} has no run()V")
+        try:
+            # thread bootstrap enters run() through the JNI interface,
+            # so the initial N2J transition is interceptable
+            self.jni_env(thread).call_void_method(
+                thread.java_object, run_method)
+        except Unwind as unwind:
+            self._report_uncaught(thread, unwind.jobject)
+        self._finish_thread(thread)
+        self.threads.current = previous
+
+    def ensure_thread_finished(self, thread: SimThread) -> None:
+        """``Thread.join`` semantics under the sequential model: run the
+        joined thread to completion now if it has not run yet."""
+        if thread.state is ThreadState.QUEUED:
+            self.threads.dequeue(thread)
+            self.run_thread(thread)
+        elif thread.state is ThreadState.RUNNING:
+            raise VMError(
+                f"join on running thread {thread.name!r} would deadlock "
+                f"the sequential model")
+        # NEW (never started) and TERMINATED both return immediately,
+        # matching java.lang.Thread.join.
+
+    def _finish_thread(self, thread: SimThread) -> None:
+        self.jvmti.dispatch_thread_end(thread)
+        thread.state = ThreadState.TERMINATED
+
+    def _report_uncaught(self, thread: SimThread, jobject) -> None:
+        thread.uncaught_exception = jobject
+        message = ""
+        msg_obj = getattr(jobject, "fields", {}).get("message")
+        if msg_obj is not None and \
+                getattr(msg_obj, "string_value", None) is not None:
+            message = f": {msg_obj.string_value}"
+        self.console.append(
+            f'Exception in thread "{thread.name}" '
+            f"{getattr(jobject, 'class_name', '<exception>')}{message}")
+
+    # -- class-initializer support (called by the loader) --------------------------------
+
+    def run_class_initializer(self, loaded_class, clinit) -> None:
+        thread = self.threads.current
+        if thread is None:
+            raise VMError(
+                f"<clinit> of {loaded_class.name} outside a thread")
+        self.interpreter.call_method(thread, clinit, [])
+
+    # -- results ---------------------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return self.threads.total_cycles()
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return units.cycles_to_seconds(self.total_cycles,
+                                       self.config.clock_hz)
+
+    def ground_truth(self) -> Dict[str, int]:
+        """Tagged cycle totals across all threads (the oracle the agents
+        are validated against)."""
+        totals = self.threads.total_by_tag()
+        return {tag.value: cycles for tag, cycles in totals.items()}
+
+    def ground_truth_native_fraction(self) -> float:
+        """Ground-truth fraction of application time spent in native
+        code: native / (native + bytecode)."""
+        totals = self.threads.total_by_tag()
+        native = totals[ChargeTag.NATIVE]
+        bytecode = totals[ChargeTag.BYTECODE]
+        if native + bytecode == 0:
+            return 0.0
+        return native / (native + bytecode)
+
+    def agent_reports(self) -> Dict[str, Dict]:
+        return {agent.name: agent.report() for agent in self.agents}

@@ -1,0 +1,597 @@
+"""The runtime class library — the simulator's ``rt.jar``.
+
+All core ``java.*`` classes, authored as bytecode via the assembler.
+Native methods declared here are implemented by the core native library
+(:func:`repro.jni.stdlib.build_java_library`), which is preloaded into
+every VM.  The split mirrors the real JDK: thin Java wrappers around
+native primitives (``FileInputStream.read`` -> ``readBytes``,
+``StringBuilder`` building on ``System.arraycopy`` and string natives),
+so realistic workloads generate realistic J2N traffic.
+
+:func:`build_runtime_archive` serializes everything into a
+:class:`~repro.classfile.archive.ClassArchive` — which is exactly what
+the static instrumenter processes when an agent instruments "the JDK".
+"""
+
+from __future__ import annotations
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+
+OBJECT = "java.lang.Object"
+STRING = "java.lang.String"
+SYSTEM = "java.lang.System"
+SB = "java.lang.StringBuilder"
+THROWABLE = "java.lang.Throwable"
+
+
+def _object_class() -> ClassAssembler:
+    c = ClassAssembler(OBJECT, super_name=None)
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    c.native_method("hashCode", "()I")
+    c.native_method("toString", "()Ljava.lang.String;")
+    with c.method("equals", "(Ljava.lang.Object;)I") as m:
+        m.aload(0).aload(1).if_acmpeq("yes")
+        m.iconst(0).ireturn()
+        m.label("yes").iconst(1).ireturn()
+    return c
+
+
+def _string_class() -> ClassAssembler:
+    c = ClassAssembler(STRING)
+    c.native_method("length", "()I")
+    c.native_method("charAt", "(I)I")
+    c.native_method("equals", "(Ljava.lang.Object;)I")
+    c.native_method("hashCode", "()I")
+    c.native_method("intern", "()Ljava.lang.String;")
+    c.native_method("substring", "(II)Ljava.lang.String;")
+    c.native_method("concat",
+                    "(Ljava.lang.String;)Ljava.lang.String;")
+    c.native_method("compareTo", "(Ljava.lang.String;)I")
+    c.native_method("indexOf", "(II)I")
+    c.native_method("getChars", "(II[CI)V")
+    c.native_method("toCharArray", "()[C")
+    c.native_method("fromChars", "([CII)Ljava.lang.String;",
+                    static=True)
+    c.native_method("valueOfInt", "(I)Ljava.lang.String;", static=True)
+    with c.method("isEmpty", "()I") as m:
+        m.aload(0).invokevirtual(STRING, "length", "()I")
+        m.ifne("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+    return c
+
+
+def _system_class() -> ClassAssembler:
+    c = ClassAssembler(SYSTEM)
+    c.field("out", static=True)
+    c.native_method(
+        "arraycopy", "(Ljava.lang.Object;ILjava.lang.Object;II)V",
+        static=True)
+    c.native_method("currentTimeMillis", "()I", static=True)
+    c.native_method("loadLibrary0", "(Ljava.lang.String;)V", static=True)
+    c.native_method("initOut", "()Ljava.io.PrintStream;", static=True)
+    c.native_method("identityHashCode", "(Ljava.lang.Object;)I",
+                    static=True)
+    with c.method("<clinit>", "()V", static=True) as m:
+        m.invokestatic(SYSTEM, "initOut", "()Ljava.io.PrintStream;")
+        m.putstatic(SYSTEM, "out")
+        m.return_()
+    with c.method("loadLibrary", "(Ljava.lang.String;)V",
+                  static=True) as m:
+        m.aload(0)
+        m.invokestatic(SYSTEM, "loadLibrary0", "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+def _string_builder_class() -> ClassAssembler:
+    c = ClassAssembler(SB)
+    c.field("value")
+    c.field("count")
+    with c.method("<init>", "()V") as m:
+        m.aload(0).iconst(16).newarray(ArrayKind.CHAR)
+        m.putfield(SB, "value")
+        m.aload(0).iconst(0).putfield(SB, "count")
+        m.return_()
+    with c.method("ensureCapacity", "(I)V") as m:
+        # locals: 0=this, 1=min, 2=cap, 3=newcap, 4=newarr
+        m.aload(0).getfield(SB, "value").arraylength().istore(2)
+        m.iload(1).iload(2).if_icmple("ok")
+        m.iload(2).iconst(2).imul().istore(3)
+        m.iload(3).iload(1).if_icmpge("alloc")
+        m.iload(1).istore(3)
+        m.label("alloc")
+        m.iload(3).newarray(ArrayKind.CHAR).astore(4)
+        m.aload(0).getfield(SB, "value").iconst(0)
+        m.aload(4).iconst(0)
+        m.aload(0).getfield(SB, "count")
+        m.invokestatic(SYSTEM, "arraycopy",
+                       "(Ljava.lang.Object;ILjava.lang.Object;II)V")
+        m.aload(0).aload(4).putfield(SB, "value")
+        m.label("ok").return_()
+    with c.method("appendChar", "(I)Ljava.lang.StringBuilder;") as m:
+        m.aload(0)
+        m.aload(0).getfield(SB, "count").iconst(1).iadd()
+        m.invokevirtual(SB, "ensureCapacity", "(I)V")
+        m.aload(0).getfield(SB, "value")
+        m.aload(0).getfield(SB, "count")
+        m.iload(1).iastore()
+        m.aload(0).dup().getfield(SB, "count").iconst(1).iadd()
+        m.putfield(SB, "count")
+        m.aload(0).areturn()
+    with c.method("appendString",
+                  "(Ljava.lang.String;)Ljava.lang.StringBuilder;") as m:
+        # locals: 0=this, 1=s, 2=len
+        m.aload(1).invokevirtual(STRING, "length", "()I").istore(2)
+        m.aload(0)
+        m.aload(0).getfield(SB, "count").iload(2).iadd()
+        m.invokevirtual(SB, "ensureCapacity", "(I)V")
+        m.aload(1).iconst(0).iload(2)
+        m.aload(0).getfield(SB, "value")
+        m.aload(0).getfield(SB, "count")
+        m.invokevirtual(STRING, "getChars", "(II[CI)V")
+        m.aload(0).dup().getfield(SB, "count").iload(2).iadd()
+        m.putfield(SB, "count")
+        m.aload(0).areturn()
+    with c.method("appendChars", "([CII)Ljava.lang.StringBuilder;") as m:
+        # append a char-array region: one arraycopy, no String detour
+        # locals: 0=this, 1=src, 2=off, 3=len
+        m.aload(0)
+        m.aload(0).getfield(SB, "count").iload(3).iadd()
+        m.invokevirtual(SB, "ensureCapacity", "(I)V")
+        m.aload(1).iload(2)
+        m.aload(0).getfield(SB, "value")
+        m.aload(0).getfield(SB, "count")
+        m.iload(3)
+        m.invokestatic(SYSTEM, "arraycopy",
+                       "(Ljava.lang.Object;ILjava.lang.Object;II)V")
+        m.aload(0).dup().getfield(SB, "count").iload(3).iadd()
+        m.putfield(SB, "count")
+        m.aload(0).areturn()
+
+    with c.method("appendInt", "(I)Ljava.lang.StringBuilder;") as m:
+        m.aload(0)
+        m.iload(1).invokestatic(STRING, "valueOfInt",
+                                "(I)Ljava.lang.String;")
+        m.invokevirtual(SB, "appendString",
+                        "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+        m.areturn()
+    with c.method("length", "()I") as m:
+        m.aload(0).getfield(SB, "count").ireturn()
+    with c.method("toString", "()Ljava.lang.String;") as m:
+        m.aload(0).getfield(SB, "value")
+        m.iconst(0)
+        m.aload(0).getfield(SB, "count")
+        m.invokestatic(STRING, "fromChars", "([CII)Ljava.lang.String;")
+        m.areturn()
+    return c
+
+
+def _math_class() -> ClassAssembler:
+    c = ClassAssembler("java.lang.Math")
+    for name in ("sqrt", "sin", "cos", "log"):
+        c.native_method(name, "(F)F", static=True)
+    c.native_method("pow", "(FF)F", static=True)
+    c.native_method("floor", "(F)F", static=True)
+    with c.method("abs", "(I)I", static=True) as m:
+        m.iload(0).ifge("pos")
+        m.iload(0).ineg().ireturn()
+        m.label("pos").iload(0).ireturn()
+    with c.method("min", "(II)I", static=True) as m:
+        m.iload(0).iload(1).if_icmpgt("other")
+        m.iload(0).ireturn()
+        m.label("other").iload(1).ireturn()
+    with c.method("max", "(II)I", static=True) as m:
+        m.iload(0).iload(1).if_icmplt("other")
+        m.iload(0).ireturn()
+        m.label("other").iload(1).ireturn()
+    return c
+
+
+def _integer_class() -> ClassAssembler:
+    c = ClassAssembler("java.lang.Integer")
+    c.native_method("parseInt", "(Ljava.lang.String;)I", static=True)
+    c.native_method("toString", "(I)Ljava.lang.String;", static=True)
+    return c
+
+
+def _float_class() -> ClassAssembler:
+    c = ClassAssembler("java.lang.Float")
+    c.native_method("floatToIntBits", "(F)I", static=True)
+    c.native_method("intBitsToFloat", "(I)F", static=True)
+    return c
+
+
+def _character_class() -> ClassAssembler:
+    c = ClassAssembler("java.lang.Character")
+    with c.method("isDigit", "(I)I", static=True) as m:
+        m.iload(0).iconst(48).if_icmplt("no")
+        m.iload(0).iconst(57).if_icmpgt("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+    with c.method("isLetter", "(I)I", static=True) as m:
+        m.iload(0).iconst(32).ior().istore(1)
+        m.iload(1).iconst(97).if_icmplt("no")
+        m.iload(1).iconst(122).if_icmpgt("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+    with c.method("isWhitespace", "(I)I", static=True) as m:
+        m.iload(0).iconst(32).if_icmpeq("yes")
+        m.iload(0).iconst(9).if_icmplt("no")
+        m.iload(0).iconst(13).if_icmple("yes")
+        m.label("no").iconst(0).ireturn()
+        m.label("yes").iconst(1).ireturn()
+    with c.method("toLowerCase", "(I)I", static=True) as m:
+        m.iload(0).iconst(65).if_icmplt("asis")
+        m.iload(0).iconst(90).if_icmpgt("asis")
+        m.iload(0).iconst(32).iadd().ireturn()
+        m.label("asis").iload(0).ireturn()
+    return c
+
+
+def _thread_class() -> ClassAssembler:
+    c = ClassAssembler("java.lang.Thread")
+    c.field("name")
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    with c.method("setName", "(Ljava.lang.String;)V") as m:
+        m.aload(0).aload(1).putfield("java.lang.Thread", "name")
+        m.return_()
+    with c.method("getName", "()Ljava.lang.String;") as m:
+        m.aload(0).getfield("java.lang.Thread", "name").areturn()
+    c.native_method("start0", "()V")
+    with c.method("start", "()V") as m:
+        m.aload(0).invokevirtual("java.lang.Thread", "start0", "()V")
+        m.return_()
+    with c.method("run", "()V") as m:
+        m.return_()
+    c.native_method("join", "()V")
+    return c
+
+
+def _throwable_classes():
+    """Throwable and the standard exception hierarchy."""
+    classes = []
+
+    c = ClassAssembler(THROWABLE)
+    c.field("message")
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    with c.method("<init>", "(Ljava.lang.String;)V") as m:
+        m.aload(0).aload(1).putfield(THROWABLE, "message")
+        m.return_()
+    with c.method("getMessage", "()Ljava.lang.String;") as m:
+        m.aload(0).getfield(THROWABLE, "message").areturn()
+    classes.append(c)
+
+    hierarchy = [
+        ("java.lang.Exception", THROWABLE),
+        ("java.lang.Error", THROWABLE),
+        ("java.lang.RuntimeException", "java.lang.Exception"),
+        ("java.lang.NullPointerException", "java.lang.RuntimeException"),
+        ("java.lang.ArithmeticException", "java.lang.RuntimeException"),
+        ("java.lang.ArrayIndexOutOfBoundsException",
+         "java.lang.RuntimeException"),
+        ("java.lang.ClassCastException", "java.lang.RuntimeException"),
+        ("java.lang.NegativeArraySizeException",
+         "java.lang.RuntimeException"),
+        ("java.lang.IllegalMonitorStateException",
+         "java.lang.RuntimeException"),
+        ("java.lang.NumberFormatException",
+         "java.lang.RuntimeException"),
+        ("java.lang.ArrayStoreException", "java.lang.RuntimeException"),
+        ("java.lang.IllegalStateException",
+         "java.lang.RuntimeException"),
+        ("java.lang.IllegalArgumentException",
+         "java.lang.RuntimeException"),
+        ("java.lang.UnsatisfiedLinkError", "java.lang.Error"),
+        ("java.lang.StackOverflowError", "java.lang.Error"),
+        ("java.io.IOException", "java.lang.Exception"),
+        ("java.io.FileNotFoundException", "java.io.IOException"),
+    ]
+    for name, super_name in hierarchy:
+        sub = ClassAssembler(name, super_name=super_name)
+        classes.append(sub)
+    return classes
+
+
+def _random_class() -> ClassAssembler:
+    c = ClassAssembler("java.util.Random")
+    c.field("seed")
+    with c.method("<init>", "(I)V") as m:
+        m.aload(0).iload(1).putfield("java.util.Random", "seed")
+        m.return_()
+    with c.method("next", "()I") as m:
+        m.aload(0).dup().getfield("java.util.Random", "seed")
+        m.ldc(1103515245).imul().ldc(12345).iadd()
+        m.ldc(0x7FFFFFFF).iand()
+        m.putfield("java.util.Random", "seed")
+        m.aload(0).getfield("java.util.Random", "seed").ireturn()
+    with c.method("nextInt", "(I)I") as m:
+        m.aload(0).invokevirtual("java.util.Random", "next", "()I")
+        m.iload(1).irem().ireturn()
+    return c
+
+
+def _io_classes():
+    classes = []
+
+    fis = ClassAssembler("java.io.FileInputStream")
+    fis.field("name")
+    fis.field("pos")
+    fis.native_method("open0", "(Ljava.lang.String;)V")
+    fis.native_method("readBytes", "([BII)I")
+    fis.native_method("read0", "()I")
+    fis.native_method("available", "()I")
+    fis.native_method("close", "()V")
+    with fis.method("<init>", "(Ljava.lang.String;)V") as m:
+        m.aload(0).aload(1)
+        m.invokevirtual("java.io.FileInputStream", "open0",
+                        "(Ljava.lang.String;)V")
+        m.return_()
+    with fis.method("read", "([BII)I") as m:
+        m.aload(0).aload(1).iload(2).iload(3)
+        m.invokevirtual("java.io.FileInputStream", "readBytes",
+                        "([BII)I")
+        m.ireturn()
+    with fis.method("read", "()I") as m:
+        m.aload(0)
+        m.invokevirtual("java.io.FileInputStream", "read0", "()I")
+        m.ireturn()
+    classes.append(fis)
+
+    fos = ClassAssembler("java.io.FileOutputStream")
+    fos.field("name")
+    fos.native_method("open0", "(Ljava.lang.String;)V")
+    fos.native_method("writeBytes", "([BII)V")
+    fos.native_method("close", "()V")
+    with fos.method("<init>", "(Ljava.lang.String;)V") as m:
+        m.aload(0).aload(1)
+        m.invokevirtual("java.io.FileOutputStream", "open0",
+                        "(Ljava.lang.String;)V")
+        m.return_()
+    with fos.method("write", "([BII)V") as m:
+        m.aload(0).aload(1).iload(2).iload(3)
+        m.invokevirtual("java.io.FileOutputStream", "writeBytes",
+                        "([BII)V")
+        m.return_()
+    classes.append(fos)
+
+    ps = ClassAssembler("java.io.PrintStream")
+    ps.native_method("println", "(Ljava.lang.String;)V")
+    ps.native_method("printlnInt", "(I)V")
+    with ps.method("println", "(I)V") as m:
+        m.aload(0).iload(1)
+        m.invokevirtual("java.io.PrintStream", "printlnInt", "(I)V")
+        m.return_()
+    classes.append(ps)
+    return classes
+
+
+def _crc32_class() -> ClassAssembler:
+    c = ClassAssembler("java.util.zip.CRC32")
+    c.field("crc", default=0)
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    c.native_method("updateBytes", "([BII)V")
+    with c.method("update", "([BII)V") as m:
+        m.aload(0).aload(1).iload(2).iload(3)
+        m.invokevirtual("java.util.zip.CRC32", "updateBytes", "([BII)V")
+        m.return_()
+    with c.method("getValue", "()I") as m:
+        m.aload(0).getfield("java.util.zip.CRC32", "crc").ireturn()
+    with c.method("reset", "()V") as m:
+        m.aload(0).iconst(0).putfield("java.util.zip.CRC32", "crc")
+        m.return_()
+    return c
+
+
+def _vector_class() -> ClassAssembler:
+    """Growable object array, in the spirit of java.util.Vector:
+    pure bytecode over the native ``System.arraycopy`` primitive."""
+    vec = "java.util.Vector"
+    c = ClassAssembler(vec)
+    c.field("elems")
+    c.field("count", default=0)
+
+    with c.method("<init>", "(I)V") as m:
+        m.aload(0).iload(1).newarray(ArrayKind.REF)
+        m.putfield(vec, "elems")
+        m.return_()
+
+    with c.method("<init>", "()V") as m:
+        m.aload(0).iconst(8)
+        m.invokespecial(vec, "<init>", "(I)V")
+        m.return_()
+
+    with c.method("size", "()I") as m:
+        m.aload(0).getfield(vec, "count").ireturn()
+
+    with c.method("ensureCapacity", "(I)V") as m:
+        # locals: 0=this,1=min,2=cap,3=newcap,4=newarr
+        m.aload(0).getfield(vec, "elems").arraylength().istore(2)
+        m.iload(1).iload(2).if_icmple("ok")
+        m.iload(2).iconst(2).imul().istore(3)
+        m.iload(3).iload(1).if_icmpge("alloc")
+        m.iload(1).istore(3)
+        m.label("alloc")
+        m.iload(3).newarray(ArrayKind.REF).astore(4)
+        m.aload(0).getfield(vec, "elems").iconst(0)
+        m.aload(4).iconst(0)
+        m.aload(0).getfield(vec, "count")
+        m.invokestatic(SYSTEM, "arraycopy",
+                       "(Ljava.lang.Object;ILjava.lang.Object;II)V")
+        m.aload(0).aload(4).putfield(vec, "elems")
+        m.label("ok").return_()
+
+    with c.method("add", "(Ljava.lang.Object;)V") as m:
+        m.aload(0)
+        m.aload(0).getfield(vec, "count").iconst(1).iadd()
+        m.invokevirtual(vec, "ensureCapacity", "(I)V")
+        m.aload(0).getfield(vec, "elems")
+        m.aload(0).getfield(vec, "count")
+        m.aload(1).aastore()
+        m.aload(0).dup().getfield(vec, "count").iconst(1).iadd()
+        m.putfield(vec, "count")
+        m.return_()
+
+    with c.method("get", "(I)Ljava.lang.Object;") as m:
+        m.iload(1).iflt("oob")
+        m.iload(1).aload(0).getfield(vec, "count").if_icmpge("oob")
+        m.aload(0).getfield(vec, "elems").iload(1).aaload()
+        m.areturn()
+        m.label("oob")
+        m.new("java.lang.ArrayIndexOutOfBoundsException").dup()
+        m.invokespecial("java.lang.ArrayIndexOutOfBoundsException",
+                        "<init>", "()V")
+        m.athrow()
+
+    with c.method("set", "(ILjava.lang.Object;)V") as m:
+        m.aload(0).getfield(vec, "elems").iload(1)
+        m.aload(2).aastore()
+        m.return_()
+
+    with c.method("indexOf", "(Ljava.lang.Object;)I") as m:
+        # virtual equals per probe (native for strings)
+        # locals: 0=this,1=target,2=i,3=n
+        m.aload(0).getfield(vec, "count").istore(3)
+        m.iconst(0).istore(2)
+        m.label("scan")
+        m.iload(2).iload(3).if_icmpge("missing")
+        m.aload(0).getfield(vec, "elems").iload(2).aaload()
+        m.aload(1)
+        m.invokevirtual(OBJECT, "equals", "(Ljava.lang.Object;)I")
+        m.ifeq("next")
+        m.iload(2).ireturn()
+        m.label("next")
+        m.iinc(2, 1).goto("scan")
+        m.label("missing")
+        m.iconst(-1).ireturn()
+    return c
+
+
+def _hashtable_class() -> ClassAssembler:
+    """Open-addressing hash map, in the spirit of java.util.Hashtable:
+    virtual hashCode/equals per probe (native for string keys)."""
+    ht = "java.util.Hashtable"
+    c = ClassAssembler(ht)
+    c.field("keys")
+    c.field("vals")
+    c.field("count", default=0)
+    c.field("cap", default=0)
+
+    with c.method("<init>", "(I)V") as m:
+        m.aload(0).iload(1).putfield(ht, "cap")
+        m.aload(0).iload(1).newarray(ArrayKind.REF)
+        m.putfield(ht, "keys")
+        m.aload(0).iload(1).newarray(ArrayKind.REF)
+        m.putfield(ht, "vals")
+        m.return_()
+
+    with c.method("<init>", "()V") as m:
+        m.aload(0).iconst(64)
+        m.invokespecial(ht, "<init>", "(I)V")
+        m.return_()
+
+    with c.method("size", "()I") as m:
+        m.aload(0).getfield(ht, "count").ireturn()
+
+    with c.method("slotFor", "(Ljava.lang.Object;)I") as m:
+        # linear probe; returns the slot holding key or the first empty
+        # locals: 0=this,1=key,2=h,3=k
+        m.aload(1).invokevirtual(OBJECT, "hashCode", "()I")
+        m.ldc(0x7FFFFFFF).iand()
+        m.aload(0).getfield(ht, "cap").irem().istore(2)
+        m.label("probe")
+        m.aload(0).getfield(ht, "keys").iload(2).aaload().astore(3)
+        m.aload(3).ifnull("found")
+        m.aload(3).aload(1)
+        m.invokevirtual(OBJECT, "equals", "(Ljava.lang.Object;)I")
+        m.ifne("found")
+        m.iload(2).iconst(1).iadd()
+        m.aload(0).getfield(ht, "cap").irem().istore(2)
+        m.goto("probe")
+        m.label("found")
+        m.iload(2).ireturn()
+
+    with c.method("rehash", "()V") as m:
+        # locals: 0=this,1=oldKeys,2=oldVals,3=oldCap,4=i,5=k
+        m.aload(0).getfield(ht, "keys").astore(1)
+        m.aload(0).getfield(ht, "vals").astore(2)
+        m.aload(0).getfield(ht, "cap").istore(3)
+        m.aload(0).iload(3).iconst(2).imul().putfield(ht, "cap")
+        m.aload(0).aload(0).getfield(ht, "cap")
+        m.newarray(ArrayKind.REF).putfield(ht, "keys")
+        m.aload(0).aload(0).getfield(ht, "cap")
+        m.newarray(ArrayKind.REF).putfield(ht, "vals")
+        m.aload(0).iconst(0).putfield(ht, "count")
+        m.iconst(0).istore(4)
+        m.label("move")
+        m.iload(4).iload(3).if_icmpge("done")
+        m.aload(1).iload(4).aaload().astore(5)
+        m.aload(5).ifnull("next")
+        m.aload(0).aload(5)
+        m.aload(2).iload(4).aaload()
+        m.invokevirtual(ht, "put",
+                        "(Ljava.lang.Object;Ljava.lang.Object;)V")
+        m.label("next")
+        m.iinc(4, 1).goto("move")
+        m.label("done")
+        m.return_()
+
+    with c.method("put",
+                  "(Ljava.lang.Object;Ljava.lang.Object;)V") as m:
+        # locals: 0=this,1=key,2=val,3=slot
+        m.aload(0).getfield(ht, "count").iconst(2).imul()
+        m.aload(0).getfield(ht, "cap").if_icmplt("room")
+        m.aload(0).invokevirtual(ht, "rehash", "()V")
+        m.label("room")
+        m.aload(0).aload(1)
+        m.invokevirtual(ht, "slotFor", "(Ljava.lang.Object;)I")
+        m.istore(3)
+        m.aload(0).getfield(ht, "keys").iload(3).aaload()
+        m.ifnonnull("overwrite")
+        m.aload(0).dup().getfield(ht, "count").iconst(1).iadd()
+        m.putfield(ht, "count")
+        m.aload(0).getfield(ht, "keys").iload(3)
+        m.aload(1).aastore()
+        m.label("overwrite")
+        m.aload(0).getfield(ht, "vals").iload(3)
+        m.aload(2).aastore()
+        m.return_()
+
+    with c.method("get",
+                  "(Ljava.lang.Object;)Ljava.lang.Object;") as m:
+        m.aload(0).aload(1)
+        m.invokevirtual(ht, "slotFor", "(Ljava.lang.Object;)I")
+        m.istore(2)
+        m.aload(0).getfield(ht, "vals").iload(2).aaload()
+        m.areturn()
+
+    with c.method("containsKey", "(Ljava.lang.Object;)I") as m:
+        m.aload(0).aload(1)
+        m.invokevirtual(ht, "slotFor", "(Ljava.lang.Object;)I")
+        m.istore(2)
+        m.aload(0).getfield(ht, "keys").iload(2).aaload()
+        m.ifnull("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+    return c
+
+
+def build_runtime_archive() -> ClassArchive:
+    """Build and serialize the full runtime library."""
+    archive = ClassArchive()
+    builders = [_object_class(), _string_class(), _system_class(),
+                _string_builder_class(), _math_class(),
+                _integer_class(), _float_class(), _character_class(),
+                _thread_class(), _random_class(), _crc32_class(),
+                _vector_class(), _hashtable_class()]
+    builders.extend(_throwable_classes())
+    builders.extend(_io_classes())
+    for builder in builders:
+        archive.put_class(builder.build())
+    return archive

@@ -1,0 +1,143 @@
+"""Simulated threads.
+
+The simulator runs threads **sequentially** on one virtual CPU: a
+started thread is queued and executed to completion either when the
+starter joins it or when the current thread finishes.  This is a valid
+serialization of the program (workloads are written so that any
+serialization is correct), keeps the machine fully deterministic, and
+matches the paper's single-CPU Pentium 4 testbed where total CPU time is
+the sum of per-thread times.
+
+Each thread carries its own virtual cycle counter — exactly the
+per-thread hardware counter PCL virtualizes — plus the tagged
+ground-truth breakdown used by the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.jvm.costmodel import ChargeTag
+from repro.errors import VMError
+
+
+class ThreadState(enum.Enum):
+    NEW = "new"
+    QUEUED = "queued"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+
+
+class SimThread:
+    """One simulated Java thread."""
+
+    _HPC_TAGS = (ChargeTag.BYTECODE, ChargeTag.NATIVE, ChargeTag.AGENT,
+                 ChargeTag.VM)
+
+    def __init__(self, thread_id: int, name: str, java_object=None,
+                 samplers: Optional[List] = None):
+        self.thread_id = thread_id
+        self.name = name
+        #: The ``java.lang.Thread`` instance this thread executes (None
+        #: for the bootstrap/main thread until the runtime creates one).
+        self.java_object = java_object
+        self.state = ThreadState.NEW
+        self.frames: List = []
+        #: Per-thread hardware cycle counter (what PCL reads).
+        self.cycles_total = 0
+        #: Ground truth: cycles by charge tag.
+        self.cycles_by_tag: Dict[ChargeTag, int] = {
+            tag: 0 for tag in self._HPC_TAGS}
+        #: Uncaught Java exception that terminated the thread, if any.
+        self.uncaught_exception = None
+        #: Host-side PC samplers (shared list owned by ThreadManager);
+        #: empty in normal runs — see repro.agents.sampling.
+        self._samplers = samplers if samplers is not None else []
+
+    def charge(self, cycles: int, tag: ChargeTag) -> None:
+        """Consume ``cycles`` on this thread, tagged with ground truth."""
+        self.cycles_total += cycles
+        self.cycles_by_tag[tag] += cycles
+        if self._samplers:
+            for sampler in self._samplers:
+                extra = sampler.on_charge(self, cycles, tag)
+                if extra:
+                    # interrupt handling itself: VM time, applied
+                    # directly so it cannot re-trigger sampling
+                    self.cycles_total += extra
+                    self.cycles_by_tag[ChargeTag.VM] += extra
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"<SimThread #{self.thread_id} {self.name!r} "
+                f"{self.state.value} cycles={self.cycles_total}>")
+
+
+class ThreadManager:
+    """Registry and run queue for simulated threads."""
+
+    def __init__(self):
+        self._threads: List[SimThread] = []
+        self._queue: List[SimThread] = []
+        self._next_id = 1
+        self.current: Optional[SimThread] = None
+        #: Host-side PC samplers shared by every thread (see
+        #: repro.agents.sampling.SamplingProfiler.install).
+        self.samplers: List = []
+
+    def create(self, name: str, java_object=None) -> SimThread:
+        thread = SimThread(self._next_id, name, java_object,
+                           samplers=self.samplers)
+        self._next_id += 1
+        self._threads.append(thread)
+        return thread
+
+    def enqueue(self, thread: SimThread) -> None:
+        """Queue a NEW thread for execution (``Thread.start``)."""
+        if thread.state is not ThreadState.NEW:
+            raise VMError(
+                f"thread {thread.name!r} started twice "
+                f"(state {thread.state.value})")
+        thread.state = ThreadState.QUEUED
+        self._queue.append(thread)
+
+    def dequeue(self, thread: Optional[SimThread] = None
+                ) -> Optional[SimThread]:
+        """Pop ``thread`` (or the oldest queued thread) from the queue."""
+        if thread is None:
+            return self._queue.pop(0) if self._queue else None
+        if thread in self._queue:
+            self._queue.remove(thread)
+            return thread
+        return None
+
+    def find_by_java_object(self, java_object) -> Optional[SimThread]:
+        for thread in self._threads:
+            if thread.java_object is java_object:
+                return thread
+        return None
+
+    @property
+    def all_threads(self) -> List[SimThread]:
+        return list(self._threads)
+
+    @property
+    def has_queued(self) -> bool:
+        return bool(self._queue)
+
+    def total_cycles(self) -> int:
+        """Sum of all per-thread counters (= virtual wall clock on the
+        single simulated CPU)."""
+        return sum(t.cycles_total for t in self._threads)
+
+    def total_by_tag(self) -> Dict[ChargeTag, int]:
+        """Ground-truth cycle totals across all threads."""
+        totals = {tag: 0 for tag in SimThread._HPC_TAGS}
+        for thread in self._threads:
+            for tag, cycles in thread.cycles_by_tag.items():
+                totals[tag] += cycles
+        return totals

@@ -1,0 +1,29 @@
+"""JVMTI layer: the tool interface the profiling agents are written
+against.
+
+Mirrors the JVMTI 1.0/1.1 features the paper uses: events
+(ThreadStart/ThreadEnd/VMInit/VMDeath/MethodEntry/MethodExit/
+ClassFileLoadHook), capabilities (with the HotSpot behaviour that
+requesting method-entry/exit events disables the JIT), thread-local
+storage, raw monitors, JNI function interception, and native method
+prefixing.  Agents interact only through their
+:class:`~repro.jvmti.host.JVMTIAgentEnv`, never with VM internals —
+preserving the paper's portability-by-interface argument.
+"""
+
+from repro.jvmti.capabilities import Capabilities
+from repro.jvmti.events import JvmtiEvent
+from repro.jvmti.tls import ThreadLocalStorage
+from repro.jvmti.raw_monitor import RawMonitor
+from repro.jvmti.host import JVMTIHost, JVMTIAgentEnv
+from repro.jvmti.agent import AgentBase
+
+__all__ = [
+    "Capabilities",
+    "JvmtiEvent",
+    "ThreadLocalStorage",
+    "RawMonitor",
+    "JVMTIHost",
+    "JVMTIAgentEnv",
+    "AgentBase",
+]

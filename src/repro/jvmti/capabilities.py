@@ -1,0 +1,42 @@
+"""JVMTI capabilities.
+
+The subset the paper's agents need.  The critical modelled behaviour:
+on the paper's HotSpot, holding ``can_generate_method_entry_events`` or
+``can_generate_method_exit_events`` prevents JIT compilation for the
+whole run — SPA's downfall.  ``can_set_native_method_prefix`` is a
+JVMTI 1.1 capability (JDK 1.6); the host rejects it when configured in
+1.0 compatibility mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Capabilities:
+    """A JVMTI capability set (all default-off, as in ``jvmtiCapabilities``)."""
+
+    can_generate_method_entry_events: bool = False
+    can_generate_method_exit_events: bool = False
+    can_generate_all_class_hook_events: bool = False
+    can_set_native_method_prefix: bool = False
+
+    def merged_with(self, other: "Capabilities") -> "Capabilities":
+        return Capabilities(
+            self.can_generate_method_entry_events
+            or other.can_generate_method_entry_events,
+            self.can_generate_method_exit_events
+            or other.can_generate_method_exit_events,
+            self.can_generate_all_class_hook_events
+            or other.can_generate_all_class_hook_events,
+            self.can_set_native_method_prefix
+            or other.can_set_native_method_prefix,
+        )
+
+    @property
+    def disables_jit(self) -> bool:
+        """True when holding this set forces the JIT off (the HotSpot
+        behaviour the paper documents in Section V)."""
+        return (self.can_generate_method_entry_events
+                or self.can_generate_method_exit_events)

@@ -1,0 +1,19 @@
+"""JVMTI event kinds."""
+
+from __future__ import annotations
+
+import enum
+
+
+class JvmtiEvent(enum.Enum):
+    """The events the host can deliver (the paper's subset, plus
+    VM_INIT and CLASS_FILE_LOAD_HOOK which IPA's dynamic-instrumentation
+    variant uses)."""
+
+    VM_INIT = "VMInit"
+    VM_DEATH = "VMDeath"
+    THREAD_START = "ThreadStart"
+    THREAD_END = "ThreadEnd"
+    METHOD_ENTRY = "MethodEntry"
+    METHOD_EXIT = "MethodExit"
+    CLASS_FILE_LOAD_HOOK = "ClassFileLoadHook"

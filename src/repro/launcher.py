@@ -1,0 +1,37 @@
+"""VM factory: wires a :class:`~repro.jvm.machine.JavaVM` with the
+runtime class library and the core native library — the equivalent of
+pointing a JVM at its ``rt.jar`` and JDK native libraries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.classfile.archive import ClassArchive
+from repro.jni.stdlib import build_java_library
+from repro.jvm.machine import JavaVM, VMConfig
+from repro.jvm.runtime_lib import build_runtime_archive
+
+_runtime_archive_cache: Optional[ClassArchive] = None
+
+
+def runtime_archive() -> ClassArchive:
+    """The (cached) serialized runtime library.
+
+    The archive is read-only for class loading, so one instance is
+    shared across VMs; instrumenters copy entries rather than mutating.
+    """
+    global _runtime_archive_cache
+    if _runtime_archive_cache is None:
+        _runtime_archive_cache = build_runtime_archive()
+    return _runtime_archive_cache
+
+
+def create_vm(config: Optional[VMConfig] = None,
+              with_runtime: bool = True) -> JavaVM:
+    """Create a VM with the standard runtime and core natives installed."""
+    vm = JavaVM(config)
+    if with_runtime:
+        vm.loader.add_boot_archive(runtime_archive())
+        vm.native_registry.register(build_java_library(), preload=True)
+    return vm

@@ -1,0 +1,5 @@
+"""PCL — the simulated Performance Counter Library."""
+
+from repro.pcl.counters import PCL
+
+__all__ = ["PCL"]

@@ -1,0 +1,63 @@
+"""Clock and unit conversions.
+
+The simulator accounts all work in integer **cycles** on a virtual CPU.
+The paper's test machine was an Intel Pentium 4 at 2.66 GHz; we adopt the
+same nominal clock so that "seconds" reported by the harness are cycles
+divided by :data:`DEFAULT_CLOCK_HZ`.  All comparisons in the paper are
+ratios (overhead percentages, native-time fractions), which are invariant
+under the choice of clock.
+"""
+
+from __future__ import annotations
+
+#: Nominal clock rate of the simulated CPU (Pentium 4, 2.66 GHz).
+DEFAULT_CLOCK_HZ: int = 2_660_000_000
+
+
+def cycles_to_seconds(cycles: int, clock_hz: int = DEFAULT_CLOCK_HZ) -> float:
+    """Convert a cycle count to seconds of virtual time."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: int = DEFAULT_CLOCK_HZ) -> int:
+    """Convert seconds of virtual time to a (rounded) cycle count."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return round(seconds * clock_hz)
+
+
+def overhead_percent(base: float, measured: float) -> float:
+    """Overhead of ``measured`` relative to ``base``: ``(m/b - 1) * 100``.
+
+    This is the Table I formula for execution time.  ``base`` must be
+    positive; a measured value equal to base yields 0.0.
+    """
+    if base <= 0:
+        raise ValueError(f"base must be positive, got {base}")
+    return (measured / base - 1.0) * 100.0
+
+
+def throughput_overhead_percent(base_ops: float, measured_ops: float) -> float:
+    """Overhead for throughput metrics: ``(base/measured - 1) * 100``.
+
+    This is the Table I formula for SPEC JBB2005, where lower throughput
+    under profiling means higher overhead.
+    """
+    if measured_ops <= 0:
+        raise ValueError(f"measured_ops must be positive, got {measured_ops}")
+    return (base_ops / measured_ops - 1.0) * 100.0
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of a sequence of positive numbers."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    product = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError(f"geometric_mean requires positive values, got {v}")
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,38 @@
+"""Workloads: synthetic SPEC JVM98 / JBB2005 equivalents.
+
+Each workload is a program *in the simulator's bytecode ISA* with the
+algorithmic character of its SPEC namesake, calibrated on the three
+axes that drive the paper's numbers: Java-method-call density (SPA
+overhead), native-call rate (IPA overhead, Table II counts), and the
+fraction of cycles spent inside native code (Table II percentages).
+
+Use :func:`repro.workloads.suite.jvm98_suite` /
+:func:`repro.workloads.suite.full_suite` or the per-benchmark classes.
+"""
+
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import (
+    full_suite,
+    get_workload,
+    jvm98_suite,
+    workload_names,
+)
+
+# importing the benchmark modules registers them with the suite
+from repro.workloads import compress as _compress  # noqa: E402,F401
+from repro.workloads import db as _db  # noqa: E402,F401
+from repro.workloads import jess as _jess  # noqa: E402,F401
+from repro.workloads import javac as _javac  # noqa: E402,F401
+from repro.workloads import jack as _jack  # noqa: E402,F401
+from repro.workloads import mpegaudio as _mpegaudio  # noqa: E402,F401
+from repro.workloads import mtrt as _mtrt  # noqa: E402,F401
+from repro.workloads import jbb2005 as _jbb2005  # noqa: E402,F401
+
+__all__ = [
+    "Workload",
+    "WorkloadResultCheck",
+    "full_suite",
+    "get_workload",
+    "jvm98_suite",
+    "workload_names",
+]

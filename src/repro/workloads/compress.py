@@ -1,0 +1,336 @@
+"""``compress`` — LZW compression (the SPEC ``_201_compress`` analogue).
+
+Reads a pseudo-text input file in chunks (native I/O), maintains a
+running CRC32 (native), and LZW-compresses with 12-bit codes over an
+open-addressing hash table, emitting packed codes to an output file.
+Per input byte the hot path makes several small Java method calls
+(``compressByte`` -> ``findSlot`` -> ``hashOf`` ...), giving the high
+method-call density behind compress's large SPA overhead; native calls
+are comparatively rare but fat (chunked reads/writes, CRC updates,
+``arraycopy`` dictionary resets) — the Table II profile of compress.
+
+The run is validated against a host-side LZW mirror: CRC, compressed
+byte count, and the exact output file must match.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads import data
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+MAIN = "spec.jvm98.compress.Main"
+LZW = "spec.jvm98.compress.Lzw"
+
+DICT_SIZE = 4096
+HASH_SIZE = 8192
+HASH_MASK = HASH_SIZE - 1
+CHUNK = 512
+INPUT_FILE = "compress.in"
+OUTPUT_FILE = "compress.out"
+#: Input bytes per unit of scale.
+BYTES_PER_SCALE = 4096
+
+
+def reference_lzw(payload: bytes) -> Tuple[bytes, int]:
+    """Host-side mirror of the bytecode LZW; returns (packed output,
+    code count)."""
+    table = {}
+    next_code = 256
+    prefix = -1
+    out = bytearray()
+    bit_buf = 0
+    bit_cnt = 0
+    codes = 0
+
+    def emit(code: int):
+        nonlocal bit_buf, bit_cnt, codes
+        codes += 1
+        bit_buf = ((bit_buf << 12) | code) & 0xFFFFF
+        bit_cnt += 12
+        while bit_cnt >= 8:
+            out.append((bit_buf >> (bit_cnt - 8)) & 0xFF)
+            bit_cnt -= 8
+
+    for byte in payload:
+        if prefix < 0:
+            prefix = byte
+            continue
+        code = table.get((prefix, byte))
+        if code is not None:
+            prefix = code
+            continue
+        emit(prefix)
+        if next_code < DICT_SIZE:
+            table[(prefix, byte)] = next_code
+            next_code += 1
+        else:
+            table.clear()
+            next_code = 256
+        prefix = byte
+    if prefix >= 0:
+        emit(prefix)
+    if bit_cnt > 0:
+        out.append((bit_buf << (8 - bit_cnt)) & 0xFF)
+    return bytes(out), codes
+
+
+def _build_lzw() -> ClassAssembler:
+    c = ClassAssembler(LZW)
+    for name in ("hashTable", "codePrefix", "codeChar", "zeroTemplate",
+                 "out"):
+        c.field(name)
+    for name in ("nextCode", "prefix", "outPos", "bitBuf", "bitCnt",
+                 "codes"):
+        c.field(name, default=0)
+
+    with c.method("<init>", "(I)V") as m:
+        # locals: 0=this, 1=output capacity
+        m.aload(0).iconst(HASH_SIZE).newarray(ArrayKind.INT)
+        m.putfield(LZW, "hashTable")
+        m.aload(0).iconst(HASH_SIZE).newarray(ArrayKind.INT)
+        m.putfield(LZW, "zeroTemplate")
+        m.aload(0).iconst(DICT_SIZE).newarray(ArrayKind.INT)
+        m.putfield(LZW, "codePrefix")
+        m.aload(0).iconst(DICT_SIZE).newarray(ArrayKind.INT)
+        m.putfield(LZW, "codeChar")
+        m.aload(0).iload(1).newarray(ArrayKind.BYTE)
+        m.putfield(LZW, "out")
+        m.aload(0).iconst(256).putfield(LZW, "nextCode")
+        m.aload(0).iconst(-1).putfield(LZW, "prefix")
+        m.return_()
+
+    with c.method("hashOf", "(II)I") as m:
+        # ((p << 5) ^ ch) & HASH_MASK
+        m.iload(1).iconst(5).ishl()
+        m.iload(2).ixor()
+        m.iconst(HASH_MASK).iand()
+        m.ireturn()
+
+    with c.method("findSlot", "(II)I") as m:
+        # locals: 0=this, 1=p, 2=ch, 3=h, 4=v, 5=code
+        m.aload(0).iload(1).iload(2)
+        m.invokevirtual(LZW, "hashOf", "(II)I").istore(3)
+        m.label("probe")
+        m.aload(0).getfield(LZW, "hashTable").iload(3).iaload()
+        m.istore(4)
+        m.iload(4).ifeq("found_empty")
+        m.iload(4).iconst(1).isub().istore(5)
+        m.aload(0).getfield(LZW, "codePrefix").iload(5).iaload()
+        m.iload(1).if_icmpne("next")
+        m.aload(0).getfield(LZW, "codeChar").iload(5).iaload()
+        m.iload(2).if_icmpne("next")
+        m.iload(3).ireturn()
+        m.label("next")
+        m.iload(3).iconst(1).iadd().iconst(HASH_MASK).iand().istore(3)
+        m.goto("probe")
+        m.label("found_empty")
+        m.iload(3).ireturn()
+
+    with c.method("putCode", "(I)V") as m:
+        # locals: 0=this, 1=code, 2=buf, 3=cnt, 4=pos
+        m.aload(0).dup().getfield(LZW, "codes").iconst(1).iadd()
+        m.putfield(LZW, "codes")
+        m.aload(0).getfield(LZW, "bitBuf").iconst(12).ishl()
+        m.iload(1).ior().ldc(0xFFFFF).iand().istore(2)
+        m.aload(0).getfield(LZW, "bitCnt").iconst(12).iadd().istore(3)
+        m.aload(0).getfield(LZW, "outPos").istore(4)
+        m.label("drain")
+        m.iload(3).iconst(8).if_icmplt("done")
+        m.aload(0).getfield(LZW, "out").iload(4)
+        m.iload(2).iload(3).iconst(8).isub().iushr()
+        m.iconst(255).iand()
+        m.iastore()
+        m.iinc(4, 1)
+        m.iload(3).iconst(8).isub().istore(3)
+        m.goto("drain")
+        m.label("done")
+        m.aload(0).iload(2).putfield(LZW, "bitBuf")
+        m.aload(0).iload(3).putfield(LZW, "bitCnt")
+        m.aload(0).iload(4).putfield(LZW, "outPos")
+        m.return_()
+
+    with c.method("reset", "()V") as m:
+        m.aload(0).getfield(LZW, "zeroTemplate").iconst(0)
+        m.aload(0).getfield(LZW, "hashTable").iconst(0)
+        m.iconst(HASH_SIZE)
+        m.invokestatic("java.lang.System", "arraycopy",
+                       "(Ljava.lang.Object;ILjava.lang.Object;II)V")
+        m.aload(0).iconst(256).putfield(LZW, "nextCode")
+        m.return_()
+
+    with c.method("compressByte", "(I)V") as m:
+        # locals: 0=this, 1=c, 2=prefix, 3=slot, 4=v, 5=nc
+        m.aload(0).getfield(LZW, "prefix").istore(2)
+        m.iload(2).ifge("have_prefix")
+        m.aload(0).iload(1).putfield(LZW, "prefix")
+        m.return_()
+        m.label("have_prefix")
+        m.aload(0).iload(2).iload(1)
+        m.invokevirtual(LZW, "findSlot", "(II)I").istore(3)
+        m.aload(0).getfield(LZW, "hashTable").iload(3).iaload()
+        m.istore(4)
+        m.iload(4).ifeq("miss")
+        m.aload(0).iload(4).iconst(1).isub().putfield(LZW, "prefix")
+        m.return_()
+        m.label("miss")
+        m.aload(0).iload(2).invokevirtual(LZW, "putCode", "(I)V")
+        m.aload(0).getfield(LZW, "nextCode").istore(5)
+        m.iload(5).iconst(DICT_SIZE).if_icmpge("full")
+        m.aload(0).getfield(LZW, "hashTable").iload(3)
+        m.iload(5).iconst(1).iadd().iastore()
+        m.aload(0).getfield(LZW, "codePrefix").iload(5)
+        m.iload(2).iastore()
+        m.aload(0).getfield(LZW, "codeChar").iload(5)
+        m.iload(1).iastore()
+        m.aload(0).iload(5).iconst(1).iadd().putfield(LZW, "nextCode")
+        m.goto("tail")
+        m.label("full")
+        m.aload(0).invokevirtual(LZW, "reset", "()V")
+        m.label("tail")
+        m.aload(0).iload(1).putfield(LZW, "prefix")
+        m.return_()
+
+    with c.method("finish", "()V") as m:
+        # locals: 0=this
+        m.aload(0).getfield(LZW, "prefix").iflt("flush")
+        m.aload(0).aload(0).getfield(LZW, "prefix")
+        m.invokevirtual(LZW, "putCode", "(I)V")
+        m.label("flush")
+        m.aload(0).getfield(LZW, "bitCnt").ifle("done")
+        m.aload(0).getfield(LZW, "out")
+        m.aload(0).getfield(LZW, "outPos")
+        m.aload(0).getfield(LZW, "bitBuf")
+        m.iconst(8).aload(0).getfield(LZW, "bitCnt").isub().ishl()
+        m.iconst(255).iand()
+        m.iastore()
+        m.aload(0).dup().getfield(LZW, "outPos").iconst(1).iadd()
+        m.putfield(LZW, "outPos")
+        m.label("done")
+        m.return_()
+    return c
+
+
+def _build_main(input_size: int) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=lzw, 1=crc, 2=in, 3=buf, 4=n, 5=i, 6=total, 7=fos
+        m.new(LZW).dup().ldc(input_size + 4096)
+        m.invokespecial(LZW, "<init>", "(I)V").astore(0)
+        m.new("java.util.zip.CRC32").dup()
+        m.invokespecial("java.util.zip.CRC32", "<init>", "()V")
+        m.astore(1)
+        m.new("java.io.FileInputStream").dup().ldc(INPUT_FILE)
+        m.invokespecial("java.io.FileInputStream", "<init>",
+                        "(Ljava.lang.String;)V")
+        m.astore(2)
+        m.ldc(CHUNK).newarray(ArrayKind.BYTE).astore(3)
+        m.iconst(0).istore(6)
+        m.label("read_loop")
+        m.aload(2).aload(3).iconst(0).ldc(CHUNK)
+        m.invokevirtual("java.io.FileInputStream", "read", "([BII)I")
+        m.istore(4)
+        m.iload(4).ifle("eof")
+        m.aload(1).aload(3).iconst(0).iload(4)
+        m.invokevirtual("java.util.zip.CRC32", "update", "([BII)V")
+        m.iload(6).iload(4).iadd().istore(6)
+        m.iconst(0).istore(5)
+        m.label("byte_loop")
+        m.iload(5).iload(4).if_icmpge("read_loop")
+        m.aload(0)
+        m.aload(3).iload(5).iaload().iconst(255).iand()
+        m.invokevirtual(LZW, "compressByte", "(I)V")
+        m.iinc(5, 1).goto("byte_loop")
+        m.label("eof")
+        m.aload(2).invokevirtual("java.io.FileInputStream", "close",
+                                 "()V")
+        m.aload(0).invokevirtual(LZW, "finish", "()V")
+        m.new("java.io.FileOutputStream").dup().ldc(OUTPUT_FILE)
+        m.invokespecial("java.io.FileOutputStream", "<init>",
+                        "(Ljava.lang.String;)V")
+        m.astore(7)
+        m.aload(7).aload(0).getfield(LZW, "out").iconst(0)
+        m.aload(0).getfield(LZW, "outPos")
+        m.invokevirtual("java.io.FileOutputStream", "write", "([BII)V")
+        m.aload(7).invokevirtual("java.io.FileOutputStream", "close",
+                                 "()V")
+        # report
+        m.getstatic("java.lang.System", "out")
+        m.new("java.lang.StringBuilder").dup()
+        m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+        m.ldc("crc=")
+        m.invokevirtual("java.lang.StringBuilder", "appendString",
+                        "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+        m.aload(1).invokevirtual("java.util.zip.CRC32", "getValue",
+                                 "()I")
+        m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                        "(I)Ljava.lang.StringBuilder;")
+        m.invokevirtual("java.lang.StringBuilder", "toString",
+                        "()Ljava.lang.String;")
+        m.invokevirtual("java.io.PrintStream", "println",
+                        "(Ljava.lang.String;)V")
+        m.getstatic("java.lang.System", "out")
+        m.new("java.lang.StringBuilder").dup()
+        m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+        m.ldc("outBytes=")
+        m.invokevirtual("java.lang.StringBuilder", "appendString",
+                        "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+        m.aload(0).getfield(LZW, "outPos")
+        m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                        "(I)Ljava.lang.StringBuilder;")
+        m.invokevirtual("java.lang.StringBuilder", "toString",
+                        "()Ljava.lang.String;")
+        m.invokevirtual("java.io.PrintStream", "println",
+                        "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class CompressWorkload(Workload):
+    """LZW compression over a pseudo-text input file."""
+
+    name = "compress"
+    description = ("LZW compressor: chunked native I/O + CRC32, "
+                   "call-dense bytecode hot loop")
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.input_bytes = data.text_bytes(BYTES_PER_SCALE * scale)
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_lzw().build())
+        archive.put_class(_build_main(len(self.input_bytes)).build())
+        return archive
+
+    def install_files(self, vm) -> None:
+        vm.add_file(INPUT_FILE, self.input_bytes)
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        expected_out, _codes = reference_lzw(self.input_bytes)
+        crc = self.console_value(vm, "crc")
+        out_bytes = self.console_value(vm, "outBytes")
+        if crc is None or out_bytes is None:
+            return WorkloadResultCheck(False, "missing console output")
+        expected_crc = zlib.crc32(self.input_bytes)
+        if int(crc) != expected_crc:
+            return WorkloadResultCheck(
+                False, f"crc {crc} != {expected_crc}")
+        if int(out_bytes) != len(expected_out):
+            return WorkloadResultCheck(
+                False,
+                f"outBytes {out_bytes} != {len(expected_out)}")
+        produced = vm.files.get(OUTPUT_FILE)
+        if bytes(produced or b"") != expected_out:
+            return WorkloadResultCheck(False,
+                                       "output file mismatch")
+        return WorkloadResultCheck(True)

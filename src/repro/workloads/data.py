@@ -1,0 +1,63 @@
+"""Deterministic input generation for the workloads.
+
+Everything is seeded; no host randomness ever reaches the simulator, so
+every run of every benchmark is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Lcg:
+    """Small deterministic PRNG (host side, for input generation)."""
+
+    def __init__(self, seed: int):
+        self._state = seed & 0x7FFFFFFF or 1
+
+    def next(self) -> int:
+        self._state = (self._state * 1103515245 + 12345) & 0x7FFFFFFF
+        return self._state
+
+    def below(self, bound: int) -> int:
+        return self.next() % bound
+
+
+_VOCABULARY = [
+    b"the", b"quick", b"brown", b"fox", b"jumps", b"over", b"lazy",
+    b"dog", b"pack", b"my", b"box", b"with", b"five", b"dozen",
+    b"liquor", b"jugs", b"sphinx", b"of", b"black", b"quartz",
+    b"judge", b"vow", b"benchmark", b"java", b"native", b"code",
+    b"profile", b"agent", b"virtual", b"machine",
+]
+
+
+def text_bytes(size: int, seed: int = 7) -> bytes:
+    """Pseudo-text: word-like and compressible, as LZW inputs should be."""
+    rng = Lcg(seed)
+    out = bytearray()
+    while len(out) < size:
+        out.extend(_VOCABULARY[rng.below(len(_VOCABULARY))])
+        out.append(32)  # space
+        if rng.below(12) == 0:
+            out.append(10)  # newline
+    return bytes(out[:size])
+
+
+def binary_bytes(size: int, seed: int = 11) -> bytes:
+    """Less compressible pseudo-binary data."""
+    rng = Lcg(seed)
+    return bytes(rng.below(256) for _ in range(size))
+
+
+def word_list(count: int, seed: int = 13,
+              min_len: int = 3, max_len: int = 12) -> List[str]:
+    """Deterministic identifier-like words (db/jess/javac inputs)."""
+    rng = Lcg(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    words = []
+    for _ in range(count):
+        length = min_len + rng.below(max_len - min_len + 1)
+        words.append("".join(alphabet[rng.below(26)]
+                             for _ in range(length)))
+    return words

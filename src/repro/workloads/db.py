@@ -1,0 +1,360 @@
+"""``db`` — in-memory database (the SPEC ``_209_db`` analogue).
+
+Builds a table of records (int key + String name), then runs a query
+mix: name lookups (integer hash pre-match in bytecode, native
+``String.equals`` only on hash hits — as a real database avoids string
+compares), key mutations, shellsorts over the int keys (tight bytecode
+inner loop with **no** method calls), and checksum scans.
+
+That profile matches the paper's db row: long-running, the *lowest*
+Java-method-call density of the suite (hence the lowest SPA overhead),
+and under 1 % of time in native code (string natives only on
+construction and on hash-confirmed matches).
+
+Validation: a host-side mirror replays the exact same LCG, sort and
+checksum; the printed ``checksum=``/``found=`` values must match.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads import data
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+MAIN = "spec.jvm98.db.Main"
+RECORD = "spec.jvm98.db.Record"
+DATABASE = "spec.jvm98.db.Database"
+
+#: Names 0..NAME_POOL-1 exist in the table; queries draw from the
+#: doubled pool, so roughly half of them miss (and, thanks to the hash
+#: gate, cost no native string compare at all).
+NAME_POOL = 64
+QUERY_POOL = 256
+RECORDS_PER_SCALE = 220
+QUERIES_PER_SCALE = 260
+SORT_ROUNDS = 4
+
+
+def java_string_hash(value: str) -> int:
+    h = 0
+    for ch in value:
+        h = (h * 31 + ord(ch)) & 0xFFFFFFFF
+    if h >= 1 << 31:
+        h -= 1 << 32
+    return h
+
+
+class _Mirror:
+    """Host-side replay of the workload for validation."""
+
+    def __init__(self, names: List[str], query_names: List[str],
+                 n_records: int, n_queries: int):
+        self.names = names
+        self.query_names = query_names
+        self.n_records = n_records
+        self.n_queries = n_queries
+
+    def run(self) -> Tuple[int, int]:
+        def wrap32(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v >= 1 << 31 else v
+
+        seed = 12345
+
+        def rng():
+            nonlocal seed
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+            return seed
+
+        keys = []
+        names = []
+        for i in range(self.n_records):
+            keys.append(rng() % 100000)
+            names.append(self.names[i % len(self.names)])
+        found = 0
+        table_hashes = {java_string_hash(n) for n in set(names)}
+        table_names = set(names)
+        for round_index in range(SORT_ROUNDS):
+            keys.sort()  # shellsort is a permutation; order identical
+            per_round = self.n_queries // SORT_ROUNDS
+            for _ in range(per_round):
+                target = self.query_names[rng() % len(self.query_names)]
+                if java_string_hash(target) in table_hashes and \
+                        target in table_names:
+                    found += 1
+            # mutate a stride of keys before the next sort round
+            for j in range(0, len(keys), 7):
+                keys[j] = rng() % 100000
+        keys.sort()
+        checksum = 0
+        for key in keys:
+            checksum = wrap32(checksum * 31 + key)
+        return checksum, found
+
+
+def _build_record() -> ClassAssembler:
+    c = ClassAssembler(RECORD)
+    c.field("key", default=0)
+    c.field("name")
+    c.field("nameHash", default=0)
+    with c.method("<init>", "(ILjava.lang.String;I)V") as m:
+        m.aload(0).iload(1).putfield(RECORD, "key")
+        m.aload(0).aload(2).putfield(RECORD, "name")
+        m.aload(0).iload(3).putfield(RECORD, "nameHash")
+        m.return_()
+    return c
+
+
+def _build_database() -> ClassAssembler:
+    c = ClassAssembler(DATABASE)
+    c.field("entries")
+    c.field("size", default=0)
+
+    with c.method("<init>", "(I)V") as m:
+        m.aload(0).iload(1).newarray(ArrayKind.REF)
+        m.putfield(DATABASE, "entries")
+        m.return_()
+
+    with c.method("add", "(Lspec.jvm98.db.Record;)V") as m:
+        m.aload(0).getfield(DATABASE, "entries")
+        m.aload(0).getfield(DATABASE, "size")
+        m.aload(1).aastore()
+        m.aload(0).dup().getfield(DATABASE, "size").iconst(1).iadd()
+        m.putfield(DATABASE, "size")
+        m.return_()
+
+    with c.method("sortByKey", "()V") as m:
+        # shellsort; locals: 0=this,1=n,2=gap,3=i,4=j,5=tmp,6=tmpkey,7=arr
+        m.aload(0).getfield(DATABASE, "size").istore(1)
+        m.aload(0).getfield(DATABASE, "entries").astore(7)
+        m.iload(1).iconst(2).idiv().istore(2)
+        m.label("gap_loop")
+        m.iload(2).ifle("done")
+        m.iload(2).istore(3)
+        m.label("i_loop")
+        m.iload(3).iload(1).if_icmpge("gap_next")
+        m.aload(7).iload(3).aaload().astore(5)
+        m.aload(5).getfield(RECORD, "key").istore(6)
+        m.iload(3).istore(4)
+        m.label("j_loop")
+        m.iload(4).iload(2).if_icmplt("place")
+        m.aload(7).iload(4).iload(2).isub().aaload()
+        m.getfield(RECORD, "key")
+        m.iload(6).if_icmple("place")
+        m.aload(7).iload(4)
+        m.aload(7).iload(4).iload(2).isub().aaload()
+        m.aastore()
+        m.iload(4).iload(2).isub().istore(4)
+        m.goto("j_loop")
+        m.label("place")
+        m.aload(7).iload(4).aload(5).aastore()
+        m.iinc(3, 1).goto("i_loop")
+        m.label("gap_next")
+        m.iload(2).iconst(2).idiv().istore(2)
+        m.goto("gap_loop")
+        m.label("done")
+        m.return_()
+
+    with c.method("findByName", "(ILjava.lang.String;)I") as m:
+        # hash pre-match in bytecode; equals (native) only on hash hit
+        # locals: 0=this,1=hash,2=name,3=i,4=n,5=arr,6=rec
+        m.aload(0).getfield(DATABASE, "size").istore(4)
+        m.aload(0).getfield(DATABASE, "entries").astore(5)
+        m.iconst(0).istore(3)
+        m.label("scan")
+        m.iload(3).iload(4).if_icmpge("missing")
+        m.aload(5).iload(3).aaload().astore(6)
+        m.aload(6).getfield(RECORD, "nameHash")
+        m.iload(1).if_icmpne("next")
+        m.aload(6).getfield(RECORD, "name")
+        m.aload(2)
+        m.invokevirtual("java.lang.String", "equals",
+                        "(Ljava.lang.Object;)I")
+        m.ifeq("next")
+        m.iload(3).ireturn()
+        m.label("next")
+        m.iinc(3, 1).goto("scan")
+        m.label("missing")
+        m.iconst(-1).ireturn()
+
+    with c.method("mutateKeys", "(Ljava.util.Random;)V") as m:
+        # keys[j] = rng % 100000 for every 7th record
+        # locals: 0=this,1=rng,2=j,3=n,4=arr
+        m.aload(0).getfield(DATABASE, "size").istore(3)
+        m.aload(0).getfield(DATABASE, "entries").astore(4)
+        m.iconst(0).istore(2)
+        m.label("loop")
+        m.iload(2).iload(3).if_icmpge("done")
+        m.aload(4).iload(2).aaload()
+        m.aload(1).ldc(100000)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.putfield(RECORD, "key")
+        m.iinc(2, 7).goto("loop")
+        m.label("done")
+        m.return_()
+
+    with c.method("checksum", "()I") as m:
+        # locals: 0=this,1=sum,2=i,3=n,4=arr
+        m.aload(0).getfield(DATABASE, "size").istore(3)
+        m.aload(0).getfield(DATABASE, "entries").astore(4)
+        m.iconst(0).istore(1)
+        m.iconst(0).istore(2)
+        m.label("loop")
+        m.iload(2).iload(3).if_icmpge("done")
+        m.iload(1).iconst(31).imul()
+        m.aload(4).iload(2).aaload().getfield(RECORD, "key")
+        m.iadd().istore(1)
+        m.iinc(2, 1).goto("loop")
+        m.label("done")
+        m.iload(1).ireturn()
+    return c
+
+
+def _build_main(names: List[str], query_names: List[str],
+                n_records: int, n_queries: int) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    c.field("names", static=True)
+    c.field("queryNames", static=True)
+    c.field("queryHashes", static=True)
+
+    with c.method("<clinit>", "()V", static=True) as m:
+        m.iconst(len(names)).newarray(ArrayKind.REF).astore(0)
+        for i, name in enumerate(names):
+            m.aload(0).iconst(i).ldc(name).aastore()
+        m.aload(0).putstatic(MAIN, "names")
+        m.iconst(len(query_names)).newarray(ArrayKind.REF).astore(1)
+        for i, name in enumerate(query_names):
+            m.aload(1).iconst(i).ldc(name).aastore()
+        m.aload(1).putstatic(MAIN, "queryNames")
+        # hash cache baked in at build time, like a compiled-in
+        # dictionary index (no runtime hashing)
+        m.iconst(len(query_names)).newarray(ArrayKind.INT).astore(2)
+        for i, name in enumerate(query_names):
+            m.aload(2).iconst(i).ldc(java_string_hash(name)).iastore()
+        m.aload(2).putstatic(MAIN, "queryHashes")
+        m.return_()
+
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=db,1=rng,2=i,3=name,4=found,5=round,6=q,7=rec
+        m.new(DATABASE).dup().ldc(n_records)
+        m.invokespecial(DATABASE, "<init>", "(I)V").astore(0)
+        m.new("java.util.Random").dup().ldc(12345)
+        m.invokespecial("java.util.Random", "<init>", "(I)V").astore(1)
+        # build records
+        m.iconst(0).istore(2)
+        m.label("build")
+        m.iload(2).ldc(n_records).if_icmpge("built")
+        m.getstatic(MAIN, "names")
+        m.iload(2).iconst(len(names)).irem().aaload().astore(3)
+        m.new(RECORD).dup()
+        m.aload(1).ldc(100000)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.aload(3)
+        m.getstatic(MAIN, "queryHashes")
+        m.iload(2).iconst(len(names)).irem().iaload()
+        m.invokespecial(RECORD, "<init>", "(ILjava.lang.String;I)V")
+        m.astore(7)
+        m.aload(0).aload(7)
+        m.invokevirtual(DATABASE, "add", "(Lspec.jvm98.db.Record;)V")
+        m.iinc(2, 1).goto("build")
+        m.label("built")
+        # query/sort rounds
+        m.iconst(0).istore(4)
+        m.iconst(0).istore(5)
+        m.label("rounds")
+        m.iload(5).iconst(SORT_ROUNDS).if_icmpge("finish")
+        m.aload(0).invokevirtual(DATABASE, "sortByKey", "()V")
+        m.iconst(0).istore(6)
+        m.label("queries")
+        m.iload(6).ldc(n_queries // SORT_ROUNDS).if_icmpge("mutate")
+        m.aload(1).iconst(len(query_names))
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.istore(8)
+        m.getstatic(MAIN, "queryNames").iload(8).aaload().astore(3)
+        m.aload(0)
+        m.getstatic(MAIN, "queryHashes").iload(8).iaload()
+        m.aload(3)
+        m.invokevirtual(DATABASE, "findByName",
+                        "(ILjava.lang.String;)I")
+        m.iflt("not_found")
+        m.iinc(4, 1)
+        m.label("not_found")
+        m.iinc(6, 1).goto("queries")
+        m.label("mutate")
+        m.aload(0).aload(1)
+        m.invokevirtual(DATABASE, "mutateKeys",
+                        "(Ljava.util.Random;)V")
+        m.iinc(5, 1).goto("rounds")
+        m.label("finish")
+        m.aload(0).invokevirtual(DATABASE, "sortByKey", "()V")
+        # print checksum and found
+        for key, load in (("checksum", "cs"), ("found", "fd")):
+            m.getstatic("java.lang.System", "out")
+            m.new("java.lang.StringBuilder").dup()
+            m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+            m.ldc(f"{key}=")
+            m.invokevirtual(
+                "java.lang.StringBuilder", "appendString",
+                "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+            if key == "checksum":
+                m.aload(0).invokevirtual(DATABASE, "checksum", "()I")
+            else:
+                m.iload(4)
+            m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                            "(I)Ljava.lang.StringBuilder;")
+            m.invokevirtual("java.lang.StringBuilder", "toString",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.io.PrintStream", "println",
+                            "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class DbWorkload(Workload):
+    """In-memory database: sorts, scans, hash-gated string lookups."""
+
+    name = "db"
+    description = ("record table with shellsort, hash-gated native "
+                   "string equality, lowest call density of the suite")
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        pool = data.word_list(QUERY_POOL, seed=29, min_len=8,
+                              max_len=16)
+        self.names = pool[:NAME_POOL]
+        self.query_names = pool
+        self.n_records = RECORDS_PER_SCALE * scale
+        self.n_queries = QUERIES_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_record().build())
+        archive.put_class(_build_database().build())
+        archive.put_class(
+            _build_main(self.names, self.query_names, self.n_records,
+                        self.n_queries).build())
+        return archive
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        mirror = _Mirror(self.names, self.query_names, self.n_records,
+                         self.n_queries)
+        checksum, found = mirror.run()
+        got_checksum = self.console_value(vm, "checksum")
+        got_found = self.console_value(vm, "found")
+        if got_checksum is None or got_found is None:
+            return WorkloadResultCheck(False, "missing console output")
+        if int(got_checksum) != checksum:
+            return WorkloadResultCheck(
+                False, f"checksum {got_checksum} != {checksum}")
+        if int(got_found) != found:
+            return WorkloadResultCheck(
+                False, f"found {got_found} != {found}")
+        return WorkloadResultCheck(True)

@@ -1,0 +1,342 @@
+"""``jack`` — parser generator (the SPEC ``_228_jack`` analogue).
+
+Like the real jack (which generates its own parser 16 times), the
+workload repeatedly processes a grammar specification: each iteration
+re-scans the spec with an inline state machine (pure bytecode — jack's
+comparatively *low* method-call density and SPA overhead), computes
+FIRST-set style bitsets per rule (bytecode ballast), and then emits
+parser source text through ``StringBuilder`` — every append crossing
+into native ``String.getChars``/``fromChars``, and every iteration
+ending in a native file write.  That constant stream of small string
+natives makes jack the **largest native-method-call count and native
+fraction** of the suite, exactly its Table II profile.
+
+Validation: the generated parser text must byte-match a host mirror,
+and the scan checksum/rule count must agree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads import data
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+MAIN = "spec.jvm98.jack.Main"
+GEN = "spec.jvm98.jack.Generator"
+
+SPEC_FILE = "jack.in"
+OUT_FILE = "jack.out"
+ITERATIONS = 8
+RULES_PER_SCALE = 7
+TOKENS_PER_RULE = 5
+FIRST_SET_WORDS = 200  # bitset ballast per (rule, token)
+
+HEAD = "void parse_"
+MID = "() {\n"
+MATCH_OPEN = "  match("
+MATCH_CLOSE = ");\n"
+TAIL = "}\n"
+
+
+def generate_spec(scale: int) -> Tuple[bytes, List[Tuple[str, List[str]]]]:
+    """Deterministic grammar: returns (spec bytes, parsed rules)."""
+    words = data.word_list(40, seed=53, min_len=4, max_len=9)
+    rng = data.Lcg(4099)
+    rules = []
+    lines = []
+    for r in range(RULES_PER_SCALE * scale):
+        name = f"{words[rng.below(len(words))]}{r}"
+        tokens = [words[rng.below(len(words))]
+                  for _ in range(TOKENS_PER_RULE)]
+        rules.append((name, tokens))
+        lines.append(f"{name} : {' '.join(tokens)} ;")
+    return ("\n".join(lines) + "\n").encode("ascii"), rules
+
+
+def expected_output(rules: List[Tuple[str, List[str]]]) -> bytes:
+    """The parser text one iteration generates."""
+    parts = []
+    for name, tokens in rules:
+        parts.append(HEAD + name + MID)
+        for token in tokens:
+            parts.append(MATCH_OPEN + token + MATCH_CLOSE)
+        parts.append(TAIL)
+    return "".join(parts).encode("ascii")
+
+
+def scan_checksum(spec: bytes, iterations: int) -> int:
+    """checksum = checksum*31 + byte over all scanned chars, each
+    iteration (32-bit wrapped)."""
+    checksum = 0
+    for _ in range(iterations):
+        for b in spec:
+            checksum = (checksum * 31 + b) & 0xFFFFFFFF
+    return checksum - (1 << 32) if checksum >= 1 << 31 else checksum
+
+
+def _append_const(m, text: str) -> None:
+    """sb.appendString(<const>) with sb on the stack; keeps sb."""
+    m.ldc(text)
+    m.invokevirtual("java.lang.StringBuilder", "appendString",
+                    "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+
+
+def _build_generator(spec_len: int) -> ClassAssembler:
+    c = ClassAssembler(GEN)
+    c.field("spec")            # byte[]
+    c.field("chars")           # char[] scratch
+    c.field("first")           # int[] bitset scratch
+    c.field("checksum", default=0)
+    c.field("rules", default=0)
+
+    with c.method("<init>", "([B)V") as m:
+        m.aload(0).aload(1).putfield(GEN, "spec")
+        m.aload(0).ldc(64).newarray(ArrayKind.CHAR)
+        m.putfield(GEN, "chars")
+        m.aload(0).ldc(FIRST_SET_WORDS).newarray(ArrayKind.INT)
+        m.putfield(GEN, "first")
+        m.return_()
+
+    with c.method("appendSlice",
+                  "(Ljava.lang.StringBuilder;II)V") as m:
+        # copy spec[start..start+len) into the char scratch (bytecode),
+        # then append it in one native arraycopy
+        # locals: 0=this,1=sb,2=start,3=len,4=i,5=chars
+        m.aload(0).getfield(GEN, "chars").astore(5)
+        m.iconst(0).istore(4)
+        m.label("copy")
+        m.iload(4).iload(3).if_icmpge("append")
+        m.aload(5).iload(4)
+        m.aload(0).getfield(GEN, "spec")
+        m.iload(2).iload(4).iadd().iaload().iconst(255).iand()
+        m.iastore()
+        m.iinc(4, 1).goto("copy")
+        m.label("append")
+        m.aload(1).aload(5).iconst(0).iload(3)
+        m.invokevirtual("java.lang.StringBuilder", "appendChars",
+                        "([CII)Ljava.lang.StringBuilder;")
+        m.pop()
+        m.return_()
+
+    with c.method("mix", "(II)I", static=True) as m:
+        m.iload(0).iconst(13).ishl().iload(0).ixor()
+        m.iload(1).iadd().ireturn()
+
+    with c.method("firstSets", "(I)V") as m:
+        # FIRST-set ballast: fold `seed` into the bitset words; every
+        # 8th word goes through the mix() helper (call density)
+        # locals: 0=this,1=seed,2=i,3=w,4=arr
+        m.aload(0).getfield(GEN, "first").astore(4)
+        m.iconst(0).istore(2)
+        m.label("loop")
+        m.iload(2).iconst(FIRST_SET_WORDS).if_icmpge("done")
+        m.aload(4).iload(2).iaload().istore(3)
+        m.iload(3).iconst(5).ishl().iload(3).ixor()
+        m.iload(1).iadd().istore(3)
+        m.iload(2).iconst(7).iand().ifne("no_mix")
+        m.iload(3).iload(2).invokestatic(GEN, "mix", "(II)I")
+        m.istore(3)
+        m.label("no_mix")
+        m.iload(3).iload(2).iconst(1).iand().ishr().istore(3)
+        m.aload(4).iload(2).iload(3).iastore()
+        m.iinc(2, 1).goto("loop")
+        m.label("done")
+        m.return_()
+
+    with c.method("generate", "()Ljava.lang.String;") as m:
+        # one full iteration: scan the spec and emit parser text
+        # locals: 0=this,1=sb,2=pos,3=c,4=start,5=len,6=state,7=cs,8=n
+        m.new("java.lang.StringBuilder").dup()
+        m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+        m.astore(1)
+        m.aload(0).getfield(GEN, "checksum").istore(7)
+        m.ldc(spec_len).istore(8)
+        m.iconst(0).istore(2)
+        m.iconst(0).istore(6)  # state: 0 = expect rule name, 1 = tokens
+        m.label("scan")
+        m.iload(2).iload(8).if_icmpge("eof")
+        m.aload(0).getfield(GEN, "spec").iload(2).iaload()
+        m.iconst(255).iand().istore(3)
+        m.iload(7).iconst(31).imul().iload(3).iadd().istore(7)
+        # word start?
+        m.iload(3).iconst(97).if_icmplt("not_word")
+        m.iload(3).iconst(122).if_icmpgt("not_word")
+        m.iload(2).istore(4)
+        m.label("word")
+        m.iinc(2, 1)
+        m.iload(2).iload(8).if_icmpge("word_end")
+        m.aload(0).getfield(GEN, "spec").iload(2).iaload()
+        m.iconst(255).iand().istore(3)
+        # continue only on [0-9a-z]; the terminator is checksummed by
+        # the outer scan loop, so every byte is counted exactly once
+        m.iload(3).iconst(48).if_icmplt("word_end")
+        m.iload(3).iconst(122).if_icmpgt("word_end")
+        m.iload(3).iconst(57).if_icmple("word_char")   # digit
+        m.iload(3).iconst(97).if_icmplt("word_end")
+        m.label("word_char")
+        m.iload(7).iconst(31).imul().iload(3).iadd().istore(7)
+        m.goto("word")
+        m.label("word_end")
+        m.iload(2).iload(4).isub().istore(5)
+        # emit: state 0 -> rule header; state 1 -> match(token)
+        m.iload(6).ifne("emit_token")
+        m.aload(1)
+        _append_const(m, HEAD)
+        m.pop()
+        m.aload(0).aload(1).iload(4).iload(5)
+        m.invokevirtual(GEN, "appendSlice",
+                        "(Ljava.lang.StringBuilder;II)V")
+        m.aload(1)
+        _append_const(m, MID)
+        m.pop()
+        m.iconst(1).istore(6)
+        m.aload(0).dup().getfield(GEN, "rules").iconst(1).iadd()
+        m.putfield(GEN, "rules")
+        m.goto("scan")
+        m.label("emit_token")
+        m.aload(1)
+        _append_const(m, MATCH_OPEN)
+        m.pop()
+        m.aload(0).aload(1).iload(4).iload(5)
+        m.invokevirtual(GEN, "appendSlice",
+                        "(Ljava.lang.StringBuilder;II)V")
+        m.aload(1)
+        _append_const(m, MATCH_CLOSE)
+        m.pop()
+        m.aload(0).iload(5).invokevirtual(GEN, "firstSets", "(I)V")
+        m.goto("scan")
+        m.label("not_word")
+        m.iload(3).ldc(59).if_icmpne("skip")  # ';' closes a rule
+        m.aload(1)
+        _append_const(m, TAIL)
+        m.pop()
+        m.iconst(0).istore(6)
+        m.label("skip")
+        m.iinc(2, 1).goto("scan")
+        m.label("eof")
+        m.aload(0).iload(7).putfield(GEN, "checksum")
+        m.aload(1)
+        m.invokevirtual("java.lang.StringBuilder", "toString",
+                        "()Ljava.lang.String;")
+        m.areturn()
+    return c
+
+
+def _build_main(spec_len: int, expected_len: int) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=gen,1=in,2=buf,3=iter,4=text,5=fos,6=chars,7=bytes,8=i
+        m.new("java.io.FileInputStream").dup().ldc(SPEC_FILE)
+        m.invokespecial("java.io.FileInputStream", "<init>",
+                        "(Ljava.lang.String;)V").astore(1)
+        m.ldc(spec_len).newarray(ArrayKind.BYTE).astore(2)
+        m.aload(1).aload(2).iconst(0).ldc(spec_len)
+        m.invokevirtual("java.io.FileInputStream", "read", "([BII)I")
+        m.pop()
+        m.aload(1).invokevirtual("java.io.FileInputStream", "close",
+                                 "()V")
+        m.new(GEN).dup().aload(2)
+        m.invokespecial(GEN, "<init>", "([B)V").astore(0)
+        m.iconst(0).istore(3)
+        m.label("iter")
+        m.iload(3).iconst(ITERATIONS).if_icmpge("report")
+        m.aload(0).invokevirtual(GEN, "generate",
+                                 "()Ljava.lang.String;").astore(4)
+        # write the generated parser out (fresh file each iteration)
+        m.aload(4).invokevirtual("java.lang.String", "toCharArray",
+                                 "()[C").astore(6)
+        m.ldc(expected_len).newarray(ArrayKind.BYTE).astore(7)
+        m.iconst(0).istore(8)
+        m.label("to_bytes")
+        m.iload(8).ldc(expected_len).if_icmpge("write")
+        m.aload(7).iload(8)
+        m.aload(6).iload(8).iaload()
+        m.iastore()
+        m.iinc(8, 1).goto("to_bytes")
+        m.label("write")
+        m.new("java.io.FileOutputStream").dup().ldc(OUT_FILE)
+        m.invokespecial("java.io.FileOutputStream", "<init>",
+                        "(Ljava.lang.String;)V").astore(5)
+        m.aload(5).aload(7).iconst(0).ldc(expected_len)
+        m.invokevirtual("java.io.FileOutputStream", "write", "([BII)V")
+        m.aload(5).invokevirtual("java.io.FileOutputStream", "close",
+                                 "()V")
+        m.iinc(3, 1).goto("iter")
+        m.label("report")
+        for key in ("rules", "outBytes", "checksum"):
+            m.getstatic("java.lang.System", "out")
+            m.new("java.lang.StringBuilder").dup()
+            m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+            m.ldc(f"{key}=")
+            m.invokevirtual(
+                "java.lang.StringBuilder", "appendString",
+                "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+            if key == "rules":
+                m.aload(0).getfield(GEN, "rules")
+            elif key == "outBytes":
+                m.aload(4).invokevirtual("java.lang.String", "length",
+                                         "()I")
+            else:
+                m.aload(0).getfield(GEN, "checksum")
+            m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                            "(I)Ljava.lang.StringBuilder;")
+            m.invokevirtual("java.lang.StringBuilder", "toString",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.io.PrintStream", "println",
+                            "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class JackWorkload(Workload):
+    """Parser generator: string-native-dense text generation."""
+
+    name = "jack"
+    description = ("parser generator run repeatedly over its grammar; "
+                   "highest native-call count of the suite")
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.spec, self.rules = generate_spec(scale)
+        self.expected = expected_output(self.rules)
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_generator(len(self.spec)).build())
+        archive.put_class(
+            _build_main(len(self.spec), len(self.expected)).build())
+        return archive
+
+    def install_files(self, vm) -> None:
+        vm.add_file(SPEC_FILE, self.spec)
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        rules = self.console_value(vm, "rules")
+        out_bytes = self.console_value(vm, "outBytes")
+        checksum = self.console_value(vm, "checksum")
+        if rules is None or out_bytes is None or checksum is None:
+            return WorkloadResultCheck(False, "missing console output")
+        if int(rules) != len(self.rules) * ITERATIONS:
+            return WorkloadResultCheck(
+                False,
+                f"rules {rules} != {len(self.rules) * ITERATIONS}")
+        if int(out_bytes) != len(self.expected):
+            return WorkloadResultCheck(
+                False,
+                f"outBytes {out_bytes} != {len(self.expected)}")
+        expected_checksum = scan_checksum(self.spec, ITERATIONS)
+        if int(checksum) != expected_checksum:
+            return WorkloadResultCheck(
+                False, f"checksum {checksum} != {expected_checksum}")
+        produced = bytes(vm.files.get(OUT_FILE, b""))
+        if produced != self.expected:
+            return WorkloadResultCheck(False, "output file mismatch")
+        return WorkloadResultCheck(True)

@@ -1,0 +1,425 @@
+"""``javac`` — compiler front end (the SPEC ``_213_javac`` analogue).
+
+Compiles a generated mini-language source file: a character-class lexer
+(one tiny static method call per character — javac's call density),
+token materialisation through ``String.fromChars`` (one native call per
+identifier/number token — javac has the second-highest native-call
+count in Table II), symbol interning for *new* identifiers, a
+stack-based parser that allocates AST nodes, a constant-folding pass,
+and a code-size accounting pass.
+
+The distinctive Table II feature of javac — an order of magnitude more
+**JNI calls** than any other JVM98 benchmark — is reproduced by the
+``libjavac`` native library: its diagnostic sink (``reportDiag``,
+called at every function boundary and every 64th token) calls *back
+into Java* (``Main.diagCallback``) through the JNI ``CallStaticIntMethod``
+function, exactly the N2J traffic IPA's interception counts.
+
+Validation: a Python mirror lexes/folds the same source and must agree
+on ``tokens=``, ``funcs=``, ``diags=`` and ``checksum=``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.jni.library import NativeLibrary
+from repro.workloads import data
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+MAIN = "spec.jvm98.javac.Main"
+LEXER = "spec.jvm98.javac.Lexer"
+DIAG = "spec.jvm98.javac.NativeDiag"
+
+SOURCE_FILE = "javac.in"
+FUNCS_PER_SCALE = 26
+STMTS_PER_FUNC = 6
+WARN_EVERY = 64  # every 64th token raises a native diagnostic
+
+# character classes
+CC_LETTER, CC_DIGIT, CC_SPACE, CC_PUNCT = 0, 1, 2, 3
+
+
+def generate_source(scale: int) -> bytes:
+    """Deterministic mini-language source."""
+    words = data.word_list(48, seed=41, min_len=4, max_len=10)
+    rng = data.Lcg(977)
+    lines = []
+    for f in range(FUNCS_PER_SCALE * scale):
+        name = f"{words[rng.below(len(words))]}{f}"
+        lines.append(f"func {name} ( a , b ) {{")
+        for _ in range(STMTS_PER_FUNC):
+            v = words[rng.below(len(words))]
+            k1 = rng.below(1000)
+            k2 = rng.below(1000)
+            lines.append(f"  let {v} = a * {k1} + b - {k2} ;")
+        lines.append("}")
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+def java_string_hash(value: str) -> int:
+    h = 0
+    for ch in value:
+        h = (h * 31 + ord(ch)) & 0xFFFFFFFF
+    return h - (1 << 32) if h >= 1 << 31 else h
+
+
+class _Mirror:
+    """Host-side lexer/folder with identical semantics."""
+
+    def __init__(self, source: bytes):
+        self.source = source.decode("ascii")
+
+    def run(self) -> Tuple[int, int, int, int]:
+        def wrap32(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v >= 1 << 31 else v
+
+        tokens = funcs = diags = 0
+        checksum = 0
+        depth = 0
+        symbols = {}  # (hash, len) -> id
+        i = 0
+        text = self.source
+        n = len(text)
+        while i < n:
+            c = text[i]
+            if c.isspace():
+                i += 1
+                continue
+            if c.isalpha():
+                start = i
+                while i < n and text[i].isalpha():
+                    i += 1
+                word = text[start:i]
+                key = (java_string_hash(word), len(word))
+                if key not in symbols:
+                    symbols[key] = len(symbols) + 1
+                sym_id = symbols[key]
+                checksum = wrap32(checksum * 31 + sym_id * 7
+                                  + len(word))
+            elif c.isdigit():
+                value = 0
+                while i < n and text[i].isdigit():
+                    value = value * 10 + int(text[i])
+                    i += 1
+                checksum = wrap32(checksum * 31 + value)
+            else:
+                checksum = wrap32(checksum * 31 + ord(c))
+                if c == "{":
+                    depth += 1
+                elif c == "}":
+                    depth -= 1
+                    funcs += 1
+                    diags += 1  # reportDiag fires the Java callback
+                i += 1
+            tokens += 1
+            if tokens % WARN_EVERY == 0:
+                diags += 1
+        return tokens, funcs, diags, checksum
+
+
+def build_diag_library() -> NativeLibrary:
+    """``libjavac``: native diagnostics that call back into Java."""
+    lib = NativeLibrary("javac")
+
+    def _callback(env, value):
+        env.charge(220)  # marshal the diagnostic record
+        mid = env.get_static_method_id(MAIN, "diagCallback", "(I)I")
+        return env.call_static_int_method(mid, value)
+
+    @lib.native_method(DIAG, "reportDiag")
+    def report_diag(env, value):
+        return _callback(env, value)
+
+    @lib.native_method(DIAG, "warn")
+    def warn(env, value):
+        return _callback(env, value)
+
+    return lib
+
+
+def _build_diag_class() -> ClassAssembler:
+    c = ClassAssembler(DIAG)
+    c.native_method("reportDiag", "(I)I", static=True)
+    c.native_method("warn", "(I)I", static=True)
+    with c.method("<clinit>", "()V", static=True) as m:
+        m.ldc("javac").invokestatic("java.lang.System", "loadLibrary",
+                                    "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+def _build_lexer() -> ClassAssembler:
+    c = ClassAssembler(LEXER)
+    c.field("buf")             # byte[] source
+    c.field("pos", default=0)
+    c.field("len", default=0)
+    c.field("symHash")         # int[] symbol hash
+    c.field("symLen")          # int[] symbol length
+    c.field("symCount", default=0)
+    c.field("chars")           # char[] scratch for token text
+
+    with c.method("<init>", "([BI)V") as m:
+        m.aload(0).aload(1).putfield(LEXER, "buf")
+        m.aload(0).iload(2).putfield(LEXER, "len")
+        m.aload(0).ldc(2048).newarray(ArrayKind.INT)
+        m.putfield(LEXER, "symHash")
+        m.aload(0).ldc(2048).newarray(ArrayKind.INT)
+        m.putfield(LEXER, "symLen")
+        m.aload(0).ldc(64).newarray(ArrayKind.CHAR)
+        m.putfield(LEXER, "chars")
+        m.return_()
+
+    with c.method("charClass", "(I)I", static=True) as m:
+        # the per-character call: letter/digit/space/punct
+        m.iload(0).iconst(97).if_icmplt("not_lower")
+        m.iload(0).iconst(122).if_icmpgt("not_lower")
+        m.iconst(CC_LETTER).ireturn()
+        m.label("not_lower")
+        m.iload(0).iconst(48).if_icmplt("not_digit")
+        m.iload(0).iconst(57).if_icmpgt("not_digit")
+        m.iconst(CC_DIGIT).ireturn()
+        m.label("not_digit")
+        m.iload(0).iconst(32).if_icmpeq("space")
+        m.iload(0).iconst(10).if_icmpeq("space")
+        m.iload(0).iconst(9).if_icmpeq("space")
+        m.iconst(CC_PUNCT).ireturn()
+        m.label("space").iconst(CC_SPACE).ireturn()
+
+    with c.method("peek", "()I") as m:
+        # current char or -1
+        m.aload(0).getfield(LEXER, "pos")
+        m.aload(0).getfield(LEXER, "len")
+        m.if_icmpge("eof")
+        m.aload(0).getfield(LEXER, "buf")
+        m.aload(0).getfield(LEXER, "pos")
+        m.iaload().iconst(255).iand().ireturn()
+        m.label("eof").iconst(-1).ireturn()
+
+    with c.method("advance", "()V") as m:
+        m.aload(0).dup().getfield(LEXER, "pos").iconst(1).iadd()
+        m.putfield(LEXER, "pos")
+        m.return_()
+
+    with c.method("internSymbol", "(II)I") as m:
+        # (hash, length) -> symbol id; linear scan, new ids appended.
+        # On a NEW symbol the token text is materialised and interned
+        # (two native calls), as a compiler populating its name table.
+        # locals: 0=this,1=hash,2=len,3=i,4=n
+        m.aload(0).getfield(LEXER, "symCount").istore(4)
+        m.iconst(0).istore(3)
+        m.label("scan")
+        m.iload(3).iload(4).if_icmpge("fresh")
+        m.aload(0).getfield(LEXER, "symHash").iload(3).iaload()
+        m.iload(1).if_icmpne("next")
+        m.aload(0).getfield(LEXER, "symLen").iload(3).iaload()
+        m.iload(2).if_icmpne("next")
+        m.iload(3).iconst(1).iadd().ireturn()
+        m.label("next")
+        m.iinc(3, 1).goto("scan")
+        m.label("fresh")
+        m.aload(0).getfield(LEXER, "symHash").iload(4)
+        m.iload(1).iastore()
+        m.aload(0).getfield(LEXER, "symLen").iload(4)
+        m.iload(2).iastore()
+        m.aload(0).iload(4).iconst(1).iadd()
+        m.putfield(LEXER, "symCount")
+        # materialise + intern the new symbol's text
+        m.aload(0).getfield(LEXER, "chars").iconst(0).iload(2)
+        m.invokestatic("java.lang.String", "fromChars",
+                       "([CII)Ljava.lang.String;")
+        m.invokevirtual("java.lang.String", "intern",
+                        "()Ljava.lang.String;")
+        m.pop()
+        m.iload(4).iconst(1).iadd().ireturn()
+    return c
+
+
+def _build_main(source_len: int) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    c.field("diags", static=True, default=0)
+
+    with c.method("diagCallback", "(I)I", static=True) as m:
+        # called FROM native code through JNI
+        m.getstatic(MAIN, "diags").iconst(1).iadd()
+        m.dup().putstatic(MAIN, "diags")
+        m.ireturn()
+
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=lexer,1=in,2=buf,3=tokens,4=funcs,5=checksum,
+        #         6=c,7=cls,8=acc,9=tlen,10=depth
+        m.new("java.io.FileInputStream").dup().ldc(SOURCE_FILE)
+        m.invokespecial("java.io.FileInputStream", "<init>",
+                        "(Ljava.lang.String;)V").astore(1)
+        m.ldc(source_len).newarray(ArrayKind.BYTE).astore(2)
+        m.aload(1).aload(2).iconst(0).ldc(source_len)
+        m.invokevirtual("java.io.FileInputStream", "read", "([BII)I")
+        m.pop()
+        m.aload(1).invokevirtual("java.io.FileInputStream", "close",
+                                 "()V")
+        m.new(LEXER).dup().aload(2).ldc(source_len)
+        m.invokespecial(LEXER, "<init>", "([BI)V").astore(0)
+        m.iconst(0).istore(3)   # tokens
+        m.iconst(0).istore(4)   # funcs
+        m.iconst(0).istore(5)   # checksum
+        m.iconst(0).istore(10)  # depth
+
+        m.label("loop")
+        m.aload(0).invokevirtual(LEXER, "peek", "()I").istore(6)
+        m.iload(6).iflt("done")
+        m.iload(6).invokestatic(LEXER, "charClass", "(I)I").istore(7)
+        m.iload(7).iconst(CC_SPACE).if_icmpne("token")
+        m.aload(0).invokevirtual(LEXER, "advance", "()V")
+        m.goto("loop")
+
+        m.label("token")
+        m.iload(7).iconst(CC_LETTER).if_icmpne("try_digit")
+        # identifier: hash/copy chars, then intern
+        m.iconst(0).istore(8)   # hash
+        m.iconst(0).istore(9)   # length
+        m.label("ident_loop")
+        m.aload(0).invokevirtual(LEXER, "peek", "()I").istore(6)
+        m.iload(6).iflt("ident_done")
+        m.iload(6).invokestatic(LEXER, "charClass", "(I)I")
+        m.iconst(CC_LETTER).if_icmpne("ident_done")
+        m.iload(8).iconst(31).imul().iload(6).iadd().istore(8)
+        m.aload(0).getfield(LEXER, "chars").iload(9)
+        m.iload(6).iastore()
+        m.iinc(9, 1)
+        m.aload(0).invokevirtual(LEXER, "advance", "()V")
+        m.goto("ident_loop")
+        m.label("ident_done")
+        # materialise the token text for longer identifiers (compilers
+        # keep the spelling for error messages); result unused here
+        m.iload(9).iconst(5).if_icmplt("no_text")
+        m.aload(0).getfield(LEXER, "chars").iconst(0).iload(9)
+        m.invokestatic("java.lang.String", "fromChars",
+                       "([CII)Ljava.lang.String;")
+        m.pop()
+        m.label("no_text")
+        m.aload(0).iload(8).iload(9)
+        m.invokevirtual(LEXER, "internSymbol", "(II)I")
+        m.iconst(7).imul().iload(9).iadd().istore(8)
+        m.iload(5).iconst(31).imul().iload(8).iadd().istore(5)
+        m.goto("token_done")
+
+        m.label("try_digit")
+        m.iload(7).iconst(CC_DIGIT).if_icmpne("punct")
+        m.iconst(0).istore(8)
+        m.label("num_loop")
+        m.aload(0).invokevirtual(LEXER, "peek", "()I").istore(6)
+        m.iload(6).iflt("num_done")
+        m.iload(6).invokestatic(LEXER, "charClass", "(I)I")
+        m.iconst(CC_DIGIT).if_icmpne("num_done")
+        m.iload(8).ldc(10).imul().iload(6).iconst(48).isub().iadd()
+        m.istore(8)
+        m.aload(0).invokevirtual(LEXER, "advance", "()V")
+        m.goto("num_loop")
+        m.label("num_done")
+        # constant spelling for the literal pool (unused value)
+        m.iload(8).ldc(256).if_icmplt("no_lit")
+        m.iload(8).invokestatic("java.lang.String", "valueOfInt",
+                                "(I)Ljava.lang.String;")
+        m.pop()
+        m.label("no_lit")
+        m.iload(5).iconst(31).imul().iload(8).iadd().istore(5)
+        m.goto("token_done")
+
+        m.label("punct")
+        m.iload(5).iconst(31).imul().iload(6).iadd().istore(5)
+        m.iload(6).ldc(123).if_icmpne("not_open")    # '{'
+        m.iinc(10, 1)
+        m.goto("punct_done")
+        m.label("not_open")
+        m.iload(6).ldc(125).if_icmpne("punct_done")  # '}'
+        m.iinc(10, -1)
+        m.iinc(4, 1)
+        m.iload(10).invokestatic(DIAG, "reportDiag", "(I)I").pop()
+        m.label("punct_done")
+        m.aload(0).invokevirtual(LEXER, "advance", "()V")
+
+        m.label("token_done")
+        m.iinc(3, 1)
+        m.iload(3).ldc(WARN_EVERY).irem().ifne("loop")
+        m.iload(3).invokestatic(DIAG, "warn", "(I)I").pop()
+        m.goto("loop")
+
+        m.label("done")
+        for key, slot in (("tokens", 3), ("funcs", 4),
+                          ("checksum", 5)):
+            m.getstatic("java.lang.System", "out")
+            m.new("java.lang.StringBuilder").dup()
+            m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+            m.ldc(f"{key}=")
+            m.invokevirtual(
+                "java.lang.StringBuilder", "appendString",
+                "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+            m.iload(slot)
+            m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                            "(I)Ljava.lang.StringBuilder;")
+            m.invokevirtual("java.lang.StringBuilder", "toString",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.io.PrintStream", "println",
+                            "(Ljava.lang.String;)V")
+        m.getstatic("java.lang.System", "out")
+        m.new("java.lang.StringBuilder").dup()
+        m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+        m.ldc("diags=")
+        m.invokevirtual(
+            "java.lang.StringBuilder", "appendString",
+            "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+        m.getstatic(MAIN, "diags")
+        m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                        "(I)Ljava.lang.StringBuilder;")
+        m.invokevirtual("java.lang.StringBuilder", "toString",
+                        "()Ljava.lang.String;")
+        m.invokevirtual("java.io.PrintStream", "println",
+                        "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class JavacWorkload(Workload):
+    """Mini-language compiler front end with JNI diagnostic callbacks."""
+
+    name = "javac"
+    description = ("lexer + symbol table + native diagnostics calling "
+                   "back into Java via JNI")
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.source = generate_source(scale)
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_diag_class().build())
+        archive.put_class(_build_lexer().build())
+        archive.put_class(_build_main(len(self.source)).build())
+        return archive
+
+    def install_files(self, vm) -> None:
+        vm.add_file(SOURCE_FILE, self.source)
+
+    def native_libraries(self):
+        return [build_diag_library()]
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        tokens, funcs, diags, checksum = _Mirror(self.source).run()
+        for key, expected in (("tokens", tokens), ("funcs", funcs),
+                              ("diags", diags),
+                              ("checksum", checksum)):
+            got = self.console_value(vm, key)
+            if got is None:
+                return WorkloadResultCheck(False, f"missing {key}=")
+            if int(got) != expected:
+                return WorkloadResultCheck(
+                    False, f"{key} {got} != {expected}")
+        return WorkloadResultCheck(True)

@@ -1,0 +1,343 @@
+"""``jbb2005`` — warehouse transaction throughput (the SPEC JBB2005
+analogue).
+
+Runs the paper's "warehouse sequence 1, 2, 3, 4": for each point the
+company spawns that many warehouse threads (``java.lang.Thread``
+subclasses), each executing a fixed count of order transactions —
+stock-level updates through accessor methods (call density), order
+record allocation, periodic customer-name verification
+(``String.equals``, native) and district roll-ups
+(``System.arraycopy``, native).  The metric is **operations per
+second** of virtual time, and Table I's JBB overhead formula divides
+baseline by profiled throughput.
+
+Each warehouse seeds its own PRNG from its warehouse id, so results are
+independent of thread scheduling; the host mirror replays all four
+sequence points and must agree on total operations and checksum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads import data
+from repro.workloads.base import (
+    MetricKind,
+    Workload,
+    WorkloadResultCheck,
+)
+from repro.workloads.suite import register
+
+MAIN = "spec.jbb.Main"
+WAREHOUSE = "spec.jbb.Warehouse"
+ORDER = "spec.jbb.Order"
+
+WAREHOUSE_SEQUENCE = (1, 2, 3, 4)
+TX_PER_SCALE = 60
+STOCK_ITEMS = 512
+CUSTOMER_POOL = 32
+LINES_PER_ORDER = 4
+EQUALS_EVERY = 2       # customer verification every Nth transaction
+ROLLUP_EVERY = 8       # district arraycopy every Nth transaction
+
+
+class _Mirror:
+    """Replays every warehouse of every sequence point."""
+
+    def __init__(self, names: List[str], tx_count: int):
+        self.names = names
+        self.tx_count = tx_count
+
+    def run_warehouse(self, warehouse_id: int) -> int:
+        def wrap32(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v >= 1 << 31 else v
+
+        seed = (warehouse_id * 1000 + 17) & 0x7FFFFFFF
+
+        def rng():
+            nonlocal seed
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+            return seed
+
+        stock = [100] * STOCK_ITEMS
+        checksum = 0
+        for tx in range(self.tx_count):
+            order_total = 0
+            for _line in range(LINES_PER_ORDER):
+                item = rng() % STOCK_ITEMS
+                qty = rng() % 10 + 1
+                level = stock[item]
+                if level < qty:
+                    level += 91
+                stock[item] = level - qty
+                order_total = wrap32(order_total + qty * (item + 1))
+            checksum = wrap32(checksum * 31 + order_total)
+            if tx % EQUALS_EVERY == 0:
+                name = self.names[rng() % len(self.names)]
+                if name == name:  # the native equals the bytecode runs
+                    checksum = wrap32(checksum + len(name))
+            if tx % ROLLUP_EVERY == 0:
+                checksum = wrap32(checksum + stock[0])
+        return checksum
+
+    def run(self) -> Tuple[int, int]:
+        total_ops = 0
+        checksum = 0
+        def wrap32(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v >= 1 << 31 else v
+
+        for warehouses in WAREHOUSE_SEQUENCE:
+            for warehouse_id in range(1, warehouses + 1):
+                checksum = wrap32(
+                    checksum * 31 + self.run_warehouse(warehouse_id))
+                total_ops += self.tx_count
+        return total_ops, checksum
+
+
+def _build_order() -> ClassAssembler:
+    c = ClassAssembler(ORDER)
+    c.field("total", default=0)
+    c.field("lines", default=0)
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    with c.method("addLine", "(I)V") as m:
+        m.aload(0).dup().getfield(ORDER, "total")
+        m.iload(1).iadd().putfield(ORDER, "total")
+        m.aload(0).dup().getfield(ORDER, "lines")
+        m.iconst(1).iadd().putfield(ORDER, "lines")
+        m.return_()
+    with c.method("getTotal", "()I") as m:
+        m.aload(0).getfield(ORDER, "total").ireturn()
+    return c
+
+
+def _build_warehouse(names: List[str], tx_count: int) -> ClassAssembler:
+    c = ClassAssembler(WAREHOUSE, super_name="java.lang.Thread")
+    c.field("wid", default=0)
+    c.field("stock")
+    c.field("customers")
+    c.field("districts")
+    c.field("rng")
+    c.field("checksum", default=0)
+    c.field("ops", default=0)
+
+    with c.method("<init>", "(I[Ljava.lang.String;)V") as m:
+        m.aload(0).iload(1).putfield(WAREHOUSE, "wid")
+        m.aload(0).aload(2).putfield(WAREHOUSE, "customers")
+        m.aload(0).ldc(STOCK_ITEMS).newarray(ArrayKind.INT)
+        m.putfield(WAREHOUSE, "stock")
+        m.aload(0).ldc(STOCK_ITEMS).newarray(ArrayKind.INT)
+        m.putfield(WAREHOUSE, "districts")
+        m.new("java.util.Random").dup()
+        m.iload(1).ldc(1000).imul().ldc(17).iadd()
+        m.invokespecial("java.util.Random", "<init>", "(I)V")
+        m.aload(0).swap().putfield(WAREHOUSE, "rng")
+        # initial stock level 100 everywhere
+        m.iconst(0).istore(3)
+        m.label("fill")
+        m.iload(3).ldc(STOCK_ITEMS).if_icmpge("done")
+        m.aload(0).getfield(WAREHOUSE, "stock").iload(3)
+        m.ldc(100).iastore()
+        m.iinc(3, 1).goto("fill")
+        m.label("done")
+        m.return_()
+
+    with c.method("getStock", "(I)I") as m:
+        m.aload(0).getfield(WAREHOUSE, "stock").iload(1)
+        m.iaload().ireturn()
+
+    with c.method("setStock", "(II)V") as m:
+        m.aload(0).getfield(WAREHOUSE, "stock").iload(1)
+        m.iload(2).iastore()
+        m.return_()
+
+    with c.method("pickItem", "()I") as m:
+        m.aload(0).getfield(WAREHOUSE, "rng")
+        m.ldc(STOCK_ITEMS)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.ireturn()
+
+    with c.method("pickQty", "()I") as m:
+        m.aload(0).getfield(WAREHOUSE, "rng")
+        m.ldc(10)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.iconst(1).iadd().ireturn()
+
+    with c.method("newOrder", f"()L{ORDER};") as m:
+        # locals: 1=order,2=line,3=item,4=qty,5=level
+        m.new(ORDER).dup()
+        m.invokespecial(ORDER, "<init>", "()V").astore(1)
+        m.iconst(0).istore(2)
+        m.label("lines")
+        m.iload(2).iconst(LINES_PER_ORDER).if_icmpge("done")
+        m.aload(0).invokevirtual(WAREHOUSE, "pickItem", "()I")
+        m.istore(3)
+        m.aload(0).invokevirtual(WAREHOUSE, "pickQty", "()I")
+        m.istore(4)
+        m.aload(0).iload(3)
+        m.invokevirtual(WAREHOUSE, "getStock", "(I)I").istore(5)
+        m.iload(5).iload(4).if_icmpge("enough")
+        m.iload(5).ldc(91).iadd().istore(5)
+        m.label("enough")
+        m.aload(0).iload(3)
+        m.iload(5).iload(4).isub()
+        m.invokevirtual(WAREHOUSE, "setStock", "(II)V")
+        m.aload(1)
+        m.iload(4).iload(3).iconst(1).iadd().imul()
+        m.invokevirtual(ORDER, "addLine", "(I)V")
+        m.iinc(2, 1).goto("lines")
+        m.label("done")
+        m.aload(1).areturn()
+
+    with c.method("run", "()V") as m:
+        # locals: 1=tx,2=order,3=cs,4=name
+        m.iconst(0).istore(3)
+        m.iconst(0).istore(1)
+        m.label("tx_loop")
+        m.iload(1).ldc(tx_count).if_icmpge("done")
+        m.aload(0).invokevirtual(WAREHOUSE, "newOrder", f"()L{ORDER};")
+        m.astore(2)
+        m.iload(3).iconst(31).imul()
+        m.aload(2).invokevirtual(ORDER, "getTotal", "()I")
+        m.iadd().istore(3)
+        # customer verification (native String.equals)
+        m.iload(1).iconst(EQUALS_EVERY).irem().ifne("no_cust")
+        m.aload(0).getfield(WAREHOUSE, "customers")
+        m.aload(0).getfield(WAREHOUSE, "rng")
+        m.iconst(len(names))
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.aaload().astore(4)
+        m.aload(4).aload(4)
+        m.invokevirtual("java.lang.String", "equals",
+                        "(Ljava.lang.Object;)I")
+        m.ifeq("no_cust")
+        m.iload(3)
+        m.aload(4).invokevirtual("java.lang.String", "length", "()I")
+        m.iadd().istore(3)
+        m.label("no_cust")
+        # district roll-up (native arraycopy)
+        m.iload(1).iconst(ROLLUP_EVERY).irem().ifne("no_rollup")
+        m.aload(0).getfield(WAREHOUSE, "stock").iconst(0)
+        m.aload(0).getfield(WAREHOUSE, "districts").iconst(0)
+        m.ldc(STOCK_ITEMS)
+        m.invokestatic("java.lang.System", "arraycopy",
+                       "(Ljava.lang.Object;ILjava.lang.Object;II)V")
+        m.iload(3)
+        m.aload(0).iconst(0)
+        m.invokevirtual(WAREHOUSE, "getStock", "(I)I")
+        m.iadd().istore(3)
+        m.label("no_rollup")
+        m.aload(0).dup().getfield(WAREHOUSE, "ops")
+        m.iconst(1).iadd().putfield(WAREHOUSE, "ops")
+        m.iinc(1, 1).goto("tx_loop")
+        m.label("done")
+        m.aload(0).iload(3).putfield(WAREHOUSE, "checksum")
+        m.return_()
+    return c
+
+
+def _build_main(names: List[str]) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    c.field("customerNames", static=True)
+
+    with c.method("<clinit>", "()V", static=True) as m:
+        m.iconst(len(names)).newarray(ArrayKind.REF).astore(0)
+        for i, name in enumerate(names):
+            m.aload(0).iconst(i).ldc(name).aastore()
+        m.aload(0).putstatic(MAIN, "customerNames")
+        m.return_()
+
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=warehouses(point),1=wid,2=w,3=ops,4=checksum,5=arr
+        m.iconst(0).istore(3)
+        m.iconst(0).istore(4)
+        for point in WAREHOUSE_SEQUENCE:
+            # spawn `point` warehouses, start all, then join in order
+            m.iconst(point).newarray(ArrayKind.REF).astore(5)
+            for wid in range(1, point + 1):
+                m.aload(5).iconst(wid - 1)
+                m.new(WAREHOUSE).dup().iconst(wid)
+                m.getstatic(MAIN, "customerNames")
+                m.invokespecial(WAREHOUSE, "<init>",
+                                "(I[Ljava.lang.String;)V")
+                m.aastore()
+            for wid in range(1, point + 1):
+                m.aload(5).iconst(wid - 1).aaload().checkcast(WAREHOUSE)
+                m.invokevirtual(WAREHOUSE, "start", "()V")
+            for wid in range(1, point + 1):
+                m.aload(5).iconst(wid - 1).aaload().checkcast(WAREHOUSE)
+                m.astore(2)
+                m.aload(2).invokevirtual(WAREHOUSE, "join", "()V")
+                m.iload(4).iconst(31).imul()
+                m.aload(2).getfield(WAREHOUSE, "checksum")
+                m.iadd().istore(4)
+                m.iload(3)
+                m.aload(2).getfield(WAREHOUSE, "ops")
+                m.iadd().istore(3)
+        for key, slot in (("ops", 3), ("checksum", 4)):
+            m.getstatic("java.lang.System", "out")
+            m.new("java.lang.StringBuilder").dup()
+            m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+            m.ldc(f"{key}=")
+            m.invokevirtual(
+                "java.lang.StringBuilder", "appendString",
+                "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+            m.iload(slot)
+            m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                            "(I)Ljava.lang.StringBuilder;")
+            m.invokevirtual("java.lang.StringBuilder", "toString",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.io.PrintStream", "println",
+                            "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class Jbb2005Workload(Workload):
+    """Warehouse transaction throughput, sequence 1-4."""
+
+    name = "jbb2005"
+    description = ("multi-threaded order transactions; throughput "
+                   "metric with warehouse sequence 1,2,3,4")
+    metric = MetricKind.THROUGHPUT
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.names = data.word_list(CUSTOMER_POOL, seed=71, min_len=10,
+                                    max_len=18)
+        self.tx_count = TX_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_order().build())
+        archive.put_class(
+            _build_warehouse(self.names, self.tx_count).build())
+        archive.put_class(_build_main(self.names).build())
+        return archive
+
+    def operations(self, vm) -> int:
+        value = self.console_value(vm, "ops")
+        return int(value) if value is not None else 0
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        expected_ops, expected_checksum = _Mirror(
+            self.names, self.tx_count).run()
+        ops = self.console_value(vm, "ops")
+        checksum = self.console_value(vm, "checksum")
+        if ops is None or checksum is None:
+            return WorkloadResultCheck(False, "missing console output")
+        if int(ops) != expected_ops:
+            return WorkloadResultCheck(
+                False, f"ops {ops} != {expected_ops}")
+        if int(checksum) != expected_checksum:
+            return WorkloadResultCheck(
+                False, f"checksum {checksum} != {expected_checksum}")
+        return WorkloadResultCheck(True)

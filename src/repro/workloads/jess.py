@@ -1,0 +1,497 @@
+"""``jess`` — forward-chaining rule engine (the SPEC ``_202_jess``
+analogue).
+
+Working memory holds integer-slot facts; five rules fire in generations
+over a frontier queue, deduplicating derived facts through an
+open-addressed hash set.  The matching path is deliberately built from
+very small methods (slot accessors, per-rule match/derive methods,
+per-probe hash-set methods), giving the *highest* Java-method-call
+density of the suite after mtrt — the paper's jess has the
+second-largest SPA overhead.  Each rule activation touches the symbol
+table: ``String.equals`` against the rule's (long) activation symbol
+plus an ``intern()`` — the moderate native-call stream behind jess's
+~5 % native time.
+
+Validation: a Python mirror executes the identical rule semantics and
+must agree on the derived-fact count and checksum.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+MAIN = "spec.jvm98.jess.Main"
+FACT = "spec.jvm98.jess.Fact"
+ENGINE = "spec.jvm98.jess.Engine"
+
+VALUE_MASK = 4095          # fact slots live in [0, 4096)
+TABLE_BITS = 13
+TABLE_SIZE = 1 << TABLE_BITS
+TABLE_MASK = TABLE_SIZE - 1
+MAX_FACTS = 4096
+SEED_FACTS = 56
+PROBLEMS_PER_SCALE = 3
+GENERATION_CAP = 12
+
+RULE_SYMBOLS = [
+    "rule-supply-chain-reorder-threshold-activation-consequent-fire",
+    "rule-inventory-replenishment-audit-trail-activation-consequent",
+    "rule-customer-priority-escalation-matrix-activation-consequent",
+    "rule-logistics-route-rebalancing-window-activation-consequent",
+    "rule-billing-adjustment-reconciliation-activation-consequent",
+    "rule-forecast-demand-smoothing-horizon-activation-consequent",
+]
+
+
+def _pack(fact_type: int, a: int, b: int) -> int:
+    return (fact_type << 24) | (a << 12) | b
+
+
+class _Mirror:
+    """Host-side replay of the engine."""
+
+    def __init__(self, n_problems: int):
+        self.n_problems = n_problems
+
+    def _derive(self, fact_type: int, a: int, b: int):
+        """Apply each rule to one fact; yields derived facts in rule
+        order.  Mirrors the bytecode exactly (IDIV/IREM on
+        non-negative values, masks keep slots in range)."""
+        if fact_type == 0 and a < b:
+            yield (1, (a + b) & VALUE_MASK, (a * b) & VALUE_MASK)
+        if fact_type == 1 and (a & 1) == 1:
+            yield (2, (a ^ b) & VALUE_MASK, (a + 3) & VALUE_MASK)
+        if fact_type == 2 and a % 3 == 0:
+            yield (3, (a + b) & VALUE_MASK, (b - a) & VALUE_MASK
+                   if b >= a else (a - b) & VALUE_MASK)
+        if fact_type == 3 and b > 0:
+            yield (4, a % 7, b % 11)
+        if fact_type == 4 and a > b:
+            yield (5, (a - b) & VALUE_MASK, (a + b) & VALUE_MASK)
+
+    def run(self) -> Tuple[int, int]:
+        seed = 987
+
+        def rng():
+            nonlocal seed
+            seed = (seed * 1103515245 + 12345) & 0x7FFFFFFF
+            return seed
+
+        total_facts = 0
+        checksum = 0
+        for _problem in range(self.n_problems):
+            facts: List[Tuple[int, int, int]] = []
+            seen = set()
+            for _ in range(SEED_FACTS):
+                fact = (rng() % 3, rng() & VALUE_MASK,
+                        rng() & VALUE_MASK)
+                if fact not in seen and len(facts) < MAX_FACTS:
+                    seen.add(fact)
+                    facts.append(fact)
+            start = 0
+            for _generation in range(GENERATION_CAP):
+                end = len(facts)
+                if start == end or end >= MAX_FACTS:
+                    break
+                for i in range(start, end):
+                    fact_type, a, b = facts[i]
+                    for derived in self._derive(fact_type, a, b):
+                        if derived not in seen and \
+                                len(facts) < MAX_FACTS:
+                            seen.add(derived)
+                            facts.append(derived)
+                start = end
+            total_facts += len(facts)
+            for fact_type, a, b in facts:
+                checksum = (checksum * 31
+                            + _pack(fact_type, a, b)) & 0x7FFFFFFF
+        return total_facts, checksum
+
+
+def _build_fact() -> ClassAssembler:
+    c = ClassAssembler(FACT)
+    for field in ("ftype", "slotA", "slotB"):
+        c.field(field, default=0)
+    with c.method("<init>", "(III)V") as m:
+        m.aload(0).iload(1).putfield(FACT, "ftype")
+        m.aload(0).iload(2).putfield(FACT, "slotA")
+        m.aload(0).iload(3).putfield(FACT, "slotB")
+        m.return_()
+    # slot accessors: the call-density generators
+    for field, getter in (("ftype", "getType"), ("slotA", "getA"),
+                          ("slotB", "getB")):
+        with c.method(getter, "()I") as m:
+            m.aload(0).getfield(FACT, field).ireturn()
+    with c.method("packed", "()I") as m:
+        m.aload(0).invokevirtual(FACT, "getType", "()I")
+        m.iconst(24).ishl()
+        m.aload(0).invokevirtual(FACT, "getA", "()I")
+        m.iconst(12).ishl().ior()
+        m.aload(0).invokevirtual(FACT, "getB", "()I")
+        m.ior().ireturn()
+    return c
+
+
+def _build_engine() -> ClassAssembler:
+    c = ClassAssembler(ENGINE)
+    c.field("facts")          # Fact[]
+    c.field("count", default=0)
+    c.field("table")          # int[] dedup set (packed+1, 0 = empty)
+    c.field("symbols")        # String[] rule activation symbols
+    c.field("activations", default=0)
+
+    with c.method("<init>", "()V") as m:
+        m.aload(0).ldc(MAX_FACTS).newarray(ArrayKind.REF)
+        m.putfield(ENGINE, "facts")
+        m.aload(0).ldc(TABLE_SIZE).newarray(ArrayKind.INT)
+        m.putfield(ENGINE, "table")
+        m.aload(0).iconst(len(RULE_SYMBOLS)).newarray(ArrayKind.REF)
+        m.putfield(ENGINE, "symbols")
+        m.return_()
+
+    with c.method("installSymbol", "(ILjava.lang.String;)V") as m:
+        m.aload(0).getfield(ENGINE, "symbols")
+        m.iload(1)
+        m.aload(2).invokevirtual("java.lang.String", "intern",
+                                 "()Ljava.lang.String;")
+        m.aastore()
+        m.return_()
+
+    with c.method("hashSlot", "(I)I") as m:
+        # (p * 0x9E37) >> 1 & mask, then linear probe by caller
+        m.iload(1).ldc(0x9E37).imul().iconst(1).iushr()
+        m.ldc(TABLE_MASK).iand().ireturn()
+
+    with c.method("probe", "(I)I") as m:
+        # returns slot where packed lives or first empty slot
+        # locals: 0=this,1=packed,2=h,3=v,4=tab
+        m.aload(0).iload(1).invokevirtual(ENGINE, "hashSlot", "(I)I")
+        m.istore(2)
+        m.aload(0).getfield(ENGINE, "table").astore(4)
+        m.label("scan")
+        m.aload(4).iload(2).iaload().istore(3)
+        m.iload(3).ifeq("hit")
+        m.iload(3).iconst(1).isub().iload(1).if_icmpeq("hit")
+        m.iload(2).iconst(1).iadd().ldc(TABLE_MASK).iand().istore(2)
+        m.goto("scan")
+        m.label("hit")
+        m.iload(2).ireturn()
+
+    with c.method("addFact", "(III)I") as m:
+        # dedup-insert; returns 1 if added
+        # locals: 0=this,1=t,2=a,3=b,4=packed,5=slot,6=n
+        m.iload(1).iconst(24).ishl()
+        m.iload(2).iconst(12).ishl().ior()
+        m.iload(3).ior().istore(4)
+        m.aload(0).iload(4).invokevirtual(ENGINE, "probe", "(I)I")
+        m.istore(5)
+        m.aload(0).getfield(ENGINE, "table").iload(5).iaload()
+        m.ifeq("insert")
+        m.iconst(0).ireturn()
+        m.label("insert")
+        m.aload(0).getfield(ENGINE, "count").istore(6)
+        m.iload(6).ldc(MAX_FACTS).if_icmplt("room")
+        m.iconst(0).ireturn()
+        m.label("room")
+        m.aload(0).getfield(ENGINE, "table").iload(5)
+        m.iload(4).iconst(1).iadd().iastore()
+        m.aload(0).getfield(ENGINE, "facts").iload(6)
+        m.new(FACT).dup().iload(1).iload(2).iload(3)
+        m.invokespecial(FACT, "<init>", "(III)V")
+        m.aastore()
+        m.aload(0).iload(6).iconst(1).iadd().putfield(ENGINE, "count")
+        m.iconst(1).ireturn()
+
+    with c.method("recordActivation", "(I)V") as m:
+        # symbol-table touch: native equals + intern per activation
+        # locals: 0=this,1=rule,2=sym
+        m.aload(0).getfield(ENGINE, "symbols").iload(1).aaload()
+        m.astore(2)
+        m.aload(2).aload(2)
+        m.invokevirtual("java.lang.String", "equals",
+                        "(Ljava.lang.Object;)I")
+        m.pop()
+        m.aload(0).dup().getfield(ENGINE, "activations")
+        m.iconst(1).iadd().putfield(ENGINE, "activations")
+        m.return_()
+
+    # -- the five rules: match + derive, tiny methods ---------------------
+
+    def rule(index, match_builder, derive_builder):
+        with c.method(f"rule{index}Matches",
+                      f"(L{FACT};)I") as m:
+            match_builder(m)
+        with c.method(f"rule{index}Fire", f"(L{FACT};)I") as m:
+            derive_builder(m)
+
+    def match1(m):
+        # type 0 and a < b
+        m.aload(1).invokevirtual(FACT, "getType", "()I")
+        m.ifne("no")
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.if_icmpge("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+
+    def fire1(m):
+        m.aload(0).iconst(1)
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.iadd().ldc(VALUE_MASK).iand()
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.imul().ldc(VALUE_MASK).iand()
+        m.invokevirtual(ENGINE, "addFact", "(III)I")
+        m.ireturn()
+
+    def match2(m):
+        m.aload(1).invokevirtual(FACT, "getType", "()I")
+        m.iconst(1).if_icmpne("no")
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.iconst(1).iand().ifeq("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+
+    def fire2(m):
+        m.aload(0).iconst(2)
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.ixor().ldc(VALUE_MASK).iand()
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.iconst(3).iadd().ldc(VALUE_MASK).iand()
+        m.invokevirtual(ENGINE, "addFact", "(III)I")
+        m.ireturn()
+
+    def match3(m):
+        m.aload(1).invokevirtual(FACT, "getType", "()I")
+        m.iconst(2).if_icmpne("no")
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.iconst(3).irem().ifne("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+
+    def fire3(m):
+        # b>=a ? (b-a)&M : (a-b)&M  -> abs difference masked
+        m.aload(0).iconst(3)
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.iadd().ldc(VALUE_MASK).iand()
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.if_icmplt("swap")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.isub().ldc(VALUE_MASK).iand()
+        m.goto("add")
+        m.label("swap")
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.isub().ldc(VALUE_MASK).iand()
+        m.label("add")
+        m.invokevirtual(ENGINE, "addFact", "(III)I")
+        m.ireturn()
+
+    def match4(m):
+        m.aload(1).invokevirtual(FACT, "getType", "()I")
+        m.iconst(3).if_icmpne("no")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.ifle("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+
+    def fire4(m):
+        m.aload(0).iconst(4)
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.iconst(7).irem()
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.ldc(11).irem()
+        m.invokevirtual(ENGINE, "addFact", "(III)I")
+        m.ireturn()
+
+    def match5(m):
+        m.aload(1).invokevirtual(FACT, "getType", "()I")
+        m.iconst(4).if_icmpne("no")
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.if_icmple("no")
+        m.iconst(1).ireturn()
+        m.label("no").iconst(0).ireturn()
+
+    def fire5(m):
+        m.aload(0).iconst(5)
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.isub().ldc(VALUE_MASK).iand()
+        m.aload(1).invokevirtual(FACT, "getA", "()I")
+        m.aload(1).invokevirtual(FACT, "getB", "()I")
+        m.iadd().ldc(VALUE_MASK).iand()
+        m.invokevirtual(ENGINE, "addFact", "(III)I")
+        m.ireturn()
+
+    rule(1, match1, fire1)
+    rule(2, match2, fire2)
+    rule(3, match3, fire3)
+    rule(4, match4, fire4)
+    rule(5, match5, fire5)
+
+    with c.method("factAt", f"(I)L{FACT};") as m:
+        m.aload(0).getfield(ENGINE, "facts").iload(1).aaload()
+        m.checkcast(FACT).areturn()
+
+    with c.method("applyRules", f"(L{FACT};)V") as m:
+        # locals: 0=this, 1=fact
+        for index in range(1, 6):
+            m.aload(0).aload(1)
+            m.invokevirtual(ENGINE, f"rule{index}Matches",
+                            f"(L{FACT};)I")
+            m.ifeq(f"skip{index}")
+            m.aload(0).aload(1)
+            m.invokevirtual(ENGINE, f"rule{index}Fire", f"(L{FACT};)I")
+            m.ifeq(f"skip{index}")
+            if index % 2 == 1:  # audited rules touch the symbol table
+                m.aload(0).iconst(index)
+                m.invokevirtual(ENGINE, "recordActivation", "(I)V")
+            m.label(f"skip{index}")
+        m.return_()
+
+    with c.method("runGenerations", "()V") as m:
+        # locals: 0=this,1=start,2=end,3=i,4=gen
+        m.iconst(0).istore(1)
+        m.iconst(0).istore(4)
+        m.label("gen_loop")
+        m.iload(4).iconst(GENERATION_CAP).if_icmpge("done")
+        m.aload(0).getfield(ENGINE, "count").istore(2)
+        m.iload(1).iload(2).if_icmpge("done")
+        m.iload(1).istore(3)
+        m.label("fact_loop")
+        m.iload(3).iload(2).if_icmpge("gen_next")
+        m.aload(0)
+        m.aload(0).iload(3)
+        m.invokevirtual(ENGINE, "factAt", f"(I)L{FACT};")
+        m.invokevirtual(ENGINE, "applyRules", f"(L{FACT};)V")
+        m.iinc(3, 1).goto("fact_loop")
+        m.label("gen_next")
+        m.iload(2).istore(1)
+        m.iinc(4, 1).goto("gen_loop")
+        m.label("done")
+        m.return_()
+
+    with c.method("checksumFrom", "(I)I") as m:
+        # locals: 0=this,1=sum(arg),2=i,3=n
+        m.aload(0).getfield(ENGINE, "count").istore(3)
+        m.iconst(0).istore(2)
+        m.label("loop")
+        m.iload(2).iload(3).if_icmpge("done")
+        m.iload(1).iconst(31).imul()
+        m.aload(0).iload(2)
+        m.invokevirtual(ENGINE, "factAt", f"(I)L{FACT};")
+        m.invokevirtual(FACT, "packed", "()I")
+        m.iadd().ldc(0x7FFFFFFF).iand().istore(1)
+        m.iinc(2, 1).goto("loop")
+        m.label("done")
+        m.iload(1).ireturn()
+    return c
+
+
+def _build_main(n_problems: int) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=engine,1=rng,2=i,3=problem,4=totalFacts,5=checksum
+        m.new("java.util.Random").dup().ldc(987)
+        m.invokespecial("java.util.Random", "<init>", "(I)V").astore(1)
+        m.iconst(0).istore(4)
+        m.iconst(0).istore(5)
+        m.iconst(0).istore(3)
+        m.label("problem_loop")
+        m.iload(3).ldc(n_problems).if_icmpge("report")
+        m.new(ENGINE).dup()
+        m.invokespecial(ENGINE, "<init>", "()V").astore(0)
+        for index, symbol in enumerate(RULE_SYMBOLS):
+            m.aload(0).iconst(index).ldc(symbol)
+            m.invokevirtual(ENGINE, "installSymbol",
+                            "(ILjava.lang.String;)V")
+        m.iconst(0).istore(2)
+        m.label("seed")
+        m.iload(2).ldc(SEED_FACTS).if_icmpge("run")
+        m.aload(0)
+        m.aload(1).iconst(3)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.aload(1).invokevirtual("java.util.Random", "next", "()I")
+        m.ldc(VALUE_MASK).iand()
+        m.aload(1).invokevirtual("java.util.Random", "next", "()I")
+        m.ldc(VALUE_MASK).iand()
+        m.invokevirtual(ENGINE, "addFact", "(III)I").pop()
+        m.iinc(2, 1).goto("seed")
+        m.label("run")
+        m.aload(0).invokevirtual(ENGINE, "runGenerations", "()V")
+        m.iload(4).aload(0).getfield(ENGINE, "count").iadd()
+        m.istore(4)
+        # checksum chains across problems: Engine.checksum is seeded
+        m.aload(0).iload(5)
+        m.invokevirtual(ENGINE, "checksumFrom", "(I)I").istore(5)
+        m.iinc(3, 1).goto("problem_loop")
+        m.label("report")
+        for key in ("facts", "checksum"):
+            m.getstatic("java.lang.System", "out")
+            m.new("java.lang.StringBuilder").dup()
+            m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+            m.ldc(f"{key}=")
+            m.invokevirtual(
+                "java.lang.StringBuilder", "appendString",
+                "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+            if key == "facts":
+                m.iload(4)
+            else:
+                m.iload(5)
+            m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                            "(I)Ljava.lang.StringBuilder;")
+            m.invokevirtual("java.lang.StringBuilder", "toString",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.io.PrintStream", "println",
+                            "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class JessWorkload(Workload):
+    """Forward-chaining rule engine over integer facts."""
+
+    name = "jess"
+    description = ("rule engine: accessor-dense matching, symbol-table "
+                   "string natives per activation")
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.n_problems = PROBLEMS_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_fact().build())
+        archive.put_class(_build_engine().build())
+        archive.put_class(_build_main(self.n_problems).build())
+        return archive
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        expected_count, expected_checksum = _Mirror(
+            self.n_problems).run()
+        facts = self.console_value(vm, "facts")
+        checksum = self.console_value(vm, "checksum")
+        if facts is None or checksum is None:
+            return WorkloadResultCheck(False, "missing console output")
+        if int(facts) != expected_count:
+            return WorkloadResultCheck(
+                False, f"facts {facts} != {expected_count}")
+        if int(checksum) != expected_checksum:
+            return WorkloadResultCheck(
+                False, f"checksum {checksum} != {expected_checksum}")
+        return WorkloadResultCheck(True)

@@ -1,0 +1,264 @@
+"""``mpegaudio`` — fixed-point audio decoder (the SPEC
+``_222_mpegaudio`` analogue).
+
+Decodes frames from a binary stream: the whole input is read once
+(buffered I/O, as decoders do), then each frame is dequantized and run
+through a polyphase-style synthesis filter whose multiply-accumulate
+step is a tiny static method called 512 times per frame — mpegaudio's
+SPA overhead in the paper is among the largest despite its loops,
+because the filter bank is decomposed into small hot methods.  Native
+work is sparse: one ``Math.sqrt`` scalefactor per frame — under 1 % of
+time, the paper's profile.
+
+Validation: a bit-exact host mirror (integer ops + one IEEE sqrt per
+frame) must agree on the checksum.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads import data
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+MAIN = "spec.jvm98.mpegaudio.Main"
+DECODER = "spec.jvm98.mpegaudio.Decoder"
+
+INPUT_FILE = "mpegaudio.in"
+SUBBANDS = 32
+TAPS = 16
+BYTES_PER_FRAME = SUBBANDS * 2
+FRAMES_PER_SCALE = 40
+
+
+def _wrap32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v >= 1 << 31 else v
+
+
+def make_coeffs():
+    return [(i * 2654435 + 97) & 0x3FFF for i in range(SUBBANDS)]
+
+
+class _Mirror:
+    """Bit-exact host decode."""
+
+    def __init__(self, payload: bytes):
+        self.payload = payload
+
+    def run(self) -> int:
+        coeffs = make_coeffs()
+        checksum = 0
+        n_frames = len(self.payload) // BYTES_PER_FRAME
+        for frame in range(n_frames):
+            off = frame * BYTES_PER_FRAME
+            samples = []
+            for i in range(SUBBANDS):
+                hi = self.payload[off + 2 * i]
+                lo = self.payload[off + 2 * i + 1]
+                samples.append(((hi << 8) | lo) - 32768)
+            energy = 0
+            for s in samples:
+                energy += (s * s) >> 8
+            scale = int(math.sqrt(float(energy)))
+            for k in range(SUBBANDS):
+                acc = 0
+                for t in range(TAPS):
+                    s = samples[(k + t) & (SUBBANDS - 1)]
+                    c = coeffs[(k + 2 * t) & (SUBBANDS - 1)]
+                    acc = acc + ((s * c) >> 6)
+                # the product wraps to int32 before the shift, exactly
+                # as the bytecode IMUL/ISHR pair does
+                scaled = _wrap32(acc * scale) >> 8
+                checksum = _wrap32(checksum * 31 + scaled)
+        return checksum
+
+
+def _build_decoder() -> ClassAssembler:
+    c = ClassAssembler(DECODER)
+    c.field("data")
+    c.field("coeffs")
+    c.field("samples")
+    c.field("checksum", default=0)
+
+    with c.method("<init>", "([B)V") as m:
+        # locals: 0=this,1=data,2=i
+        m.aload(0).aload(1).putfield(DECODER, "data")
+        m.aload(0).iconst(SUBBANDS).newarray(ArrayKind.INT)
+        m.putfield(DECODER, "coeffs")
+        m.aload(0).iconst(SUBBANDS).newarray(ArrayKind.INT)
+        m.putfield(DECODER, "samples")
+        m.iconst(0).istore(2)
+        m.label("fill")
+        m.iload(2).iconst(SUBBANDS).if_icmpge("done")
+        m.aload(0).getfield(DECODER, "coeffs").iload(2)
+        m.iload(2).ldc(2654435).imul().ldc(97).iadd()
+        m.ldc(0x3FFF).iand()
+        m.iastore()
+        m.iinc(2, 1).goto("fill")
+        m.label("done")
+        m.return_()
+
+    with c.method("mac", "(III)I", static=True) as m:
+        # acc + ((s * c) >> 6) — the hot tiny method
+        m.iload(0)
+        m.iload(1).iload(2).imul().iconst(6).ishr()
+        m.iadd().ireturn()
+
+    with c.method("sampleAt", "(I)I") as m:
+        m.aload(0).getfield(DECODER, "samples")
+        m.iload(1).iconst(SUBBANDS - 1).iand()
+        m.iaload().ireturn()
+
+    with c.method("coeffAt", "(I)I") as m:
+        m.aload(0).getfield(DECODER, "coeffs")
+        m.iload(1).iconst(SUBBANDS - 1).iand()
+        m.iaload().ireturn()
+
+    with c.method("decodeFrame", "(I)V") as m:
+        # locals: 0=this,1=frame,2=off,3=i,4=s,5=energy,6=scale,
+        #         7=k,8=t,9=acc
+        m.iload(1).iconst(BYTES_PER_FRAME).imul().istore(2)
+        # dequantize
+        m.iconst(0).istore(3)
+        m.label("deq")
+        m.iload(3).iconst(SUBBANDS).if_icmpge("energy")
+        m.aload(0).getfield(DECODER, "data")
+        m.iload(2).iload(3).iconst(2).imul().iadd()
+        m.iaload().iconst(255).iand().iconst(8).ishl()
+        m.aload(0).getfield(DECODER, "data")
+        m.iload(2).iload(3).iconst(2).imul().iadd().iconst(1).iadd()
+        m.iaload().iconst(255).iand()
+        m.ior().ldc(32768).isub().istore(4)
+        m.aload(0).getfield(DECODER, "samples").iload(3)
+        m.iload(4).iastore()
+        m.iinc(3, 1).goto("deq")
+        # scalefactor: one native sqrt per frame
+        m.label("energy")
+        m.iconst(0).istore(5)
+        m.iconst(0).istore(3)
+        m.label("eloop")
+        m.iload(3).iconst(SUBBANDS).if_icmpge("scale")
+        m.aload(0).getfield(DECODER, "samples").iload(3).iaload()
+        m.istore(4)
+        m.iload(5)
+        m.iload(4).iload(4).imul().iconst(8).ishr()
+        m.iadd().istore(5)
+        m.iinc(3, 1).goto("eloop")
+        m.label("scale")
+        m.iload(5).i2f()
+        m.invokestatic("java.lang.Math", "sqrt", "(F)F")
+        m.f2i().istore(6)
+        # synthesis filter: 32 subbands x 16 taps of mac()
+        m.iconst(0).istore(7)
+        m.label("kloop")
+        m.iload(7).iconst(SUBBANDS).if_icmpge("frame_done")
+        m.iconst(0).istore(9)
+        m.iconst(0).istore(8)
+        m.label("tloop")
+        m.iload(8).iconst(TAPS).if_icmpge("band_done")
+        m.iload(9)
+        m.aload(0).iload(7).iload(8).iadd()
+        m.invokevirtual(DECODER, "sampleAt", "(I)I")
+        m.aload(0).iload(7).iload(8).iconst(2).imul().iadd()
+        m.invokevirtual(DECODER, "coeffAt", "(I)I")
+        m.invokestatic(DECODER, "mac", "(III)I").istore(9)
+        m.iinc(8, 1).goto("tloop")
+        m.label("band_done")
+        m.aload(0).dup().getfield(DECODER, "checksum")
+        m.iconst(31).imul()
+        m.iload(9).iload(6).imul().iconst(8).ishr()
+        m.iadd().putfield(DECODER, "checksum")
+        m.iinc(7, 1).goto("kloop")
+        m.label("frame_done")
+        m.return_()
+    return c
+
+
+def _build_main(size: int, n_frames: int) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=decoder,1=in,2=buf,3=frame
+        m.new("java.io.FileInputStream").dup().ldc(INPUT_FILE)
+        m.invokespecial("java.io.FileInputStream", "<init>",
+                        "(Ljava.lang.String;)V").astore(1)
+        m.ldc(size).newarray(ArrayKind.BYTE).astore(2)
+        m.aload(1).aload(2).iconst(0).ldc(size)
+        m.invokevirtual("java.io.FileInputStream", "read", "([BII)I")
+        m.pop()
+        m.aload(1).invokevirtual("java.io.FileInputStream", "close",
+                                 "()V")
+        m.new(DECODER).dup().aload(2)
+        m.invokespecial(DECODER, "<init>", "([B)V").astore(0)
+        m.iconst(0).istore(3)
+        m.label("frames")
+        m.iload(3).ldc(n_frames).if_icmpge("report")
+        m.aload(0).iload(3)
+        m.invokevirtual(DECODER, "decodeFrame", "(I)V")
+        m.iinc(3, 1).goto("frames")
+        m.label("report")
+        for key in ("frames", "checksum"):
+            m.getstatic("java.lang.System", "out")
+            m.new("java.lang.StringBuilder").dup()
+            m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+            m.ldc(f"{key}=")
+            m.invokevirtual(
+                "java.lang.StringBuilder", "appendString",
+                "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+            if key == "frames":
+                m.iload(3)
+            else:
+                m.aload(0).getfield(DECODER, "checksum")
+            m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                            "(I)Ljava.lang.StringBuilder;")
+            m.invokevirtual("java.lang.StringBuilder", "toString",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.io.PrintStream", "println",
+                            "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class MpegaudioWorkload(Workload):
+    """Fixed-point frame decoder with a call-dense filter bank."""
+
+    name = "mpegaudio"
+    description = ("polyphase-style synthesis filter: tiny hot methods, "
+                   "one native sqrt per frame")
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.n_frames = FRAMES_PER_SCALE * scale
+        self.payload = data.binary_bytes(
+            self.n_frames * BYTES_PER_FRAME, seed=67)
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_decoder().build())
+        archive.put_class(
+            _build_main(len(self.payload), self.n_frames).build())
+        return archive
+
+    def install_files(self, vm) -> None:
+        vm.add_file(INPUT_FILE, self.payload)
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        expected = _Mirror(self.payload).run()
+        frames = self.console_value(vm, "frames")
+        checksum = self.console_value(vm, "checksum")
+        if frames is None or checksum is None:
+            return WorkloadResultCheck(False, "missing console output")
+        if int(frames) != self.n_frames:
+            return WorkloadResultCheck(
+                False, f"frames {frames} != {self.n_frames}")
+        if int(checksum) != expected:
+            return WorkloadResultCheck(
+                False, f"checksum {checksum} != {expected}")
+        return WorkloadResultCheck(True)

@@ -1,0 +1,350 @@
+"""``mtrt`` — multi-threaded ray tracer (the SPEC ``_227_mtrt``
+analogue).
+
+Two worker threads (``java.lang.Thread`` subclasses) each render half
+of the image over a sphere scene.  The intersection path is maximally
+object-oriented — fresh ``Vec`` objects from every subtraction, dot
+products and component accessors as virtual methods — reproducing
+mtrt's standing as the most call-dense benchmark of JVM98 (the paper's
+largest SPA overhead, 41 775 %).  Native work is almost absent: ray
+normalisation uses a bytecode Newton inverse-sqrt, and only confirmed
+hits pay a native ``Math.sqrt`` — mtrt's 0.00 % IPA overhead row.
+
+Float arithmetic is IEEE double on both sides, so the host mirror is
+bit-exact; the per-thread pixel checksums must match.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.classfile.archive import ClassArchive
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+MAIN = "spec.jvm98.mtrt.Main"
+VEC = "spec.jvm98.mtrt.Vec"
+SPHERE = "spec.jvm98.mtrt.Sphere"
+WORKER = "spec.jvm98.mtrt.Worker"
+
+WIDTH_PER_SCALE = 24
+HEIGHT = 16
+N_SPHERES = 6
+THREADS = 2
+
+#: Scene spheres: (cx, cy, cz, r) — floats, chosen so a minority of
+#: rays hit (native sqrt only on hits).
+SPHERES = [
+    (-1.2, -0.6, 4.0, 0.9),
+    (0.9, 0.3, 5.0, 1.1),
+    (0.0, 0.0, 6.0, 1.4),
+    (1.5, -0.9, 7.0, 1.0),
+    (-0.8, 0.8, 5.5, 0.8),
+    (0.4, -0.3, 4.5, 0.7),
+]
+
+
+def _inv_sqrt(value: float) -> float:
+    """Newton inverse square root, exactly as the bytecode computes it:
+    3 iterations from a fixed 0.5 starting guess."""
+    guess = 0.5
+    for _ in range(3):
+        guess = guess * (1.5 - 0.5 * value * guess * guess)
+    return guess
+
+
+class _Mirror:
+    """Host-side renderer, operation-for-operation identical."""
+
+    def __init__(self, width: int):
+        self.width = width
+
+    def render_rows(self, y0: int, y1: int) -> int:
+        width = self.width
+        checksum = 0
+        for y in range(y0, y1):
+            for x in range(width):
+                dx = (float(x) - float(width) / 2.0) / float(width)
+                dy = (float(y) - float(HEIGHT) / 2.0) / float(HEIGHT)
+                dz = 1.0
+                norm2 = dx * dx + dy * dy + dz * dz
+                inv = _inv_sqrt(norm2)
+                dx, dy, dz = dx * inv, dy * inv, dz * inv
+                best = 1.0e9
+                for cx, cy, cz, r in SPHERES:
+                    ox, oy, oz = -cx, -cy, -cz  # origin - center
+                    b = ox * dx + oy * dy + oz * dz
+                    cc = (ox * ox + oy * oy + oz * oz) - r * r
+                    disc = b * b - cc
+                    if disc > 0.0:
+                        dist = -b - math.sqrt(disc)
+                        if dist > 0.0 and dist < best:
+                            best = dist
+                if best < 1.0e9:
+                    color = int(255.0 / (1.0 + best))
+                else:
+                    color = 0
+                checksum = ((checksum * 31 + color) & 0xFFFFFFFF)
+                if checksum >= 1 << 31:
+                    checksum -= 1 << 32
+        return checksum
+
+    def run(self) -> List[int]:
+        half = HEIGHT // 2
+        return [self.render_rows(0, half),
+                self.render_rows(half, HEIGHT)]
+
+
+def _build_vec() -> ClassAssembler:
+    c = ClassAssembler(VEC)
+    for field in ("x", "y", "z"):
+        c.field(field, default=0.0)
+    with c.method("<init>", "(FFF)V") as m:
+        m.aload(0).iload(1).putfield(VEC, "x")
+        m.aload(0).iload(2).putfield(VEC, "y")
+        m.aload(0).iload(3).putfield(VEC, "z")
+        m.return_()
+    for field, getter in (("x", "getX"), ("y", "getY"), ("z", "getZ")):
+        with c.method(getter, "()F") as m:
+            m.aload(0).getfield(VEC, field).ireturn()
+    with c.method("dot", f"(L{VEC};)F") as m:
+        m.aload(0).invokevirtual(VEC, "getX", "()F")
+        m.aload(1).invokevirtual(VEC, "getX", "()F")
+        m.imul()
+        m.aload(0).invokevirtual(VEC, "getY", "()F")
+        m.aload(1).invokevirtual(VEC, "getY", "()F")
+        m.imul().iadd()
+        m.aload(0).invokevirtual(VEC, "getZ", "()F")
+        m.aload(1).invokevirtual(VEC, "getZ", "()F")
+        m.imul().iadd()
+        m.ireturn()
+    with c.method("sub", f"(L{VEC};)L{VEC};") as m:
+        m.new(VEC).dup()
+        m.aload(0).invokevirtual(VEC, "getX", "()F")
+        m.aload(1).invokevirtual(VEC, "getX", "()F").isub()
+        m.aload(0).invokevirtual(VEC, "getY", "()F")
+        m.aload(1).invokevirtual(VEC, "getY", "()F").isub()
+        m.aload(0).invokevirtual(VEC, "getZ", "()F")
+        m.aload(1).invokevirtual(VEC, "getZ", "()F").isub()
+        m.invokespecial(VEC, "<init>", "(FFF)V")
+        m.areturn()
+    with c.method("scale", f"(F)L{VEC};") as m:
+        m.new(VEC).dup()
+        m.aload(0).invokevirtual(VEC, "getX", "()F").iload(1).imul()
+        m.aload(0).invokevirtual(VEC, "getY", "()F").iload(1).imul()
+        m.aload(0).invokevirtual(VEC, "getZ", "()F").iload(1).imul()
+        m.invokespecial(VEC, "<init>", "(FFF)V")
+        m.areturn()
+    return c
+
+
+def _build_sphere() -> ClassAssembler:
+    c = ClassAssembler(SPHERE)
+    c.field("center")
+    c.field("radius", default=0.0)
+    with c.method("<init>", f"(L{VEC};F)V") as m:
+        m.aload(0).aload(1).putfield(SPHERE, "center")
+        m.aload(0).iload(2).putfield(SPHERE, "radius")
+        m.return_()
+    with c.method("getCenter", f"()L{VEC};") as m:
+        m.aload(0).getfield(SPHERE, "center").areturn()
+    with c.method("getRadius", "()F") as m:
+        m.aload(0).getfield(SPHERE, "radius").ireturn()
+    with c.method("intersect", f"(L{VEC};L{VEC};)F") as m:
+        # args: 1=origin, 2=dir; returns distance or -1.0
+        # locals: 3=oc, 4=b, 5=cc, 6=disc
+        m.aload(1)
+        m.aload(0).invokevirtual(SPHERE, "getCenter", f"()L{VEC};")
+        m.invokevirtual(VEC, "sub", f"(L{VEC};)L{VEC};").astore(3)
+        m.aload(3).aload(2)
+        m.invokevirtual(VEC, "dot", f"(L{VEC};)F").istore(4)
+        m.aload(3).aload(3)
+        m.invokevirtual(VEC, "dot", f"(L{VEC};)F")
+        m.aload(0).invokevirtual(SPHERE, "getRadius", "()F")
+        m.aload(0).invokevirtual(SPHERE, "getRadius", "()F")
+        m.imul().isub().istore(5)
+        m.iload(4).iload(4).imul().iload(5).isub().istore(6)
+        m.iload(6).ldc(0.0).fcmp().ifgt("hit")
+        m.ldc(-1.0).ireturn()
+        m.label("hit")
+        m.iload(4).ineg()
+        m.iload(6).invokestatic("java.lang.Math", "sqrt", "(F)F")
+        m.isub().ireturn()
+    return c
+
+
+def _build_worker(width: int) -> ClassAssembler:
+    c = ClassAssembler(WORKER, super_name="java.lang.Thread")
+    c.field("y0", default=0)
+    c.field("y1", default=0)
+    c.field("spheres")
+    c.field("result", default=0)
+
+    with c.method("<init>", f"(II[L{SPHERE};)V") as m:
+        m.aload(0).iload(1).putfield(WORKER, "y0")
+        m.aload(0).iload(2).putfield(WORKER, "y1")
+        m.aload(0).aload(3).putfield(WORKER, "spheres")
+        m.return_()
+
+    with c.method("invSqrt", "(F)F", static=True) as m:
+        # Newton iterations from guess 0.5 (bytecode, no native)
+        # locals: 0=v, 1=guess, 2=i
+        m.ldc(0.5).istore(1)
+        m.iconst(0).istore(2)
+        m.label("iter")
+        m.iload(2).iconst(3).if_icmpge("done")
+        m.iload(1)
+        m.ldc(1.5)
+        m.ldc(0.5).iload(0).imul().iload(1).imul().iload(1).imul()
+        m.isub()
+        m.imul().istore(1)
+        m.iinc(2, 1).goto("iter")
+        m.label("done")
+        m.iload(1).ireturn()
+
+    with c.method("tracePixel", "(II)I") as m:
+        # locals: 1=x, 2=y, 3=dx, 4=dy, 5=dz, 6=inv, 7=dir, 8=origin,
+        #         9=best, 10=i, 11=dist, 12=n
+        m.iload(1).i2f().ldc(float(width)).ldc(2.0).fdiv().isub()
+        m.ldc(float(width)).fdiv().istore(3)
+        m.iload(2).i2f().ldc(float(HEIGHT)).ldc(2.0).fdiv().isub()
+        m.ldc(float(HEIGHT)).fdiv().istore(4)
+        m.ldc(1.0).istore(5)
+        m.iload(3).iload(3).imul()
+        m.iload(4).iload(4).imul().iadd()
+        m.iload(5).iload(5).imul().iadd()
+        m.invokestatic(WORKER, "invSqrt", "(F)F").istore(6)
+        m.new(VEC).dup()
+        m.iload(3).iload(6).imul()
+        m.iload(4).iload(6).imul()
+        m.iload(5).iload(6).imul()
+        m.invokespecial(VEC, "<init>", "(FFF)V").astore(7)
+        m.new(VEC).dup().ldc(0.0).ldc(0.0).ldc(0.0)
+        m.invokespecial(VEC, "<init>", "(FFF)V").astore(8)
+        m.ldc(1.0e9).istore(9)
+        m.iconst(0).istore(10)
+        m.aload(0).getfield(WORKER, "spheres").arraylength()
+        m.istore(12)
+        m.label("sph")
+        m.iload(10).iload(12).if_icmpge("shade")
+        m.aload(0).getfield(WORKER, "spheres").iload(10).aaload()
+        m.checkcast(SPHERE)
+        m.aload(8).aload(7)
+        m.invokevirtual(SPHERE, "intersect",
+                        f"(L{VEC};L{VEC};)F").istore(11)
+        m.iload(11).ldc(0.0).fcmp().ifle("next")
+        m.iload(11).iload(9).fcmp().ifge("next")
+        m.iload(11).istore(9)
+        m.label("next")
+        m.iinc(10, 1).goto("sph")
+        m.label("shade")
+        m.iload(9).ldc(1.0e9).fcmp().ifge("miss")
+        m.ldc(255.0).ldc(1.0).iload(9).iadd().fdiv().f2i().ireturn()
+        m.label("miss")
+        m.iconst(0).ireturn()
+
+    with c.method("run", "()V") as m:
+        # locals: 1=y, 2=x, 3=cs
+        m.iconst(0).istore(3)
+        m.aload(0).getfield(WORKER, "y0").istore(1)
+        m.label("rows")
+        m.iload(1).aload(0).getfield(WORKER, "y1").if_icmpge("done")
+        m.iconst(0).istore(2)
+        m.label("cols")
+        m.iload(2).ldc(width).if_icmpge("row_done")
+        m.iload(3).iconst(31).imul()
+        m.aload(0).iload(2).iload(1)
+        m.invokevirtual(WORKER, "tracePixel", "(II)I")
+        m.iadd().istore(3)
+        m.iinc(2, 1).goto("cols")
+        m.label("row_done")
+        m.iinc(1, 1).goto("rows")
+        m.label("done")
+        m.aload(0).iload(3).putfield(WORKER, "result")
+        m.return_()
+    return c
+
+
+def _build_main(width: int) -> ClassAssembler:
+    c = ClassAssembler(MAIN)
+    with c.method("makeScene", f"()[L{SPHERE};", static=True) as m:
+        from repro.bytecode.opcodes import ArrayKind
+
+        m.iconst(N_SPHERES).newarray(ArrayKind.REF).astore(0)
+        for i, (cx, cy, cz, r) in enumerate(SPHERES):
+            m.aload(0).iconst(i)
+            m.new(SPHERE).dup()
+            m.new(VEC).dup().ldc(cx).ldc(cy).ldc(cz)
+            m.invokespecial(VEC, "<init>", "(FFF)V")
+            m.ldc(r)
+            m.invokespecial(SPHERE, "<init>", f"(L{VEC};F)V")
+            m.aastore()
+        m.aload(0).areturn()
+
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=scene,1=w1,2=w2,3=combined
+        m.invokestatic(MAIN, "makeScene", f"()[L{SPHERE};").astore(0)
+        half = HEIGHT // 2
+        m.new(WORKER).dup().iconst(0).iconst(half).aload(0)
+        m.invokespecial(WORKER, "<init>", f"(II[L{SPHERE};)V")
+        m.astore(1)
+        m.new(WORKER).dup().iconst(half).iconst(HEIGHT).aload(0)
+        m.invokespecial(WORKER, "<init>", f"(II[L{SPHERE};)V")
+        m.astore(2)
+        m.aload(1).invokevirtual(WORKER, "start", "()V")
+        m.aload(2).invokevirtual(WORKER, "start", "()V")
+        m.aload(1).invokevirtual(WORKER, "join", "()V")
+        m.aload(2).invokevirtual(WORKER, "join", "()V")
+        for key, slot in (("cs0", 1), ("cs1", 2)):
+            m.getstatic("java.lang.System", "out")
+            m.new("java.lang.StringBuilder").dup()
+            m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+            m.ldc(f"{key}=")
+            m.invokevirtual(
+                "java.lang.StringBuilder", "appendString",
+                "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+            m.aload(slot).getfield(WORKER, "result")
+            m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                            "(I)Ljava.lang.StringBuilder;")
+            m.invokevirtual("java.lang.StringBuilder", "toString",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.io.PrintStream", "println",
+                            "(Ljava.lang.String;)V")
+        m.return_()
+    return c
+
+
+@register
+class MtrtWorkload(Workload):
+    """Two-thread object-oriented ray tracer."""
+
+    name = "mtrt"
+    description = ("multithreaded ray tracer: the most call-dense "
+                   "benchmark; native sqrt only on confirmed hits")
+
+    main_class = MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.width = WIDTH_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_vec().build())
+        archive.put_class(_build_sphere().build())
+        archive.put_class(_build_worker(self.width).build())
+        archive.put_class(_build_main(self.width).build())
+        return archive
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        expected = _Mirror(self.width).run()
+        for index, key in enumerate(("cs0", "cs1")):
+            got = self.console_value(vm, key)
+            if got is None:
+                return WorkloadResultCheck(False, f"missing {key}=")
+            if int(got) != expected[index]:
+                return WorkloadResultCheck(
+                    False, f"{key} {got} != {expected[index]}")
+        return WorkloadResultCheck(True)

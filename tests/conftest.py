@@ -1,0 +1,6 @@
+"""Make tests/ importable as a source of shared helpers."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,221 @@
+"""Bytecode layer: opcodes, instructions, assembler, disassembler."""
+
+import pytest
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.disassembler import disassemble, disassemble_method
+from repro.bytecode.instructions import ExceptionEntry, Instruction
+from repro.bytecode.opcodes import (
+    ArrayKind,
+    INVOKE_OPS,
+    Op,
+    OperandKind,
+    SPECS,
+    VARIABLE,
+)
+from repro.errors import BytecodeError
+
+
+class TestOpcodeSpecs:
+    def test_every_opcode_has_a_spec(self):
+        assert set(SPECS) == set(Op)
+
+    def test_mnemonics_are_unique(self):
+        mnemonics = [spec.mnemonic for spec in SPECS.values()]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_branches_marked(self):
+        assert SPECS[Op.GOTO].is_branch
+        assert SPECS[Op.GOTO].ends_block
+        assert SPECS[Op.IF_ICMPLT].is_branch
+        assert not SPECS[Op.IF_ICMPLT].ends_block
+
+    def test_returns_end_blocks(self):
+        for op in (Op.RETURN, Op.IRETURN, Op.ARETURN, Op.ATHROW):
+            assert SPECS[op].ends_block
+
+    def test_invokes_have_variable_effects(self):
+        for op in INVOKE_OPS:
+            assert SPECS[op].pops == VARIABLE
+
+    def test_fixed_effects_are_sane(self):
+        assert SPECS[Op.IADD].pops == 2
+        assert SPECS[Op.IADD].pushes == 1
+        assert SPECS[Op.DUP].pops == 1
+        assert SPECS[Op.DUP].pushes == 2
+        assert SPECS[Op.IASTORE].pops == 3
+
+    def test_opcode_values_stable(self):
+        # the serializer depends on these staying put
+        assert int(Op.NOP) == 0x00
+        assert int(Op.ICONST) == 0x01
+        assert int(Op.INVOKESTATIC) == 0x90
+        assert int(Op.ATHROW) == 0xA0
+
+
+class TestInstructionValidation:
+    def test_operand_required(self):
+        with pytest.raises(BytecodeError):
+            Instruction(Op.ILOAD)
+
+    def test_no_operand_allowed(self):
+        with pytest.raises(BytecodeError):
+            Instruction(Op.IADD, 1)
+
+    def test_iinc_operand_shape(self):
+        Instruction(Op.IINC, (1, -3))
+        with pytest.raises(BytecodeError):
+            Instruction(Op.IINC, 5)
+        with pytest.raises(BytecodeError):
+            Instruction(Op.IINC, (1,))
+
+    def test_local_index_must_be_non_negative(self):
+        with pytest.raises(BytecodeError):
+            Instruction(Op.ILOAD, -1)
+
+    def test_bool_rejected_as_int_operand(self):
+        with pytest.raises(BytecodeError):
+            Instruction(Op.ICONST, True)
+
+    def test_label_operand_both_forms(self):
+        unresolved = Instruction(Op.GOTO, "loop")
+        assert not unresolved.is_resolved_branch
+        resolved = Instruction(Op.GOTO, 4)
+        assert resolved.is_resolved_branch
+
+
+class TestAssembler:
+    def test_labels_resolve_to_indices(self):
+        c = ClassAssembler("t.A")
+        with c.method("f", "()I", static=True) as m:
+            m.iconst(0).istore(0)
+            m.label("top")
+            m.iload(0).iconst(10).if_icmpge("end")
+            m.iinc(0, 1).goto("top")
+            m.label("end")
+            m.iload(0).ireturn()
+        method = c.build().find_method("f", "()I")
+        branch = method.code[4]
+        assert branch.op is Op.IF_ICMPGE
+        assert branch.operand == 7
+        back = method.code[6]
+        assert back.op is Op.GOTO
+        assert back.operand == 2
+
+    def test_undefined_label_raises(self):
+        c = ClassAssembler("t.B")
+        m = c.method("f", "()V", static=True)
+        m.goto("nowhere")
+        with pytest.raises(BytecodeError, match="undefined label"):
+            m.finish()
+
+    def test_duplicate_label_raises(self):
+        c = ClassAssembler("t.C")
+        m = c.method("f", "()V", static=True)
+        m.label("x")
+        with pytest.raises(BytecodeError, match="duplicate label"):
+            m.label("x")
+
+    def test_max_locals_accounts_args_and_stores(self):
+        c = ClassAssembler("t.D")
+        with c.method("f", "(II)I", static=True) as m:
+            m.iload(0).iload(1).iadd().istore(5)
+            m.iload(5).ireturn()
+        method = c.build().find_method("f", "(II)I")
+        assert method.max_locals == 6
+
+    def test_instance_method_counts_receiver_slot(self):
+        c = ClassAssembler("t.E")
+        with c.method("g", "()V") as m:
+            m.return_()
+        method = c.build().find_method("g", "()V")
+        assert method.max_locals == 1
+
+    def test_ldc_deduplicates_pool_entries(self):
+        c = ClassAssembler("t.F")
+        with c.method("f", "()I", static=True) as m:
+            m.ldc(123456).ldc(123456).iadd().ireturn()
+        cf = c.build()
+        method = cf.find_method("f", "()I")
+        assert method.code[0].operand == method.code[1].operand
+
+    def test_ldc_rejects_bool(self):
+        c = ClassAssembler("t.G")
+        m = c.method("f", "()V", static=True)
+        with pytest.raises(BytecodeError):
+            m.ldc(True)
+
+    def test_native_method_declared_without_code(self):
+        c = ClassAssembler("t.H")
+        method = c.native_method("n", "(I)I", static=True)
+        assert method.is_native
+        assert method.code is None
+
+    def test_emit_after_finish_fails(self):
+        c = ClassAssembler("t.I")
+        m = c.method("f", "()V", static=True)
+        m.return_()
+        m.finish()
+        with pytest.raises(BytecodeError):
+            m.iconst(1)
+
+    def test_try_catch_labels_resolved(self):
+        c = ClassAssembler("t.J")
+        with c.method("f", "()V", static=True) as m:
+            m.label("start")
+            m.iconst(1).pop()
+            m.label("end")
+            m.return_()
+            m.label("handler")
+            m.pop().return_()
+            m.try_catch("start", "end", "handler",
+                        "java.lang.Exception")
+        method = c.build(verify=False).find_method("f", "()V")
+        entry = method.exception_table[0]
+        assert (entry.start, entry.end, entry.handler) == (0, 2, 3)
+        assert entry.catch_type == "java.lang.Exception"
+
+
+class TestDisassembler:
+    def _sample(self):
+        c = ClassAssembler("t.K")
+        c.field("count", static=True, default=0)
+        with c.method("f", "(I)I", static=True) as m:
+            m.label("top")
+            m.iload(0).iconst(2).imul()
+            m.ldc("hello")
+            m.invokevirtual("java.lang.String", "length", "()I")
+            m.iadd().ireturn()
+        c.native_method("n", "()V", static=True)
+        return c.build()
+
+    def test_listing_contains_mnemonics_and_operands(self):
+        text = disassemble(self._sample())
+        assert "class t.K extends java.lang.Object" in text
+        assert "iload 0" in text
+        assert "java.lang.String.length()I" in text
+        assert "'hello'" in text
+        assert "<native>" in text
+
+    def test_method_listing_shows_exception_table(self):
+        c = ClassAssembler("t.L")
+        with c.method("f", "()V", static=True) as m:
+            m.label("a").iconst(1).pop()
+            m.label("b").return_()
+            m.label("h").pop().return_()
+            m.try_catch("a", "b", "h", None)
+        cf = c.build(verify=False)
+        text = disassemble_method(cf.find_method("f", "()V"),
+                                  cf.constant_pool)
+        assert "catch <any>" in text
+
+
+class TestExceptionEntry:
+    def test_frozen(self):
+        entry = ExceptionEntry(0, 1, 2, None)
+        with pytest.raises(AttributeError):
+            entry.start = 5
+
+    def test_array_kind_values_stable(self):
+        assert int(ArrayKind.INT) == 0
+        assert int(ArrayKind.REF) == 4

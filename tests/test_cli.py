@@ -1,0 +1,49 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_agent_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "jess", "--agent", "bogus"])
+
+    @pytest.mark.parametrize("agent", ["none", "spa", "ipa",
+                                       "ipa-dynamic", "ipa-nocomp"])
+    def test_agent_names_accepted(self, agent):
+        args = build_parser().parse_args(
+            ["profile", "jess", "--agent", agent])
+        assert args.agent.label in ("original", "spa", "ipa")
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("compress", "jess", "db", "javac", "mpegaudio",
+                     "mtrt", "jack", "jbb2005"):
+            assert name in out
+
+    def test_profile_ipa(self, capsys):
+        assert main(["profile", "jess", "--agent", "ipa"]) == 0
+        out = capsys.readouterr().out
+        assert "percent_native" in out
+        assert "gt native %" in out
+
+    def test_profile_baseline(self, capsys):
+        assert main(["profile", "mtrt", "--agent", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "agent report" not in out
+
+    def test_profile_throughput_workload(self, capsys):
+        assert main(["profile", "jbb2005", "--agent", "none"]) == 0
+        out = capsys.readouterr().out
+        assert "ops/second" in out

@@ -1,0 +1,214 @@
+"""java.util.Vector and java.util.Hashtable (bytecode collections)."""
+
+from repro.bytecode.assembler import ClassAssembler
+
+from helpers import build_app, expr_main, run_expr, run_main
+
+VEC = "java.util.Vector"
+HT = "java.util.Hashtable"
+
+
+class TestVector:
+    def test_add_get_size_with_growth(self):
+        def body(m):
+            m.new(VEC).dup().iconst(2)
+            m.invokespecial(VEC, "<init>", "(I)V").astore(0)
+            m.iconst(0).istore(1)
+            m.label("fill")
+            m.iload(1).iconst(40).if_icmpge("check")
+            m.aload(0).ldc("item")
+            m.invokevirtual(VEC, "add", "(Ljava.lang.Object;)V")
+            m.iinc(1, 1).goto("fill")
+            m.label("check")
+            m.aload(0).invokevirtual(VEC, "size", "()I")
+
+        result, _ = run_expr(body, "vec.Grow")
+        assert result == 40
+
+    def test_get_returns_stored_element(self):
+        def body(m):
+            m.new(VEC).dup()
+            m.invokespecial(VEC, "<init>", "()V").astore(0)
+            m.aload(0).ldc("alpha")
+            m.invokevirtual(VEC, "add", "(Ljava.lang.Object;)V")
+            m.aload(0).ldc("beta")
+            m.invokevirtual(VEC, "add", "(Ljava.lang.Object;)V")
+            m.aload(0).iconst(1)
+            m.invokevirtual(VEC, "get", "(I)Ljava.lang.Object;")
+            m.checkcast("java.lang.String")
+            m.invokevirtual("java.lang.String", "length", "()I")
+
+        result, _ = run_expr(body, "vec.Get")
+        assert result == 4
+
+    def test_index_of_uses_equals(self):
+        def body(m):
+            m.new(VEC).dup()
+            m.invokespecial(VEC, "<init>", "()V").astore(0)
+            for word in ("one", "two", "three"):
+                m.aload(0).ldc(word)
+                m.invokevirtual(VEC, "add", "(Ljava.lang.Object;)V")
+            # a fresh (non-interned) equal string must still be found
+            m.aload(0)
+            m.ldc("tw").ldc("o")
+            m.invokevirtual("java.lang.String", "concat",
+                            "(Ljava.lang.String;)Ljava.lang.String;")
+            m.invokevirtual(VEC, "indexOf", "(Ljava.lang.Object;)I")
+
+        result, _ = run_expr(body, "vec.Idx")
+        assert result == 1
+
+    def test_index_of_missing(self):
+        def body(m):
+            m.new(VEC).dup()
+            m.invokespecial(VEC, "<init>", "()V").astore(0)
+            m.aload(0).ldc("x")
+            m.invokevirtual(VEC, "add", "(Ljava.lang.Object;)V")
+            m.aload(0).ldc("y")
+            m.invokevirtual(VEC, "indexOf", "(Ljava.lang.Object;)I")
+
+        result, _ = run_expr(body, "vec.Miss")
+        assert result == -1
+
+    def test_out_of_bounds_get_throws(self):
+        c = ClassAssembler("vec.Oob")
+        with c.method("attempt", "()I", static=True) as m:
+            m.label("try")
+            m.new(VEC).dup()
+            m.invokespecial(VEC, "<init>", "()V")
+            m.iconst(3)
+            m.invokevirtual(VEC, "get", "(I)Ljava.lang.Object;")
+            m.label("try_end")
+            m.pop().iconst(0).ireturn()
+            m.label("h")
+            m.instanceof("java.lang.ArrayIndexOutOfBoundsException")
+            m.ireturn()
+            m.try_catch("try", "try_end", "h", None)
+        main = expr_main("vec.OobMain", lambda m: m.invokestatic(
+            "vec.Oob", "attempt", "()I"))
+        vm = run_main(build_app(c, main), "vec.OobMain")
+        assert vm.console[-1] == "1"
+
+
+class TestHashtable:
+    def test_put_get_roundtrip(self):
+        def body(m):
+            m.new(HT).dup()
+            m.invokespecial(HT, "<init>", "()V").astore(0)
+            m.aload(0).ldc("key").ldc("value")
+            m.invokevirtual(
+                HT, "put",
+                "(Ljava.lang.Object;Ljava.lang.Object;)V")
+            m.aload(0).ldc("key")
+            m.invokevirtual(HT, "get",
+                            "(Ljava.lang.Object;)Ljava.lang.Object;")
+            m.checkcast("java.lang.String")
+            m.invokevirtual("java.lang.String", "length", "()I")
+
+        result, _ = run_expr(body, "ht.Rt")
+        assert result == 5
+
+    def test_missing_key_returns_null(self):
+        def body(m):
+            m.new(HT).dup()
+            m.invokespecial(HT, "<init>", "()V").astore(0)
+            m.aload(0).ldc("ghost")
+            m.invokevirtual(HT, "get",
+                            "(Ljava.lang.Object;)Ljava.lang.Object;")
+            m.ifnull("null")
+            m.iconst(0).goto("end")
+            m.label("null").iconst(1)
+            m.label("end")
+
+        result, _ = run_expr(body, "ht.Null")
+        assert result == 1
+
+    def test_overwrite_keeps_size(self):
+        def body(m):
+            m.new(HT).dup()
+            m.invokespecial(HT, "<init>", "()V").astore(0)
+            m.aload(0).ldc("k").ldc("v1")
+            m.invokevirtual(
+                HT, "put",
+                "(Ljava.lang.Object;Ljava.lang.Object;)V")
+            m.aload(0).ldc("k").ldc("v2")
+            m.invokevirtual(
+                HT, "put",
+                "(Ljava.lang.Object;Ljava.lang.Object;)V")
+            m.aload(0).invokevirtual(HT, "size", "()I")
+
+        result, _ = run_expr(body, "ht.Ow")
+        assert result == 1
+
+    def test_rehash_preserves_entries(self):
+        # insert well past the initial capacity's load limit; the
+        # key->value mapping must survive the rehash
+        def body(m):
+            m.new(HT).dup().iconst(4)
+            m.invokespecial(HT, "<init>", "(I)V").astore(0)
+            m.iconst(0).istore(1)
+            m.label("fill")
+            m.iload(1).iconst(60).if_icmpge("check")
+            m.aload(0)
+            m.iload(1).invokestatic("java.lang.Integer", "toString",
+                                    "(I)Ljava.lang.String;")
+            m.iload(1).invokestatic("java.lang.Integer", "toString",
+                                    "(I)Ljava.lang.String;")
+            m.invokevirtual(
+                HT, "put",
+                "(Ljava.lang.Object;Ljava.lang.Object;)V")
+            m.iinc(1, 1).goto("fill")
+            m.label("check")
+            m.aload(0).ldc("37")
+            m.invokevirtual(HT, "get",
+                            "(Ljava.lang.Object;)Ljava.lang.Object;")
+            m.checkcast("java.lang.String")
+            m.ldc("37")
+            m.invokevirtual("java.lang.String", "equals",
+                            "(Ljava.lang.Object;)I")
+            m.aload(0).invokevirtual(HT, "size", "()I")
+            m.iconst(1000).imul().iadd()
+
+        result, _ = run_expr(body, "ht.Rh")
+        assert result == 60 * 1000 + 1
+
+    def test_contains_key(self):
+        def body(m):
+            m.new(HT).dup()
+            m.invokespecial(HT, "<init>", "()V").astore(0)
+            m.aload(0).ldc("a").ldc("b")
+            m.invokevirtual(
+                HT, "put",
+                "(Ljava.lang.Object;Ljava.lang.Object;)V")
+            m.aload(0).ldc("a")
+            m.invokevirtual(HT, "containsKey",
+                            "(Ljava.lang.Object;)I")
+            m.aload(0).ldc("z")
+            m.invokevirtual(HT, "containsKey",
+                            "(Ljava.lang.Object;)I")
+            m.iconst(10).imul().iadd()
+
+        result, _ = run_expr(body, "ht.Ck")
+        assert result == 1
+
+    def test_non_string_keys_use_identity_hash(self):
+        def body(m):
+            m.new(HT).dup()
+            m.invokespecial(HT, "<init>", "()V").astore(0)
+            m.new("java.lang.Object").dup()
+            m.invokespecial("java.lang.Object", "<init>", "()V")
+            m.astore(1)
+            m.aload(0).aload(1).ldc("obj-value")
+            m.invokevirtual(
+                HT, "put",
+                "(Ljava.lang.Object;Ljava.lang.Object;)V")
+            m.aload(0).aload(1)
+            m.invokevirtual(HT, "get",
+                            "(Ljava.lang.Object;)Ljava.lang.Object;")
+            m.ifnonnull("hit")
+            m.iconst(0).goto("end")
+            m.label("hit").iconst(1)
+            m.label("end")
+
+        result, _ = run_expr(body, "ht.Obj")
+        assert result == 1

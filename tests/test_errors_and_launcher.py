@@ -1,0 +1,62 @@
+"""Error hierarchy and the VM factory."""
+
+import pytest
+
+from repro import errors
+from repro.launcher import create_vm, runtime_archive
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_linkage_family(self):
+        assert issubclass(errors.ClassNotFoundError,
+                          errors.LinkageError)
+        assert issubclass(errors.NoSuchMethodError,
+                          errors.LinkageError)
+        assert issubclass(errors.UnsatisfiedLinkError,
+                          errors.LinkageError)
+
+    def test_vm_family(self):
+        assert issubclass(errors.StackOverflowSimError, errors.VMError)
+        assert issubclass(errors.DeadlockError, errors.VMError)
+        assert issubclass(errors.JavaException, errors.VMError)
+
+    def test_java_exception_carries_payload(self):
+        exc = errors.JavaException("java.lang.Foo", "boom",
+                                   jobject="sentinel")
+        assert exc.class_name == "java.lang.Foo"
+        assert exc.message == "boom"
+        assert exc.jobject == "sentinel"
+        assert "boom" in str(exc)
+
+    def test_catching_base_catches_subsystems(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.JVMTIError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.InstrumentationError("x")
+
+
+class TestLauncher:
+    def test_runtime_archive_is_cached(self):
+        assert runtime_archive() is runtime_archive()
+
+    def test_create_vm_preloads_core_natives(self):
+        vm = create_vm()
+        assert vm.native_registry.is_loaded("java")
+
+    def test_bare_vm_has_no_runtime(self):
+        vm = create_vm(with_runtime=False)
+        assert not vm.loader.bootclasspath
+        assert not vm.native_registry.is_loaded("java")
+
+    def test_vms_do_not_share_state(self):
+        a = create_vm()
+        b = create_vm()
+        a.threads.current = a.threads.create("t")
+        a.intern_string("only-in-a")
+        assert b.heap.intern_table_size == 0

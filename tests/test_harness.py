@@ -1,0 +1,123 @@
+"""Harness: runner, Table I/II builders, report rendering."""
+
+import pytest
+
+from repro import units
+from repro.errors import HarnessError
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.overhead import build_table1
+from repro.harness.report import render_table1, render_table2
+from repro.harness.runner import execute
+from repro.harness.statistics import build_table2
+from repro.workloads.base import MetricKind
+
+from test_agents import MixedWorkload
+
+
+class ThroughputMixedWorkload(MixedWorkload):
+    """MixedWorkload reported as a throughput benchmark."""
+
+    name = "mixed-tp"
+    metric = MetricKind.THROUGHPUT
+
+    def operations(self, vm) -> int:
+        return self.iterations
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return build_table1([MixedWorkload(),
+                         ThroughputMixedWorkload()])
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return build_table2([MixedWorkload()])
+
+
+class TestRunner:
+    def test_invalid_runs_rejected(self):
+        with pytest.raises(HarnessError):
+            execute(MixedWorkload(), RunConfig(runs=0))
+
+    def test_median_of_deterministic_runs(self):
+        single = execute(MixedWorkload(), RunConfig(runs=1))
+        tripled = execute(MixedWorkload(), RunConfig(runs=3))
+        assert single.cycles == tripled.cycles
+
+    def test_failed_validation_raises(self):
+        from repro.workloads.base import (
+            Workload,
+            WorkloadResultCheck,
+        )
+
+        class Broken(MixedWorkload):
+            name = "broken"
+
+            def validate(self, vm):
+                return WorkloadResultCheck(False, "intentional")
+
+        with pytest.raises(HarnessError, match="intentional"):
+            execute(Broken(), RunConfig())
+
+
+class TestTable1:
+    def test_row_per_time_workload_plus_geomean(self, table1):
+        assert [row.benchmark for row in table1.time_rows] == \
+            ["mixed"]
+        assert table1.geomean_row is not None
+        assert table1.geomean_row.benchmark == "geom. mean"
+
+    def test_throughput_rows_separate(self, table1):
+        assert [row.benchmark for row in table1.throughput_rows] == \
+            ["mixed-tp"]
+
+    def test_time_overhead_formula(self, table1):
+        row = table1.time_rows[0]
+        expected = units.overhead_percent(row.value_original,
+                                          row.value_spa)
+        assert row.overhead_spa_percent == pytest.approx(expected)
+
+    def test_throughput_overhead_formula(self, table1):
+        row = table1.throughput_rows[0]
+        expected = units.throughput_overhead_percent(
+            row.value_original, row.value_spa)
+        assert row.overhead_spa_percent == pytest.approx(expected)
+
+    def test_spa_dwarfs_ipa(self, table1):
+        for row in table1.rows:
+            assert row.overhead_spa_percent > \
+                20 * max(row.overhead_ipa_percent, 0.01)
+
+    def test_raw_results_kept(self, table1):
+        assert set(table1.raw["mixed"]) == {"original", "spa", "ipa"}
+
+    def test_rendering(self, table1):
+        text = render_table1(table1)
+        assert "TABLE I" in text
+        assert "overhead SPA" in text
+        assert "mixed" in text
+        assert "geom. mean" in text
+        assert "ops/s" in text
+
+
+class TestTable2:
+    def test_row_shape(self, table2):
+        row = table2.rows[0]
+        assert row.benchmark == "mixed"
+        assert row.jni_calls >= 1
+        assert row.native_method_calls > 100
+        assert 0 < row.percent_native < 100
+
+    def test_ground_truth_audit_column(self, table2):
+        row = table2.rows[0]
+        assert row.measurement_error_points == pytest.approx(
+            abs(row.percent_native - row.ground_truth_percent_native))
+        assert row.measurement_error_points < 2.0
+
+    def test_rendering(self, table2):
+        text = render_table2(table2)
+        assert "TABLE II" in text
+        assert "% native execution" in text
+        assert "JNI calls" in text
+        assert "error [pts]" in text

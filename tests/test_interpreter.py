@@ -1,0 +1,527 @@
+"""Interpreter semantics: arithmetic, control flow, objects, arrays,
+exceptions, dispatch, monitors."""
+
+import pytest
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.errors import (
+    DeadlockError,
+    NoSuchMethodError,
+    StackOverflowSimError,
+)
+
+from helpers import build_app, expr_main, run_expr, run_main
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("a,b,op,expected", [
+        (7, 5, "iadd", 12),
+        (7, 5, "isub", 2),
+        (7, 5, "imul", 35),
+        (7, 5, "idiv", 1),
+        (7, 5, "irem", 2),
+        (-7, 5, "idiv", -1),     # Java truncates toward zero
+        (-7, 5, "irem", -2),
+        (7, -5, "idiv", -1),
+        (7, -5, "irem", 2),
+        (6, 2, "ishl", 24),
+        (-8, 1, "ishr", -4),
+        (12, 10, "iand", 8),
+        (12, 10, "ior", 14),
+        (12, 10, "ixor", 6),
+    ])
+    def test_binary_ops(self, a, b, op, expected):
+        def body(m):
+            m.iconst(a).iconst(b)
+            getattr(m, op)()
+
+        result, _ = run_expr(body)
+        assert result == expected
+
+    def test_int_overflow_wraps(self):
+        result, _ = run_expr(
+            lambda m: m.ldc(2147483647).iconst(1).iadd())
+        assert result == -2147483648
+
+    def test_imul_wraps(self):
+        result, _ = run_expr(
+            lambda m: m.ldc(65536).ldc(65536).imul())
+        assert result == 0
+
+    def test_iushr_on_negative(self):
+        result, _ = run_expr(lambda m: m.iconst(-1).iconst(28).iushr())
+        assert result == 15
+
+    def test_ineg(self):
+        result, _ = run_expr(lambda m: m.iconst(5).ineg())
+        assert result == -5
+
+    def test_iinc(self):
+        def body(m):
+            m.iconst(10).istore(0)
+            m.iinc(0, -3)
+            m.iload(0)
+
+        result, _ = run_expr(body)
+        assert result == 7
+
+    def test_float_ops_and_conversions(self):
+        def body(m):
+            m.ldc(7.0).ldc(2.0).fdiv()   # 3.5
+            m.ldc(2.0).imul()            # 7.0
+            m.f2i()                      # 7
+
+        result, _ = run_expr(body)
+        assert result == 7
+
+    def test_fcmp(self):
+        result, _ = run_expr(lambda m: m.ldc(1.5).ldc(2.5).fcmp())
+        assert result == -1
+        result, _ = run_expr(lambda m: m.ldc(2.5).ldc(2.5).fcmp())
+        assert result == 0
+
+
+class TestControlFlow:
+    def test_loop_sums(self):
+        def body(m):
+            m.iconst(0).istore(0)
+            m.iconst(1).istore(1)
+            m.label("top")
+            m.iload(1).iconst(100).if_icmpgt("end")
+            m.iload(0).iload(1).iadd().istore(0)
+            m.iinc(1, 1).goto("top")
+            m.label("end")
+            m.iload(0)
+
+        result, _ = run_expr(body)
+        assert result == 5050
+
+    @pytest.mark.parametrize("op,value,taken", [
+        ("ifeq", 0, True), ("ifeq", 1, False),
+        ("ifne", 0, False), ("ifne", 2, True),
+        ("iflt", -1, True), ("iflt", 0, False),
+        ("ifle", 0, True), ("ifgt", 1, True),
+        ("ifge", 0, True), ("ifge", -1, False),
+    ])
+    def test_unary_branches(self, op, value, taken):
+        def body(m):
+            m.iconst(value)
+            getattr(m, op)("yes")
+            m.iconst(0).goto("end")
+            m.label("yes").iconst(1)
+            m.label("end")
+
+        result, _ = run_expr(body)
+        assert result == (1 if taken else 0)
+
+    def test_null_branches(self):
+        def body(m):
+            m.aconst_null().ifnull("yes")
+            m.iconst(0).goto("end")
+            m.label("yes").iconst(1)
+            m.label("end")
+
+        result, _ = run_expr(body)
+        assert result == 1
+
+    def test_reference_equality_branch(self):
+        def body(m):
+            m.ldc("x").ldc("x").if_acmpeq("same")  # both interned
+            m.iconst(0).goto("end")
+            m.label("same").iconst(1)
+            m.label("end")
+
+        result, _ = run_expr(body)
+        assert result == 1
+
+
+class TestStackOps:
+    def test_dup_swap_pop(self):
+        def body(m):
+            m.iconst(3).dup().iadd()        # 6
+            m.iconst(10).swap().isub()      # 10 - 6
+            m.iconst(99).pop()
+
+        result, _ = run_expr(body)
+        assert result == 4
+
+    def test_dup_x1(self):
+        def body(m):
+            m.iconst(2).iconst(5).dup_x1()  # 5 2 5
+            m.iadd().iadd()                 # 12
+
+        result, _ = run_expr(body)
+        assert result == 12
+
+
+class TestObjectsAndDispatch:
+    def _animal_classes(self):
+        base = ClassAssembler("zoo.Animal")
+        with base.method("<init>", "()V") as m:
+            m.return_()
+        with base.method("legs", "()I") as m:
+            m.iconst(4).ireturn()
+        with base.method("doubledLegs", "()I") as m:
+            m.aload(0).invokevirtual("zoo.Animal", "legs", "()I")
+            m.iconst(2).imul().ireturn()
+        bird = ClassAssembler("zoo.Bird", super_name="zoo.Animal")
+        with bird.method("legs", "()I") as m:
+            m.iconst(2).ireturn()
+        return base, bird
+
+    def test_virtual_dispatch_uses_receiver_class(self):
+        base, bird = self._animal_classes()
+
+        def body(m):
+            m.new("zoo.Bird").dup()
+            m.invokespecial("zoo.Bird", "<init>", "()V")
+            m.invokevirtual("zoo.Animal", "legs", "()I")
+
+        main = expr_main("zoo.Main", body)
+        vm = run_main(build_app(base, bird, main), "zoo.Main")
+        assert vm.console[-1] == "2"
+
+    def test_virtual_recursion_through_super_method(self):
+        base, bird = self._animal_classes()
+
+        def body(m):
+            m.new("zoo.Bird").dup()
+            m.invokespecial("zoo.Bird", "<init>", "()V")
+            m.invokevirtual("zoo.Animal", "doubledLegs", "()I")
+
+        main = expr_main("zoo.Main2", body)
+        vm = run_main(build_app(base, bird, main), "zoo.Main2")
+        # doubledLegs is inherited; its self-call dispatches to Bird
+        assert vm.console[-1] == "4"
+
+    def test_fields_and_constructor_args(self):
+        c = ClassAssembler("pt.Point")
+        c.field("x", default=0)
+        c.field("y", default=0)
+        with c.method("<init>", "(II)V") as m:
+            m.aload(0).iload(1).putfield("pt.Point", "x")
+            m.aload(0).iload(2).putfield("pt.Point", "y")
+            m.return_()
+        with c.method("manhattan", "()I") as m:
+            m.aload(0).getfield("pt.Point", "x")
+            m.aload(0).getfield("pt.Point", "y")
+            m.iadd().ireturn()
+
+        def body(m):
+            m.new("pt.Point").dup().iconst(3).iconst(9)
+            m.invokespecial("pt.Point", "<init>", "(II)V")
+            m.invokevirtual("pt.Point", "manhattan", "()I")
+
+        vm = run_main(build_app(c, expr_main("pt.Main", body)),
+                      "pt.Main")
+        assert vm.console[-1] == "12"
+
+    def test_static_fields_and_clinit(self):
+        c = ClassAssembler("st.Holder")
+        c.field("value", static=True, default=0)
+        with c.method("<clinit>", "()V", static=True) as m:
+            m.iconst(42).putstatic("st.Holder", "value")
+            m.return_()
+
+        def body(m):
+            m.getstatic("st.Holder", "value")
+
+        vm = run_main(build_app(c, expr_main("st.Main", body)),
+                      "st.Main")
+        assert vm.console[-1] == "42"
+
+    def test_instanceof_and_checkcast(self):
+        base, bird = self._animal_classes()
+
+        def body(m):
+            m.new("zoo.Bird").dup()
+            m.invokespecial("zoo.Bird", "<init>", "()V")
+            m.astore(0)
+            m.aload(0).instanceof("zoo.Animal")
+            m.aload(0).instanceof("java.lang.String")
+            m.iconst(10).imul().iadd()
+            m.aload(0).checkcast("zoo.Animal").pop()
+
+        main = expr_main("zoo.Main3", body)
+        vm = run_main(build_app(base, bird, main), "zoo.Main3")
+        assert vm.console[-1] == "1"
+
+    def test_missing_method_is_linkage_error(self):
+        def body(m):
+            m.invokestatic("nowhere.C", "f", "()I")
+
+        c = ClassAssembler("nowhere.C")
+        with c.method("g", "()V", static=True) as m:
+            m.return_()
+        with pytest.raises(NoSuchMethodError):
+            run_main(build_app(c, expr_main("nw.Main", body)),
+                     "nw.Main")
+
+
+class TestArrays:
+    def test_store_load_length(self):
+        def body(m):
+            m.iconst(5).newarray(ArrayKind.INT).astore(0)
+            m.aload(0).iconst(2).iconst(77).iastore()
+            m.aload(0).iconst(2).iaload()
+            m.aload(0).arraylength().iadd()
+
+        result, _ = run_expr(body)
+        assert result == 82
+
+    def test_byte_array_wraps_to_signed(self):
+        def body(m):
+            m.iconst(1).newarray(ArrayKind.BYTE).astore(0)
+            m.aload(0).iconst(0).iconst(200).iastore()
+            m.aload(0).iconst(0).iaload()
+
+        result, _ = run_expr(body)
+        assert result == -56
+
+    def test_char_array_wraps_unsigned(self):
+        def body(m):
+            m.iconst(1).newarray(ArrayKind.CHAR).astore(0)
+            m.aload(0).iconst(0).iconst(-1).iastore()
+            m.aload(0).iconst(0).iaload()
+
+        result, _ = run_expr(body)
+        assert result == 0xFFFF
+
+    def test_ref_arrays(self):
+        def body(m):
+            m.iconst(2).newarray(ArrayKind.REF).astore(0)
+            m.aload(0).iconst(0).ldc("hello").aastore()
+            m.aload(0).iconst(0).aaload()
+            m.invokevirtual("java.lang.String", "length", "()I")
+
+        result, _ = run_expr(body)
+        assert result == 5
+
+
+
+def catch_main(class_name, try_body, handler_body, catch_type,
+               extra_classes=()):
+    """Build a main that prints attempt()I, where attempt runs
+    ``try_body`` under a handler built by ``handler_body`` (entered
+    with just the thrown object on the stack, per JVM semantics)."""
+    c = ClassAssembler(class_name)
+    with c.method("attempt", "()I", static=True) as m:
+        m.label("try")
+        try_body(m)
+        m.label("try_end")
+        m.goto("no_exc")
+        m.label("handler")
+        handler_body(m)
+        m.ireturn()
+        m.label("no_exc")
+        m.iconst(0).ireturn()
+        m.try_catch("try", "try_end", "handler", catch_type)
+
+    def body(m):
+        m.invokestatic(class_name, "attempt", "()I")
+
+    main = expr_main(class_name + "M", body)
+    vm = run_main(build_app(c, *extra_classes, main),
+                  class_name + "M")
+    return vm
+
+
+class TestExceptions:
+    def _thrower(self):
+        c = ClassAssembler("ex.T")
+        with c.method("boom", "()V", static=True) as m:
+            m.new("java.lang.RuntimeException").dup()
+            m.ldc("kaboom")
+            m.invokespecial("java.lang.RuntimeException", "<init>",
+                            "(Ljava.lang.String;)V")
+            m.athrow()
+        return c
+
+    def test_catch_by_type(self):
+        vm = catch_main(
+            "ex.A",
+            lambda m: m.invokestatic("ex.T", "boom", "()V"),
+            lambda m: m.pop().iconst(1),
+            "java.lang.RuntimeException",
+            extra_classes=(self._thrower(),))
+        assert vm.console[-1] == "1"
+
+    def test_supertype_catches_subtype(self):
+        vm = catch_main(
+            "ex.B",
+            lambda m: m.invokestatic("ex.T", "boom", "()V"),
+            lambda m: m.pop().iconst(1),
+            "java.lang.Throwable",
+            extra_classes=(self._thrower(),))
+        assert vm.console[-1] == "1"
+
+    def test_unrelated_type_does_not_catch(self):
+        vm = catch_main(
+            "ex.C",
+            lambda m: m.invokestatic("ex.T", "boom", "()V"),
+            lambda m: m.pop().iconst(1),
+            "java.io.IOException",
+            extra_classes=(self._thrower(),))
+        # uncaught: thread records the exception, main prints nothing
+        thread = vm.threads.all_threads[0]
+        assert thread.uncaught_exception is not None
+        assert thread.uncaught_exception.class_name == \
+            "java.lang.RuntimeException"
+        assert any("kaboom" in line for line in vm.console)
+
+    def test_exception_unwinds_multiple_frames(self):
+        c = self._thrower()
+        with c.method("level1", "()V", static=True) as m:
+            m.invokestatic("ex.T", "boom", "()V")
+            m.return_()
+        with c.method("level2", "()V", static=True) as m:
+            m.invokestatic("ex.T", "level1", "()V")
+            m.return_()
+
+        def handler(m):
+            m.invokevirtual("java.lang.Throwable", "getMessage",
+                            "()Ljava.lang.String;")
+            m.invokevirtual("java.lang.String", "length", "()I")
+
+        vm = catch_main(
+            "ex.D",
+            lambda m: m.invokestatic("ex.T", "level2", "()V"),
+            handler,
+            None,
+            extra_classes=(c,))
+        assert vm.console[-1] == str(len("kaboom"))
+
+    @pytest.mark.parametrize("body_builder,exc_name", [
+        (lambda m: m.iconst(1).iconst(0).idiv(),
+         "java.lang.ArithmeticException"),
+        (lambda m: m.aconst_null().arraylength(),
+         "java.lang.NullPointerException"),
+        (lambda m: (m.iconst(1).newarray(ArrayKind.INT)
+                    .iconst(5).iaload()),
+         "java.lang.ArrayIndexOutOfBoundsException"),
+        (lambda m: m.iconst(-1).newarray(ArrayKind.INT).arraylength(),
+         "java.lang.NegativeArraySizeException"),
+        (lambda m: (m.ldc("s").checkcast("java.lang.Thread")
+                    .arraylength()),
+         "java.lang.ClassCastException"),
+    ])
+    def test_vm_synthesized_exceptions(self, body_builder, exc_name):
+        vm = catch_main(
+            "vmx." + exc_name.rsplit(".", 1)[-1],
+            lambda m: (body_builder(m), m.pop())[0],
+            lambda m: m.instanceof(exc_name),
+            None)
+        assert vm.console[-1] == "1"
+
+    def test_finally_runs_on_exception_path(self):
+        c = ClassAssembler("fin.C")
+        c.field("cleanups", static=True, default=0)
+        with c.method("work", "()V", static=True) as m:
+            m.label("try")
+            m.aconst_null().arraylength().pop()
+            m.label("try_end")
+            m.return_()
+            m.label("finally")
+            m.getstatic("fin.C", "cleanups").iconst(1).iadd()
+            m.putstatic("fin.C", "cleanups")
+            m.athrow()
+            m.try_catch("try", "try_end", "finally", None)
+
+        vm = catch_main(
+            "fin.X",
+            lambda m: m.invokestatic("fin.C", "work", "()V"),
+            lambda m: m.pop().getstatic("fin.C", "cleanups"),
+            None,
+            extra_classes=(c,))
+        assert vm.console[-1] == "1"
+
+
+class TestMonitors:
+    def test_uncontended_monitor(self):
+        def body(m):
+            m.ldc("lock").astore(0)
+            m.aload(0).monitorenter()
+            m.aload(0).monitorenter()   # recursive
+            m.aload(0).monitorexit()
+            m.aload(0).monitorexit()
+            m.iconst(1)
+
+        result, _ = run_expr(body)
+        assert result == 1
+
+    def test_exit_without_enter(self):
+        vm = catch_main(
+            "mon.X",
+            lambda m: m.ldc("lock").monitorexit(),
+            lambda m: m.instanceof(
+                "java.lang.IllegalMonitorStateException"),
+            None)
+        assert vm.console[-1] == "1"
+
+
+class TestRecursionLimits:
+    def test_deep_java_recursion_is_bounded(self):
+        c = ClassAssembler("rec.C")
+        with c.method("down", "(I)I", static=True) as m:
+            m.iload(0).ifle("base")
+            m.iload(0).iconst(1).isub()
+            m.invokestatic("rec.C", "down", "(I)I")
+            m.ireturn()
+            m.label("base")
+            m.iconst(0).ireturn()
+
+        def body(m):
+            m.ldc(1_000_000).invokestatic("rec.C", "down", "(I)I")
+
+        with pytest.raises(StackOverflowSimError):
+            run_main(build_app(c, expr_main("rec.Main", body)),
+                     "rec.Main")
+
+    def test_moderate_recursion_ok(self):
+        c = ClassAssembler("rec.D")
+        with c.method("down", "(I)I", static=True) as m:
+            m.iload(0).ifle("base")
+            m.iload(0).iconst(1).isub()
+            m.invokestatic("rec.D", "down", "(I)I")
+            m.iconst(1).iadd().ireturn()
+            m.label("base")
+            m.iconst(0).ireturn()
+
+        def body(m):
+            m.ldc(500).invokestatic("rec.D", "down", "(I)I")
+
+        vm = run_main(build_app(c, expr_main("rec.Main2", body)),
+                      "rec.Main2")
+        assert vm.console[-1] == "500"
+
+
+class TestAccounting:
+    def test_cycles_are_deterministic(self):
+        results = []
+        for _ in range(2):
+            _, vm = run_expr(
+                lambda m: m.iconst(2).iconst(3).imul())
+            results.append(vm.total_cycles)
+        assert results[0] == results[1]
+
+    def test_cycles_monotone_with_work(self):
+        def small(m):
+            m.iconst(1)
+
+        def big(m):
+            m.iconst(0).istore(0)
+            m.label("t")
+            m.iload(0).ldc(1000).if_icmpge("e")
+            m.iinc(0, 1).goto("t")
+            m.label("e")
+            m.iload(0)
+
+        _, vm_small = run_expr(small)
+        _, vm_big = run_expr(big)
+        assert vm_big.total_cycles > vm_small.total_cycles
+
+    def test_ground_truth_tags_partition_total(self):
+        _, vm = run_expr(lambda m: m.iconst(1))
+        truth = vm.ground_truth()
+        assert sum(truth.values()) == vm.total_cycles

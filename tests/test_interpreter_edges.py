@@ -1,0 +1,227 @@
+"""Interpreter edge cases: float arrays, null paths, nested handlers,
+cast corners, clinit-triggering instructions, IINC wrapping."""
+
+import pytest
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+
+from helpers import build_app, expr_main, run_expr, run_main
+
+
+class TestFloatArrays:
+    def test_default_and_store(self):
+        def body(m):
+            m.iconst(3).newarray(ArrayKind.FLOAT).astore(0)
+            m.aload(0).iconst(1).ldc(2.5).iastore()
+            m.aload(0).iconst(1).iaload()
+            m.aload(0).iconst(0).iaload()  # default 0.0
+            m.iadd().ldc(4.0).imul().f2i()
+
+        result, _ = run_expr(body)
+        assert result == 10
+
+    def test_int_store_coerced_to_float(self):
+        def body(m):
+            m.iconst(1).newarray(ArrayKind.FLOAT).astore(0)
+            m.aload(0).iconst(0).iconst(7).iastore()
+            m.aload(0).iconst(0).iaload()
+            m.ldc(2.0).fdiv().ldc(10.0).imul().f2i()
+
+        result, _ = run_expr(body)
+        assert result == 35
+
+
+class TestNullPaths:
+    def _attempt(self, try_body, check_class, name):
+        c = ClassAssembler(name)
+        with c.method("attempt", "()I", static=True) as m:
+            m.label("try")
+            try_body(m)
+            m.label("try_end")
+            m.iconst(0).ireturn()
+            m.label("h")
+            m.instanceof(check_class)
+            m.ireturn()
+            m.try_catch("try", "try_end", "h", None)
+        main = expr_main(name + "M", lambda m: m.invokestatic(
+            name, "attempt", "()I"))
+        vm = run_main(build_app(c, main), name + "M")
+        return vm.console[-1]
+
+    def test_getfield_on_null(self):
+        assert self._attempt(
+            lambda m: m.aconst_null()
+            .getfield("java.lang.Throwable", "message").pop(),
+            "java.lang.NullPointerException", "np.GF") == "1"
+
+    def test_putfield_on_null(self):
+        assert self._attempt(
+            lambda m: m.aconst_null().iconst(1)
+            .putfield("java.lang.Throwable", "message"),
+            "java.lang.NullPointerException", "np.PF") == "1"
+
+    def test_invoke_on_null(self):
+        assert self._attempt(
+            lambda m: m.aconst_null()
+            .invokevirtual("java.lang.String", "length", "()I").pop(),
+            "java.lang.NullPointerException", "np.IV") == "1"
+
+    def test_throw_null_becomes_npe(self):
+        assert self._attempt(
+            lambda m: m.aconst_null().athrow(),
+            "java.lang.NullPointerException", "np.TH") == "1"
+
+    def test_monitorenter_on_null(self):
+        assert self._attempt(
+            lambda m: m.aconst_null().monitorenter(),
+            "java.lang.NullPointerException", "np.ME") == "1"
+
+    def test_checkcast_of_null_succeeds(self):
+        def body(m):
+            m.aconst_null().checkcast("java.lang.String")
+            m.ifnull("ok")
+            m.iconst(0).goto("end")
+            m.label("ok").iconst(1)
+            m.label("end")
+
+        result, _ = run_expr(body)
+        assert result == 1
+
+
+class TestNestedExceptionHandling:
+    def test_handler_inside_handler(self):
+        c = ClassAssembler("ne.C")
+        with c.method("attempt", "()I", static=True) as m:
+            m.label("outer_try")
+            m.iconst(1).iconst(0).idiv().pop()
+            m.label("outer_end")
+            m.iconst(0).ireturn()
+            # outer handler: triggers a second exception, caught inner
+            m.label("outer_h")
+            m.pop()
+            m.label("inner_try")
+            m.aconst_null().arraylength().pop()
+            m.label("inner_end")
+            m.iconst(0).ireturn()
+            m.label("inner_h")
+            m.instanceof("java.lang.NullPointerException")
+            m.iconst(100).iadd().ireturn()
+            m.try_catch("outer_try", "outer_end", "outer_h",
+                        "java.lang.ArithmeticException")
+            m.try_catch("inner_try", "inner_end", "inner_h", None)
+        main = expr_main("ne.Main", lambda m: m.invokestatic(
+            "ne.C", "attempt", "()I"))
+        vm = run_main(build_app(c, main), "ne.Main")
+        assert vm.console[-1] == "101"
+
+    def test_first_matching_entry_wins(self):
+        c = ClassAssembler("fm.C")
+        with c.method("attempt", "()I", static=True) as m:
+            m.label("try")
+            m.iconst(1).iconst(0).idiv().pop()
+            m.label("try_end")
+            m.iconst(0).ireturn()
+            m.label("h1")
+            m.pop().iconst(1).ireturn()
+            m.label("h2")
+            m.pop().iconst(2).ireturn()
+            # both cover the range; the first in table order wins
+            m.try_catch("try", "try_end", "h1",
+                        "java.lang.ArithmeticException")
+            m.try_catch("try", "try_end", "h2", None)
+        main = expr_main("fm.Main", lambda m: m.invokestatic(
+            "fm.C", "attempt", "()I"))
+        vm = run_main(build_app(c, main), "fm.Main")
+        assert vm.console[-1] == "1"
+
+    def test_exception_in_clinit_propagates(self):
+        bad = ClassAssembler("cl.Bad")
+        bad.field("x", static=True, default=0)
+        with bad.method("<clinit>", "()V", static=True) as m:
+            m.iconst(1).iconst(0).idiv().pop()
+            m.return_()
+
+        def body(m):
+            m.getstatic("cl.Bad", "x")
+
+        vm = run_main(build_app(bad, expr_main("cl.Main", body)),
+                      "cl.Main")
+        thread = vm.threads.all_threads[0]
+        assert thread.uncaught_exception is not None
+        assert thread.uncaught_exception.class_name == \
+            "java.lang.ArithmeticException"
+
+
+class TestMiscSemantics:
+    def test_iinc_wraps_int32(self):
+        def body(m):
+            m.ldc(2147483647).istore(0)
+            m.iinc(0, 1)
+            m.iload(0)
+
+        result, _ = run_expr(body)
+        assert result == -2147483648
+
+    def test_instanceof_array_is_object_only(self):
+        def body(m):
+            m.iconst(1).newarray(ArrayKind.INT).astore(0)
+            m.aload(0).instanceof("java.lang.Object")
+            m.aload(0).instanceof("java.lang.String")
+            m.iconst(10).imul().iadd()
+
+        result, _ = run_expr(body)
+        assert result == 1
+
+    def test_string_constants_are_interned_across_classes(self):
+        other = ClassAssembler("si.Other")
+        with other.method("give", "()Ljava.lang.String;",
+                          static=True) as m:
+            m.ldc("shared-constant").areturn()
+
+        def body(m):
+            m.ldc("shared-constant")
+            m.invokestatic("si.Other", "give",
+                           "()Ljava.lang.String;")
+            m.if_acmpeq("same")
+            m.iconst(0).goto("end")
+            m.label("same").iconst(1)
+            m.label("end")
+
+        vm = run_main(build_app(other, expr_main("si.Main", body)),
+                      "si.Main")
+        assert vm.console[-1] == "1"
+
+    def test_fields_shadow_free_inheritance(self):
+        base = ClassAssembler("fi.Base")
+        base.field("v", default=5)
+        with base.method("<init>", "()V") as m:
+            m.return_()
+        sub = ClassAssembler("fi.Sub", super_name="fi.Base")
+        with sub.method("<init>", "()V") as m:
+            m.return_()
+        with sub.method("read", "()I") as m:
+            m.aload(0).getfield("fi.Sub", "v").ireturn()
+
+        def body(m):
+            m.new("fi.Sub").dup()
+            m.invokespecial("fi.Sub", "<init>", "()V")
+            m.invokevirtual("fi.Sub", "read", "()I")
+
+        vm = run_main(build_app(base, sub,
+                                expr_main("fi.Main", body)),
+                      "fi.Main")
+        assert vm.console[-1] == "5"
+
+    def test_static_field_resolution_walks_supers(self):
+        base = ClassAssembler("sf.Base")
+        base.field("shared", static=True, default=77)
+        sub = ClassAssembler("sf.Sub", super_name="sf.Base")
+
+        def body(m):
+            m.getstatic("sf.Sub", "shared")
+
+        vm = run_main(build_app(base, sub,
+                                expr_main("sf.Main", body)),
+                      "sf.Main")
+        assert vm.console[-1] == "77"

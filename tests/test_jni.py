@@ -1,0 +1,278 @@
+"""JNI layer: mangling, libraries, resolution with prefixes, the
+function table and its 90 Call entries."""
+
+import pytest
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.errors import JNIError, UnsatisfiedLinkError
+from repro.jni.function_table import CALL_FUNCTION_NAMES
+from repro.jni.library import NativeLibrary, NativeRegistry
+from repro.jni.mangling import mangle
+from repro.launcher import create_vm
+
+from helpers import build_app, expr_main, run_main
+
+
+class TestMangling:
+    def test_dots_become_underscores(self):
+        assert mangle("java.lang.System", "arraycopy") == \
+            "Java_java_lang_System_arraycopy"
+
+    def test_plain_class(self):
+        assert mangle("Main", "f") == "Java_Main_f"
+
+
+class TestNativeLibrary:
+    def test_export_and_lookup(self):
+        lib = NativeLibrary("demo")
+
+        @lib.native_method("a.B", "f")
+        def f(env):
+            return 1
+
+        assert lib.lookup("Java_a_B_f") is f
+        assert lib.lookup("Java_a_B_g") is None
+
+    def test_duplicate_symbol_rejected(self):
+        lib = NativeLibrary("demo")
+        lib.export("s", lambda env: None)
+        with pytest.raises(JNIError):
+            lib.export("s", lambda env: None)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(JNIError):
+            NativeLibrary("")
+
+
+class TestRegistry:
+    def _vm(self):
+        return create_vm()
+
+    def test_load_library_required_before_resolution(self):
+        vm = self._vm()
+        lib = NativeLibrary("opt")
+        lib.export("Java_x_Y_f", lambda env: 1)
+        vm.native_registry.register(lib)  # available, not loaded
+        assert not vm.native_registry.is_loaded("opt")
+        vm.native_registry.load_library("opt")
+        assert vm.native_registry.is_loaded("opt")
+
+    def test_unknown_library(self):
+        vm = self._vm()
+        with pytest.raises(UnsatisfiedLinkError):
+            vm.native_registry.load_library("ghost")
+
+    def test_duplicate_registration_rejected(self):
+        vm = self._vm()
+        lib = NativeLibrary("dup")
+        vm.native_registry.register(lib)
+        with pytest.raises(JNIError):
+            vm.native_registry.register(NativeLibrary("dup"))
+
+    def test_unresolvable_native_throws_java_error(self):
+        c = ClassAssembler("ul.C")
+        c.native_method("ghost", "()I", static=True)
+
+        def body(m):
+            m.invokestatic("ul.C", "ghost", "()I")
+
+        vm = run_main(build_app(c, expr_main("ul.Main", body)),
+                      "ul.Main")
+        thread = vm.threads.all_threads[0]
+        assert thread.uncaught_exception.class_name == \
+            "java.lang.UnsatisfiedLinkError"
+
+    def test_prefix_retry_resolution(self):
+        # a method renamed with a prefix resolves to the unprefixed
+        # library symbol once the prefix is registered (JVMTI 1.1)
+        c = ClassAssembler("pr.C")
+        c.native_method("_p_answer", "()I", static=True)
+        lib = NativeLibrary("prlib")
+
+        @lib.native_method("pr.C", "answer")
+        def answer(env):
+            env.charge(10)
+            return 41
+
+        def body(m):
+            m.invokestatic("pr.C", "_p_answer", "()I")
+            m.iconst(1).iadd()
+
+        vm = create_vm()
+        vm.native_registry.register(lib, preload=True)
+        vm.jvmti.native_method_prefixes.append("_p_")
+        vm.loader.add_classpath_archive(
+            build_app(c, expr_main("pr.Main", body)))
+        vm.launch("pr.Main")
+        assert vm.console[-1] == "42"
+
+
+class TestFunctionTable:
+    def test_all_90_call_functions_present(self):
+        assert len(CALL_FUNCTION_NAMES) == 90
+        vm = create_vm()
+        for name in CALL_FUNCTION_NAMES:
+            assert vm.jni_table.get(name) is not None
+
+    def test_matrix_structure(self):
+        kinds = {"", "Static", "Nonvirtual"}
+        variants = {"", "A", "V"}
+        for kind in kinds:
+            for variant in variants:
+                name = f"Call{kind}IntMethod{variant}"
+                assert name in CALL_FUNCTION_NAMES
+
+    def test_replace_returns_previous(self):
+        vm = create_vm()
+        original = vm.jni_table.get("CallIntMethod")
+        sentinel = lambda env, *a: 0  # noqa: E731
+        previous = vm.jni_table.replace("CallIntMethod", sentinel)
+        assert previous is original
+        assert vm.jni_table.get("CallIntMethod") is sentinel
+
+    def test_unknown_function_rejected(self):
+        vm = create_vm()
+        with pytest.raises(JNIError):
+            vm.jni_table.get("CallBogusMethod")
+        with pytest.raises(JNIError):
+            vm.jni_table.install({"CallBogusMethod": lambda: None})
+
+
+class TestNativeToJavaCalls:
+    def _callback_app(self):
+        """A native method that calls back into Java via JNI."""
+        c = ClassAssembler("cb.C")
+        c.native_method("viaJni", "(I)I", static=True)
+        with c.method("twice", "(I)I", static=True) as m:
+            m.iload(0).iconst(2).imul().ireturn()
+
+        lib = NativeLibrary("cb")
+
+        @lib.native_method("cb.C", "viaJni")
+        def via_jni(env, value):
+            env.charge(20)
+            mid = env.get_static_method_id("cb.C", "twice", "(I)I")
+            return env.call_static_int_method(mid, value)
+
+        def body(m):
+            m.iconst(21).invokestatic("cb.C", "viaJni", "(I)I")
+
+        return build_app(c, expr_main("cb.Main", body)), lib
+
+    def test_round_trip_through_jni(self):
+        app, lib = self._callback_app()
+        vm = create_vm()
+        vm.native_registry.register(lib, preload=True)
+        vm.loader.add_classpath_archive(app)
+        vm.launch("cb.Main")
+        assert vm.console[-1] == "42"
+        # main entry + the callback
+        assert vm.jni_invocations >= 2
+
+    def test_virtual_dispatch_through_jni(self):
+        base = ClassAssembler("cv.Base")
+        with base.method("<init>", "()V") as m:
+            m.return_()
+        with base.method("pick", "()I") as m:
+            m.iconst(1).ireturn()
+        sub = ClassAssembler("cv.Sub", super_name="cv.Base")
+        with sub.method("pick", "()I") as m:
+            m.iconst(2).ireturn()
+        holder = ClassAssembler("cv.H")
+        holder.native_method("callPick", "(Lcv.Base;)I", static=True)
+
+        lib = NativeLibrary("cv")
+
+        @lib.native_method("cv.H", "callPick")
+        def call_pick(env, obj):
+            mid = env.get_method_id("cv.Base", "pick", "()I")
+            return env.call_int_method(obj, mid)
+
+        def body(m):
+            m.new("cv.Sub").dup()
+            m.invokespecial("cv.Sub", "<init>", "()V")
+            m.invokestatic("cv.H", "callPick", "(Lcv.Base;)I")
+
+        vm = create_vm()
+        vm.native_registry.register(lib, preload=True)
+        vm.loader.add_classpath_archive(
+            build_app(base, sub, holder, expr_main("cv.Main", body)))
+        vm.launch("cv.Main")
+        # Call<type>Method dispatches virtually, like JNI
+        assert vm.console[-1] == "2"
+
+    def test_nonvirtual_dispatch(self):
+        base = ClassAssembler("nv.Base")
+        with base.method("<init>", "()V") as m:
+            m.return_()
+        with base.method("pick", "()I") as m:
+            m.iconst(1).ireturn()
+        sub = ClassAssembler("nv.Sub", super_name="nv.Base")
+        with sub.method("pick", "()I") as m:
+            m.iconst(2).ireturn()
+        holder = ClassAssembler("nv.H")
+        holder.native_method("callPick", "(Lnv.Base;)I", static=True)
+
+        lib = NativeLibrary("nv")
+
+        @lib.native_method("nv.H", "callPick")
+        def call_pick(env, obj):
+            mid = env.get_method_id("nv.Base", "pick", "()I")
+            return env.call_jni("CallNonvirtualIntMethod", obj, mid)
+
+        def body(m):
+            m.new("nv.Sub").dup()
+            m.invokespecial("nv.Sub", "<init>", "()V")
+            m.invokestatic("nv.H", "callPick", "(Lnv.Base;)I")
+
+        vm = create_vm()
+        vm.native_registry.register(lib, preload=True)
+        vm.loader.add_classpath_archive(
+            build_app(base, sub, holder, expr_main("nv.Main", body)))
+        vm.launch("nv.Main")
+        # CallNonvirtual* uses the method id exactly
+        assert vm.console[-1] == "1"
+
+
+class TestJNIEnvHelpers:
+    def _env(self):
+        vm = create_vm()
+        thread = vm.threads.create("t")
+        vm.threads.current = thread
+        return vm.jni_env(thread)
+
+    def test_string_helpers(self):
+        env = self._env()
+        js = env.new_string("abc")
+        assert env.get_string(js) == "abc"
+
+    def test_array_regions(self):
+        from repro.bytecode.opcodes import ArrayKind
+
+        env = self._env()
+        arr = env.new_array(ArrayKind.INT, 5)
+        env.set_array_region(arr, 1, [10, 20])
+        assert env.array_region(arr, 0, 4) == [0, 10, 20, 0]
+
+    def test_array_region_bounds_throw_java(self):
+        from repro.bytecode.opcodes import ArrayKind
+        from repro.jvm.interpreter import Unwind
+
+        env = self._env()
+        arr = env.new_array(ArrayKind.INT, 2)
+        with pytest.raises(Unwind):
+            env.array_region(arr, 0, 5)
+
+    def test_get_method_id_validates_staticness(self):
+        env = self._env()
+        with pytest.raises(JNIError):
+            env.get_method_id("java.lang.Math", "abs", "(I)I")
+        with pytest.raises(JNIError):
+            env.get_static_method_id("java.lang.String", "length",
+                                     "()I")
+
+    def test_helpers_charge_native_cycles(self):
+        env = self._env()
+        before = env.thread.cycles_total
+        env.new_string("x")
+        assert env.thread.cycles_total > before

@@ -1,0 +1,47 @@
+"""Multiple agents attached to one VM (JVMTI supports several
+environments; their capabilities and events must compose)."""
+
+from repro.agents.counting import CountingAgent
+from repro.agents.ipa import IPA
+from repro.agents.spa import SPA
+
+from test_agents import MixedWorkload
+from helpers import run_main
+
+
+def _run_with(agents):
+    workload = MixedWorkload(iterations=1500)
+    vm = run_main(workload.archive, workload.main_class,
+                  agents=agents)
+    return vm
+
+
+class TestMultiAgent:
+    def test_spa_plus_counting_agree_on_counts(self):
+        spa, counting = SPA(), CountingAgent()
+        _run_with([spa, counting])
+        assert spa.java_method_invocations == \
+            counting.java_method_invocations
+        assert spa.native_method_invocations == \
+            counting.native_method_invocations
+
+    def test_spa_veto_applies_to_coattached_ipa(self):
+        # IPA alone keeps the JIT; with SPA alongside, the veto wins
+        spa, ipa = SPA(), IPA(instrumentation="none")
+        vm = _run_with([spa, ipa])
+        assert vm.jit.vetoed
+        # both received VMDeath
+        assert spa.report()["vm_death_seen"]
+        assert ipa.report()["vm_death_seen"]
+
+    def test_ipa_interception_works_next_to_spa(self):
+        spa, ipa = SPA(), IPA(instrumentation="none")
+        _run_with([spa, ipa])
+        # the launcher's CallStaticVoidMethod is still intercepted
+        assert ipa.jni_calls >= 1
+
+    def test_event_costs_accumulate_per_agent(self):
+        single = _run_with([CountingAgent()])
+        double = _run_with([CountingAgent(), CountingAgent()])
+        assert double.ground_truth()["agent"] > \
+            1.8 * single.ground_truth()["agent"]

@@ -1,0 +1,305 @@
+"""Property-based tests (hypothesis) over core data structures and
+invariants: value wrapping, constant pools, serialization round-trips,
+verifier/interpreter agreement, and accounting conservation."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.classfile.constant_pool import (
+    ConstantPool,
+    CpClass,
+    CpFieldRef,
+    CpInt,
+    CpMethodRef,
+    CpString,
+)
+from repro.classfile.serializer import dump_class, load_class
+from repro.jvm.values import wrap_char, wrap_int8, wrap_int32
+
+from helpers import run_expr
+
+int32 = st.integers(min_value=-2**31, max_value=2**31 - 1)
+any_int = st.integers(min_value=-2**40, max_value=2**40)
+
+
+class TestWrapProperties:
+    @given(any_int)
+    def test_wrap_int32_is_idempotent(self, value):
+        assert wrap_int32(wrap_int32(value)) == wrap_int32(value)
+
+    @given(any_int)
+    def test_wrap_int32_range(self, value):
+        wrapped = wrap_int32(value)
+        assert -2**31 <= wrapped < 2**31
+
+    @given(any_int)
+    def test_wrap_int32_congruent_mod_2_32(self, value):
+        assert (wrap_int32(value) - value) % 2**32 == 0
+
+    @given(int32, int32)
+    def test_wrap_add_homomorphic(self, a, b):
+        assert wrap_int32(a + b) == \
+            wrap_int32(wrap_int32(a) + wrap_int32(b))
+
+    @given(any_int)
+    def test_wrap_int8_range(self, value):
+        assert -128 <= wrap_int8(value) <= 127
+
+    @given(any_int)
+    def test_wrap_char_range(self, value):
+        assert 0 <= wrap_char(value) <= 0xFFFF
+
+
+from repro.classfile.constant_pool import CpFloat  # noqa: E402
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz.", min_size=1, max_size=20)
+_cp_entries = st.one_of(
+    st.integers(min_value=-2**62, max_value=2**62).map(CpInt),
+    st.floats(allow_nan=False, allow_infinity=False).map(CpFloat),
+    st.text(max_size=30).map(CpString),
+    _names.map(CpClass),
+    st.tuples(_names, _names).map(lambda t: CpFieldRef(*t)),
+    st.tuples(_names, _names).map(
+        lambda t: CpMethodRef(t[0], t[1], "()V")),
+)
+
+
+class TestConstantPoolProperties:
+    @given(st.lists(_cp_entries, max_size=40))
+    def test_add_then_get_roundtrip(self, entries):
+        pool = ConstantPool()
+        indices = [pool.add(e) for e in entries]
+        for entry, index in zip(entries, indices):
+            assert pool.get(index) == entry
+
+    @given(st.lists(_cp_entries, max_size=40))
+    def test_pool_size_equals_distinct_entries(self, entries):
+        pool = ConstantPool()
+        for entry in entries:
+            pool.add(entry)
+        assert len(pool) == len(set(entries))
+
+    @given(_cp_entries)
+    def test_adding_twice_gives_same_index(self, entry):
+        pool = ConstantPool()
+        assert pool.add(entry) == pool.add(entry)
+
+
+@st.composite
+def straightline_programs(draw):
+    """Random straight-line stack programs: a sequence of pushes and
+    balanced binary ops ending with one value on the stack."""
+    ops = []
+    depth = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=30))):
+        if depth >= 2 and draw(st.booleans()):
+            op = draw(st.sampled_from(
+                ["iadd", "isub", "imul", "iand", "ior", "ixor"]))
+            ops.append((op, None))
+            depth -= 1
+        else:
+            ops.append(("iconst",
+                        draw(st.integers(min_value=-1000,
+                                         max_value=1000))))
+            depth += 1
+    while depth > 1:
+        ops.append(("iadd", None))
+        depth -= 1
+    return ops
+
+
+_PYTHON_OPS = {
+    "iadd": lambda a, b: wrap_int32(a + b),
+    "isub": lambda a, b: wrap_int32(a - b),
+    "imul": lambda a, b: wrap_int32(a * b),
+    "iand": lambda a, b: wrap_int32(a & b),
+    "ior": lambda a, b: wrap_int32(a | b),
+    "ixor": lambda a, b: wrap_int32(a ^ b),
+}
+
+
+class TestInterpreterAgainstHostEvaluation:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(straightline_programs())
+    def test_random_programs_match_host_semantics(self, program):
+        stack = []
+        for op, operand in program:
+            if op == "iconst":
+                stack.append(operand)
+            else:
+                b, a = stack.pop(), stack.pop()
+                stack.append(_PYTHON_OPS[op](a, b))
+        expected = stack[0]
+
+        def body(m):
+            for op, operand in program:
+                if op == "iconst":
+                    m.iconst(operand)
+                else:
+                    getattr(m, op)()
+
+        result, _ = run_expr(body)
+        assert result == expected
+
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(straightline_programs())
+    def test_verifier_accepts_what_the_interpreter_runs(self, program):
+        from repro.bytecode.verifier import verify_method
+
+        c = ClassAssembler("prop.V")
+        with c.method("f", "()I", static=True) as m:
+            for op, operand in program:
+                if op == "iconst":
+                    m.iconst(operand)
+                else:
+                    getattr(m, op)()
+            m.ireturn()
+        cf = c.build(verify=False)
+        depth = verify_method(cf.find_method("f", "()I"),
+                              cf.constant_pool)
+        pushes = sum(1 for op, _ in program if op == "iconst")
+        assert 1 <= depth <= pushes
+
+
+@st.composite
+def random_classfiles(draw):
+    c = ClassAssembler("gen.C" + str(draw(
+        st.integers(min_value=0, max_value=999))))
+    for i in range(draw(st.integers(min_value=0, max_value=4))):
+        c.field(f"field{i}",
+                static=draw(st.booleans()),
+                default=draw(st.one_of(
+                    st.none(),
+                    st.integers(min_value=-2**31, max_value=2**31),
+                    st.floats(allow_nan=False, allow_infinity=False),
+                    st.text(max_size=12))))
+    for i in range(draw(st.integers(min_value=0, max_value=3))):
+        if draw(st.booleans()):
+            c.native_method(f"nat{i}", "(I)I", static=True)
+        else:
+            with c.method(f"m{i}", "(I)I", static=True) as m:
+                m.iload(0)
+                m.iconst(draw(st.integers(min_value=-99,
+                                          max_value=99)))
+                m.iadd().ireturn()
+    return c.build(verify=False)
+
+
+class TestSerializationProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(random_classfiles())
+    def test_roundtrip_is_identity_on_bytes(self, cf):
+        first = dump_class(cf)
+        second = dump_class(load_class(first))
+        assert first == second
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_classfiles())
+    def test_roundtrip_preserves_members(self, cf):
+        clone = load_class(dump_class(cf))
+        assert [f.name for f in clone.fields] == \
+            [f.name for f in cf.fields]
+        assert [(m.name, m.descriptor, m.flags)
+                for m in clone.methods] == \
+            [(m.name, m.descriptor, m.flags) for m in cf.methods]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(random_classfiles(), max_size=4,
+                    unique_by=lambda cf: cf.name))
+    def test_archive_roundtrip(self, classfiles):
+        archive = ClassArchive()
+        for cf in classfiles:
+            archive.put_class(cf)
+        clone = ClassArchive.from_bytes(archive.to_bytes())
+        assert clone.names() == archive.names()
+        for name in archive.names():
+            assert clone.get_bytes(name) == archive.get_bytes(name)
+
+
+class TestAccountingInvariants:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=1, max_value=400))
+    def test_tags_partition_thread_counters(self, iterations):
+        def body(m):
+            m.iconst(0).istore(0)
+            m.label("t")
+            m.iload(0).ldc(iterations).if_icmpge("e")
+            m.iinc(0, 1).goto("t")
+            m.label("e")
+            m.iload(0)
+
+        result, vm = run_expr(body)
+        assert result == iterations
+        for thread in vm.threads.all_threads:
+            assert sum(thread.cycles_by_tag.values()) == \
+                thread.cycles_total
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=50))
+    def test_array_fill_sum(self, length, seed):
+        if length == 0:
+            return
+
+        def body(m):
+            m.iconst(length).newarray(ArrayKind.INT).astore(0)
+            m.iconst(0).istore(1)
+            m.label("fill")
+            m.iload(1).iconst(length).if_icmpge("sum")
+            m.aload(0).iload(1)
+            m.iload(1).iconst(seed).iadd()
+            m.iastore()
+            m.iinc(1, 1).goto("fill")
+            m.label("sum")
+            m.iconst(0).istore(2)
+            m.iconst(0).istore(1)
+            m.label("s")
+            m.iload(1).iconst(length).if_icmpge("done")
+            m.iload(2).aload(0).iload(1).iaload().iadd().istore(2)
+            m.iinc(1, 1).goto("s")
+            m.label("done")
+            m.iload(2)
+
+        result, _ = run_expr(body)
+        assert result == sum(i + seed for i in range(length))
+
+
+@st.composite
+def branchy_programs(draw):
+    """Random programs with forward branches over a value-producing
+    diamond per step — verifier must accept, interpreter must finish."""
+    steps = draw(st.integers(min_value=1, max_value=8))
+    decisions = draw(st.lists(
+        st.integers(min_value=-4, max_value=4),
+        min_size=steps, max_size=steps))
+    return decisions
+
+
+class TestBranchyPrograms:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(branchy_programs())
+    def test_diamonds_run_and_match_host(self, decisions):
+        def body(m):
+            m.iconst(0)
+            for i, value in enumerate(decisions):
+                m.iconst(value)
+                m.ifge(f"pos{i}")
+                m.iconst(1).goto(f"join{i}")
+                m.label(f"pos{i}")
+                m.iconst(100)
+                m.label(f"join{i}")
+                m.iadd()
+
+        expected = sum(100 if v >= 0 else 1 for v in decisions)
+        result, _ = run_expr(body)
+        assert result == expected

@@ -1,0 +1,291 @@
+"""The simulated JDK natives: file streams, CRC32, strings, math,
+Integer/Float helpers — exercised from bytecode end to end."""
+
+import zlib
+
+import pytest
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+
+from helpers import build_app, expr_main, run_expr, run_main
+
+
+def _run_with_file(body, files, class_name="io.Main"):
+    vm = run_main(build_app(expr_main(class_name, body)), class_name,
+                  files=files)
+    return int(vm.console[-1]), vm
+
+
+class TestFileInput:
+    def test_read_whole_file(self):
+        payload = bytes(range(1, 11))
+
+        def body(m):
+            m.new("java.io.FileInputStream").dup().ldc("in.bin")
+            m.invokespecial("java.io.FileInputStream", "<init>",
+                            "(Ljava.lang.String;)V").astore(0)
+            m.iconst(16).newarray(ArrayKind.BYTE).astore(1)
+            m.aload(0).aload(1).iconst(0).iconst(16)
+            m.invokevirtual("java.io.FileInputStream", "read",
+                            "([BII)I")
+
+        result, _ = _run_with_file(body, {"in.bin": payload})
+        assert result == 10
+
+    def test_read_past_eof_returns_minus_one(self):
+        def body(m):
+            m.new("java.io.FileInputStream").dup().ldc("in.bin")
+            m.invokespecial("java.io.FileInputStream", "<init>",
+                            "(Ljava.lang.String;)V").astore(0)
+            m.iconst(8).newarray(ArrayKind.BYTE).astore(1)
+            m.aload(0).aload(1).iconst(0).iconst(8)
+            m.invokevirtual("java.io.FileInputStream", "read",
+                            "([BII)I").pop()
+            m.aload(0).aload(1).iconst(0).iconst(8)
+            m.invokevirtual("java.io.FileInputStream", "read",
+                            "([BII)I")
+
+        result, _ = _run_with_file(body, {"in.bin": b"abc"},
+                                   "io.Eof")
+        assert result == -1
+
+    def test_single_byte_reads_and_available(self):
+        def body(m):
+            m.new("java.io.FileInputStream").dup().ldc("in.bin")
+            m.invokespecial("java.io.FileInputStream", "<init>",
+                            "(Ljava.lang.String;)V").astore(0)
+            m.aload(0).invokevirtual("java.io.FileInputStream",
+                                     "read", "()I").pop()
+            m.aload(0).invokevirtual("java.io.FileInputStream",
+                                     "available", "()I")
+
+        result, _ = _run_with_file(body, {"in.bin": b"xyz"},
+                                   "io.One")
+        assert result == 2
+
+    def test_missing_file_throws_file_not_found(self):
+        def body(m):
+            m.label("try")
+            m.new("java.io.FileInputStream").dup().ldc("ghost.bin")
+            m.invokespecial("java.io.FileInputStream", "<init>",
+                            "(Ljava.lang.String;)V").pop()
+            m.label("try_end")
+            m.iconst(0).goto("end")
+            m.label("h")
+            m.instanceof("java.io.FileNotFoundException")
+            m.label("end")
+            m.try_catch("try", "try_end", "h", None)
+
+        # handler clears the stack, so wrap in a helper method
+        c = ClassAssembler("io.Miss")
+        with c.method("attempt", "()I", static=True) as m:
+            body(m)
+            m.ireturn()
+        main = expr_main("io.MissMain", lambda m: m.invokestatic(
+            "io.Miss", "attempt", "()I"))
+        vm = run_main(build_app(c, main), "io.MissMain")
+        assert vm.console[-1] == "1"
+
+
+class TestFileOutput:
+    def test_write_creates_file(self):
+        def body(m):
+            m.iconst(4).newarray(ArrayKind.BYTE).astore(0)
+            for i, value in enumerate((65, 66, 67, 68)):
+                m.aload(0).iconst(i).iconst(value).iastore()
+            m.new("java.io.FileOutputStream").dup().ldc("out.bin")
+            m.invokespecial("java.io.FileOutputStream", "<init>",
+                            "(Ljava.lang.String;)V").astore(1)
+            m.aload(1).aload(0).iconst(0).iconst(4)
+            m.invokevirtual("java.io.FileOutputStream", "write",
+                            "([BII)V")
+            m.aload(1).invokevirtual("java.io.FileOutputStream",
+                                     "close", "()V")
+            m.iconst(1)
+
+        _, vm = _run_with_file(body, {}, "io.Out")
+        assert bytes(vm.files["out.bin"]) == b"ABCD"
+
+    def test_negative_bytes_written_unsigned(self):
+        def body(m):
+            m.iconst(1).newarray(ArrayKind.BYTE).astore(0)
+            m.aload(0).iconst(0).iconst(-1).iastore()
+            m.new("java.io.FileOutputStream").dup().ldc("neg.bin")
+            m.invokespecial("java.io.FileOutputStream", "<init>",
+                            "(Ljava.lang.String;)V").astore(1)
+            m.aload(1).aload(0).iconst(0).iconst(1)
+            m.invokevirtual("java.io.FileOutputStream", "write",
+                            "([BII)V")
+            m.iconst(1)
+
+        _, vm = _run_with_file(body, {}, "io.Neg")
+        assert bytes(vm.files["neg.bin"]) == b"\xff"
+
+
+class TestCrc32:
+    def test_matches_zlib(self):
+        payload = b"hello crc world"
+
+        def body(m):
+            m.new("java.util.zip.CRC32").dup()
+            m.invokespecial("java.util.zip.CRC32", "<init>", "()V")
+            m.astore(0)
+            m.iconst(len(payload)).newarray(ArrayKind.BYTE).astore(1)
+            for i, value in enumerate(payload):
+                m.aload(1).iconst(i).iconst(value).iastore()
+            m.aload(0).aload(1).iconst(0).iconst(len(payload))
+            m.invokevirtual("java.util.zip.CRC32", "update",
+                            "([BII)V")
+            m.aload(0).invokevirtual("java.util.zip.CRC32",
+                                     "getValue", "()I")
+
+        result, _ = run_expr(body, "crc.Main")
+        assert result == zlib.crc32(payload)
+
+    def test_reset(self):
+        def body(m):
+            m.new("java.util.zip.CRC32").dup()
+            m.invokespecial("java.util.zip.CRC32", "<init>", "()V")
+            m.astore(0)
+            m.iconst(3).newarray(ArrayKind.BYTE).astore(1)
+            m.aload(0).aload(1).iconst(0).iconst(3)
+            m.invokevirtual("java.util.zip.CRC32", "update", "([BII)V")
+            m.aload(0).invokevirtual("java.util.zip.CRC32", "reset",
+                                     "()V")
+            m.aload(0).invokevirtual("java.util.zip.CRC32",
+                                     "getValue", "()I")
+
+        result, _ = run_expr(body, "crc.Reset")
+        assert result == 0
+
+
+class TestStringNatives:
+    def test_substring_and_compare(self):
+        def body(m):
+            m.ldc("hello world").iconst(6).ldc(11)
+            m.invokevirtual("java.lang.String", "substring",
+                            "(II)Ljava.lang.String;")
+            m.ldc("world")
+            m.invokevirtual("java.lang.String", "equals",
+                            "(Ljava.lang.Object;)I")
+
+        result, _ = run_expr(body, "str.Sub")
+        assert result == 1
+
+    def test_index_of_and_char_at(self):
+        def body(m):
+            m.ldc("abcabc").iconst(ord("c")).iconst(3)
+            m.invokevirtual("java.lang.String", "indexOf", "(II)I")
+
+        result, _ = run_expr(body, "str.Idx")
+        assert result == 5
+
+    def test_compare_to_ordering(self):
+        def body(m):
+            m.ldc("apple").ldc("banana")
+            m.invokevirtual("java.lang.String", "compareTo",
+                            "(Ljava.lang.String;)I")
+
+        result, _ = run_expr(body, "str.Cmp")
+        assert result == -1
+
+    def test_to_char_array_roundtrip(self):
+        def body(m):
+            m.ldc("ring")
+            m.invokevirtual("java.lang.String", "toCharArray", "()[C")
+            m.astore(0)
+            m.aload(0).iconst(0).aload(0).arraylength()
+            m.invokestatic("java.lang.String", "fromChars",
+                           "([CII)Ljava.lang.String;")
+            m.ldc("ring")
+            m.invokevirtual("java.lang.String", "equals",
+                            "(Ljava.lang.Object;)I")
+
+        result, _ = run_expr(body, "str.Rt")
+        assert result == 1
+
+    def test_hash_matches_java_semantics(self):
+        def body(m):
+            m.ldc("Aa")
+            m.invokevirtual("java.lang.String", "hashCode", "()I")
+
+        result, _ = run_expr(body, "str.Hash")
+        assert result == ord("A") * 31 + ord("a")
+
+    def test_string_char_at_bounds(self):
+        c = ClassAssembler("str.Bounds")
+        with c.method("attempt", "()I", static=True) as m:
+            m.label("try")
+            m.ldc("ab").iconst(9)
+            m.invokevirtual("java.lang.String", "charAt", "(I)I")
+            m.label("try_end")
+            m.pop().iconst(0).ireturn()
+            m.label("h")
+            m.instanceof("java.lang.ArrayIndexOutOfBoundsException")
+            m.ireturn()
+            m.try_catch("try", "try_end", "h", None)
+        main = expr_main("str.BoundsMain", lambda m: m.invokestatic(
+            "str.Bounds", "attempt", "()I"))
+        vm = run_main(build_app(c, main), "str.BoundsMain")
+        assert vm.console[-1] == "1"
+
+
+class TestNumericNatives:
+    def test_parse_int(self):
+        def body(m):
+            m.ldc("  -1234 ")
+            m.invokestatic("java.lang.Integer", "parseInt",
+                           "(Ljava.lang.String;)I")
+
+        result, _ = run_expr(body, "num.Parse")
+        assert result == -1234
+
+    def test_parse_int_failure_throws(self):
+        c = ClassAssembler("num.Bad")
+        with c.method("attempt", "()I", static=True) as m:
+            m.label("try")
+            m.ldc("xyz")
+            m.invokestatic("java.lang.Integer", "parseInt",
+                           "(Ljava.lang.String;)I")
+            m.label("try_end")
+            m.pop().iconst(0).ireturn()
+            m.label("h")
+            m.instanceof("java.lang.NumberFormatException")
+            m.ireturn()
+            m.try_catch("try", "try_end", "h", None)
+        main = expr_main("num.BadMain", lambda m: m.invokestatic(
+            "num.Bad", "attempt", "()I"))
+        vm = run_main(build_app(c, main), "num.BadMain")
+        assert vm.console[-1] == "1"
+
+    def test_float_bits_roundtrip(self):
+        def body(m):
+            m.ldc(1.5)
+            m.invokestatic("java.lang.Float", "floatToIntBits",
+                           "(F)I")
+            m.invokestatic("java.lang.Float", "intBitsToFloat",
+                           "(I)F")
+            m.ldc(2.0).imul().f2i()
+
+        result, _ = run_expr(body, "num.Bits")
+        assert result == 3
+
+    def test_math_sqrt(self):
+        def body(m):
+            m.ldc(144.0)
+            m.invokestatic("java.lang.Math", "sqrt", "(F)F")
+            m.f2i()
+
+        result, _ = run_expr(body, "num.Sqrt")
+        assert result == 12
+
+    def test_current_time_millis_advances(self):
+        def body(m):
+            m.invokestatic("java.lang.System", "currentTimeMillis",
+                           "()I")
+
+        result, vm = run_expr(body, "num.Time")
+        assert result >= 0
+        assert result == pytest.approx(
+            vm.total_cycles * 1000 // vm.config.clock_hz, abs=1000)

@@ -1,0 +1,70 @@
+"""Unit conversions and overhead formulas."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestClockConversions:
+    def test_cycles_to_seconds_default_clock(self):
+        assert units.cycles_to_seconds(units.DEFAULT_CLOCK_HZ) == 1.0
+
+    def test_seconds_to_cycles_roundtrip(self):
+        assert units.seconds_to_cycles(2.5) == int(2.5 * 2_660_000_000)
+
+    def test_custom_clock(self):
+        assert units.cycles_to_seconds(1000, clock_hz=1000) == 1.0
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_seconds(1, clock_hz=0)
+        with pytest.raises(ValueError):
+            units.seconds_to_cycles(1.0, clock_hz=-5)
+
+
+class TestOverheadFormulas:
+    def test_time_overhead_identity(self):
+        assert units.overhead_percent(10.0, 10.0) == 0.0
+
+    def test_time_overhead_paper_example(self):
+        # compress row of Table I: 5.74 s -> 445.86 s is ~7667.6 %
+        overhead = units.overhead_percent(5.74, 445.86)
+        assert overhead == pytest.approx(7667.94, abs=1.0)
+
+    def test_throughput_overhead_paper_example(self):
+        # JBB row: 7251 -> 66.4 ops/s is ~10820 %
+        overhead = units.throughput_overhead_percent(7251, 66.4)
+        assert overhead == pytest.approx(10820.18, abs=1.0)
+
+    def test_time_overhead_requires_positive_base(self):
+        with pytest.raises(ValueError):
+            units.overhead_percent(0.0, 1.0)
+
+    def test_throughput_overhead_requires_positive_measurement(self):
+        with pytest.raises(ValueError):
+            units.throughput_overhead_percent(100.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_matches_closed_form(self):
+        values = [2.0, 8.0]
+        assert units.geometric_mean(values) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert units.geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_log_identity(self):
+        values = [1.5, 2.25, 9.0, 0.5]
+        expected = math.exp(sum(math.log(v) for v in values)
+                            / len(values))
+        assert units.geometric_mean(values) == pytest.approx(expected)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([1.0, 0.0])

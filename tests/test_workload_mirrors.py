@@ -1,0 +1,137 @@
+"""Deeper checks of the workload host mirrors themselves — the oracles
+every benchmark run is validated against."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.workloads import data
+from repro.workloads.compress import (
+    DICT_SIZE,
+    reference_lzw,
+)
+from repro.workloads.db import java_string_hash
+from repro.workloads.jack import expected_output, generate_spec, \
+    scan_checksum
+from repro.workloads.javac import generate_source
+
+
+def lzw_decode(payload: bytes) -> bytes:
+    """Independent LZW decoder for the 12-bit format the compress
+    workload emits (including the dictionary-reset behaviour)."""
+    # unpack 12-bit codes
+    codes = []
+    bit_buf = 0
+    bit_cnt = 0
+    for byte in payload:
+        bit_buf = (bit_buf << 8) | byte
+        bit_cnt += 8
+        if bit_cnt >= 12:
+            codes.append((bit_buf >> (bit_cnt - 12)) & 0xFFF)
+            bit_cnt -= 12
+    # standard LZW decode mirroring the encoder's reset rule
+    table = {i: bytes([i]) for i in range(256)}
+    next_code = 256
+    out = bytearray()
+    prev = None
+    for code in codes:
+        if code in table:
+            entry = table[code]
+        elif code == next_code and prev is not None:
+            entry = prev + prev[:1]
+        else:  # pragma: no cover - corrupt stream
+            raise AssertionError(f"bad code {code}")
+        out.extend(entry)
+        if prev is not None:
+            if next_code < DICT_SIZE:
+                table[next_code] = prev + entry[:1]
+                next_code += 1
+            else:
+                table = {i: bytes([i]) for i in range(256)}
+                next_code = 256
+                # the encoder emits the *next* symbol with a fresh
+                # dictionary; prev must not seed an entry
+                prev = entry
+                continue
+        prev = entry
+    return bytes(out)
+
+
+class TestLzwReference:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(min_size=0, max_size=400))
+    def test_roundtrip_random_binary(self, payload):
+        packed, _codes = reference_lzw(payload)
+        assert lzw_decode(packed) == payload
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=10**6))
+    def test_roundtrip_texty_input(self, kilobytes, seed):
+        payload = data.text_bytes(kilobytes * 1024, seed=seed)
+        packed, codes = reference_lzw(payload)
+        assert lzw_decode(packed) == payload
+        # pseudo-text must actually compress
+        assert len(packed) < len(payload)
+        assert codes == (len(packed) * 8) // 12
+
+    def test_empty_input(self):
+        packed, codes = reference_lzw(b"")
+        assert packed == b""
+        assert codes == 0
+
+    def test_single_byte(self):
+        packed, codes = reference_lzw(b"A")
+        assert codes == 1
+        assert lzw_decode(packed) == b"A"
+
+
+class TestJavaStringHash:
+    @settings(max_examples=50, deadline=None)
+    @given(st.text(max_size=40))
+    def test_range_is_int32(self, text):
+        h = java_string_hash(text)
+        assert -2**31 <= h < 2**31
+
+    def test_known_values(self):
+        # Java's documented algorithm: s[0]*31^(n-1) + ... + s[n-1]
+        assert java_string_hash("") == 0
+        assert java_string_hash("a") == 97
+        assert java_string_hash("ab") == 97 * 31 + 98
+
+
+class TestGeneratedInputs:
+    def test_javac_source_scales_linearly(self):
+        small = generate_source(1)
+        large = generate_source(3)
+        assert 2.5 < len(large) / len(small) < 3.5
+
+    def test_javac_source_is_deterministic(self):
+        assert generate_source(2) == generate_source(2)
+
+    def test_jack_spec_and_expected_output_consistent(self):
+        spec, rules = generate_spec(1)
+        text = expected_output(rules)
+        for name, tokens in rules:
+            assert f"void parse_{name}()".encode() in text
+            for token in tokens:
+                assert f"match({token});".encode() in text
+
+    def test_jack_scan_checksum_accumulates_per_iteration(self):
+        spec, _ = generate_spec(1)
+        one = scan_checksum(spec, 1)
+        two = scan_checksum(spec, 2)
+        assert one != two
+
+    def test_text_bytes_exact_length_and_determinism(self):
+        a = data.text_bytes(1000, seed=5)
+        b = data.text_bytes(1000, seed=5)
+        c = data.text_bytes(1000, seed=6)
+        assert len(a) == 1000
+        assert a == b
+        assert a != c
+
+    def test_word_list_respects_bounds(self):
+        words = data.word_list(50, seed=3, min_len=4, max_len=7)
+        assert len(words) == 50
+        assert all(4 <= len(w) <= 7 for w in words)

@@ -1,0 +1,137 @@
+"""Workloads: registry, validation against host mirrors, and the
+characterisation axes each benchmark was built for."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.workloads import (
+    full_suite,
+    get_workload,
+    jvm98_suite,
+    workload_names,
+)
+from repro.workloads.base import MetricKind
+
+
+class TestRegistry:
+    def test_all_eight_benchmarks_registered(self):
+        names = set(workload_names())
+        assert names == {"compress", "jess", "db", "javac",
+                         "mpegaudio", "mtrt", "jack", "jbb2005"}
+
+    def test_jvm98_suite_order_matches_paper(self):
+        assert [w.name for w in jvm98_suite()] == [
+            "compress", "jess", "db", "javac", "mpegaudio", "mtrt",
+            "jack"]
+
+    def test_full_suite_appends_jbb(self):
+        assert [w.name for w in full_suite()][-1] == "jbb2005"
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            get_workload("db", scale=0)
+
+    def test_metric_kinds(self):
+        assert get_workload("compress").metric is MetricKind.TIME
+        assert get_workload("jbb2005").metric is MetricKind.THROUGHPUT
+
+
+@pytest.fixture(scope="module")
+def baseline_runs():
+    """One baseline run of every workload at scale 1 (validated by
+    ``execute`` against each workload's host mirror)."""
+    return {w.name: execute(w, RunConfig(agent=AgentSpec.none()))
+            for w in full_suite(scale=1)}
+
+
+class TestValidation:
+    def test_every_workload_passes_its_mirror_check(self, baseline_runs):
+        for name, result in baseline_runs.items():
+            assert result.validation_ok, name
+
+    def test_every_workload_does_real_work(self, baseline_runs):
+        for name, result in baseline_runs.items():
+            assert result.instructions > 10_000, name
+
+    def test_determinism(self):
+        workload = get_workload("jess")
+        a = execute(workload, RunConfig(agent=AgentSpec.none()))
+        b = execute(workload, RunConfig(agent=AgentSpec.none()))
+        assert a.cycles == b.cycles
+        assert a.console == b.console
+
+    def test_scale_increases_work(self):
+        small = execute(get_workload("jess", 1),
+                        RunConfig(agent=AgentSpec.none()))
+        large = execute(get_workload("jess", 3),
+                        RunConfig(agent=AgentSpec.none()))
+        assert large.cycles > small.cycles * 2
+
+    def test_jbb_reports_operations(self, baseline_runs):
+        result = baseline_runs["jbb2005"]
+        assert result.operations == 60 * (1 + 2 + 3 + 4)
+        assert result.operations_per_second > 0
+
+    def test_time_workloads_do_not_report_operations(self,
+                                                     baseline_runs):
+        assert baseline_runs["compress"].operations is None
+
+
+class TestCharacterisationAxes:
+    """The workload-design properties the paper's numbers rest on."""
+
+    def test_native_fraction_band(self, baseline_runs):
+        # Table II: native execution within 1-20 % for every benchmark
+        for name, result in baseline_runs.items():
+            fraction = result.ground_truth_native_fraction * 100
+            assert 0.1 <= fraction <= 25.0, (name, fraction)
+
+    def test_high_native_group(self, baseline_runs):
+        # javac, jack and JBB2005 are the paper's high-native group
+        low = baseline_runs["db"].ground_truth_native_fraction
+        for name in ("javac", "jack", "jbb2005"):
+            assert baseline_runs[name].ground_truth_native_fraction \
+                > 3 * low, name
+
+    def test_low_native_group(self, baseline_runs):
+        # db, mpegaudio and mtrt form the paper's sub-2 % group
+        ranked = sorted(baseline_runs,
+                        key=lambda n: baseline_runs[n]
+                        .ground_truth_native_fraction)
+        assert set(ranked[:3]) == {"db", "mpegaudio", "mtrt"}
+        for name in ("db", "mpegaudio", "mtrt"):
+            assert baseline_runs[name].ground_truth_native_fraction \
+                < 0.02, name
+
+    def test_bytecode_dominates_everywhere(self, baseline_runs):
+        # the paper's headline conclusion
+        for name, result in baseline_runs.items():
+            truth = result.ground_truth
+            assert truth["bytecode"] > 3 * truth["native"], name
+
+    def test_mtrt_uses_two_worker_threads(self):
+        from repro.launcher import create_vm
+        from repro.jni.stdlib import build_java_library
+        from repro.launcher import runtime_archive
+        from repro.jvm.machine import JavaVM
+
+        workload = get_workload("mtrt")
+        result = execute(workload, RunConfig(agent=AgentSpec.none()))
+        # main + 2 workers is encoded in the console checksums
+        assert any(line.startswith("cs0=") for line in result.console)
+        assert any(line.startswith("cs1=") for line in result.console)
+
+    def test_compress_writes_its_output_file(self):
+        from repro.workloads.compress import OUTPUT_FILE, reference_lzw
+
+        workload = get_workload("compress")
+        result = execute(workload, RunConfig(agent=AgentSpec.none()))
+        assert result.validation_ok
+        expected, _ = reference_lzw(workload.input_bytes)
+        assert result.console  # crc= and outBytes= lines
