@@ -1,0 +1,35 @@
+"""Interpreter host-performance smoke test.
+
+Times the JVM98 suite under the ``none`` agent through the bench
+harness and enforces a conservative floor on simulated instructions per
+host second.  The floor is far below what the quickened interpreter
+sustains (>1M instr/s on a development machine) but above what a
+regression to per-instruction constant-pool resolution would deliver —
+it catches order-of-magnitude slips, not noise.
+
+Run with ``pytest benchmarks/test_perf_smoke.py``; ``repro bench``
+produces the full measurement document (``BENCH_interpreter.json``).
+"""
+
+from repro.harness.bench import format_bench, run_bench
+
+#: Simulated instructions per host-wall-clock second, whole suite.
+MIN_INSTRUCTIONS_PER_SECOND = 250_000
+
+
+def test_interpreter_throughput_floor(bench_scale):
+    doc = run_bench(scale=bench_scale)
+    print()
+    print(format_bench(doc))
+    assert doc["instructions"] > 1_000_000
+    assert doc["instructions_per_second"] >= MIN_INSTRUCTIONS_PER_SECOND
+
+
+def test_bench_document_shape(bench_scale):
+    doc = run_bench(scale=bench_scale)
+    assert doc["benchmark"] == "jvm98/none-agent"
+    assert doc["scale"] == bench_scale
+    assert doc["host_seconds"] > 0
+    for row in doc["per_workload"].values():
+        assert row["instructions"] > 0
+        assert row["instructions_per_second"] > 0

@@ -33,7 +33,7 @@ from repro.bytecode.assembler import ClassAssembler
 from repro.classfile.archive import ClassArchive
 from repro.errors import HarnessError
 from repro.instrument.dynamic_instr import DynamicInstrumenter
-from repro.instrument.static_instr import StaticInstrumenter
+from repro.instrument.static_instr import instrument_archives_cached
 from repro.instrument.wrapper_gen import InstrumentationConfig
 from repro.jni.function_table import CALL_FUNCTION_NAMES
 from repro.jni.library import NativeLibrary
@@ -194,9 +194,8 @@ class IPA(AgentBase):
     def instrument_archives(self, archives):
         if self.instrumentation != "static":
             return archives
-        instrumenter = StaticInstrumenter(self.config)
-        result = instrumenter.instrument_archives(archives)
-        self.static_stats = instrumenter.stats
+        result, stats = instrument_archives_cached(archives, self.config)
+        self.static_stats = stats
         return result
 
     # -- thread lifecycle ------------------------------------------------------------------
@@ -216,7 +215,8 @@ class IPA(AgentBase):
     def _thread_end(self, env, thread) -> None:
         env.charge(EVENT_WORK, thread)
         tc = self._context(thread)
-        delta = env.pcl.get_timestamp(thread) - tc.timestamp
+        now = env.pcl.get_timestamp(thread)
+        delta = now - tc.timestamp
         if tc.in_native:
             tc.time_native += delta
         else:
@@ -225,6 +225,11 @@ class IPA(AgentBase):
         self.total_time_bytecode += tc.time_bytecode
         self.total_time_native += tc.time_native
         env.raw_monitor_exit(self._monitor)
+        # reset the context so a duplicate THREAD_END (or any later
+        # fold) cannot double-count the already-folded interval
+        tc.time_bytecode = 0
+        tc.time_native = 0
+        tc.timestamp = now
 
     def _vm_death(self, env) -> None:
         self._vm_death_seen = True

@@ -94,7 +94,8 @@ class SPA(AgentBase):
         env.charge(EVENT_WORK, thread)
         tc = self._context(env, thread)
         in_native = tc.stack[-1] if tc.stack else True
-        delta = env.pcl.get_timestamp(thread) - tc.timestamp
+        now = env.pcl.get_timestamp(thread)
+        delta = now - tc.timestamp
         if in_native:
             tc.time_native += delta
         else:
@@ -103,6 +104,11 @@ class SPA(AgentBase):
         self.total_time_bytecode += tc.time_bytecode
         self.total_time_native += tc.time_native
         env.raw_monitor_exit(self._monitor)
+        # reset the context so a duplicate THREAD_END (or any later
+        # fold) cannot double-count the already-folded interval
+        tc.time_bytecode = 0
+        tc.time_native = 0
+        tc.timestamp = now
 
     def _method_entry(self, env, thread, method) -> None:
         env.charge(EVENT_WORK, thread)

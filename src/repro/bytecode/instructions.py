@@ -9,7 +9,7 @@ indices as it writes code attributes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.bytecode.opcodes import Op, OperandKind, SPECS
@@ -32,6 +32,13 @@ class Instruction:
 
     op: Op
     operand: Any = None
+    #: Interpreter quickening cache: the resolved form of a constant-pool
+    #: operand (field name, method ref + inline cache, loaded class,
+    #: constant value), filled on first execution of this call site.
+    #: Classes are immutable after link, so the cache is never
+    #: invalidated.  Not part of the instruction's identity and never
+    #: serialized.
+    quick: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         spec = SPECS.get(self.op)

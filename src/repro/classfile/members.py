@@ -143,7 +143,11 @@ class MethodInfo:
     exception_table: List[ExceptionEntry] = field(default_factory=list)
 
     def __post_init__(self):
-        parse_descriptor(self.descriptor)  # validate eagerly
+        params, ret = parse_descriptor(self.descriptor)  # validate eagerly
+        # memoized descriptor facts — the interpreter reads these on
+        # every invocation, so they must not re-parse the descriptor
+        self._arg_slots = len(params) + (0 if self.is_static else 1)
+        self._returns_value = ret != "V"
         if self.is_native and self.code is not None:
             raise ClassFileError(
                 f"native method {self.name}{self.descriptor} must not have "
@@ -168,15 +172,12 @@ class MethodInfo:
     @property
     def arg_slots(self) -> int:
         """Stack slots popped at an invocation (receiver included for
-        instance methods)."""
-        slots = arg_slot_count(self.descriptor)
-        if not self.is_static:
-            slots += 1
-        return slots
+        instance methods; memoized at construction)."""
+        return self._arg_slots
 
     @property
     def returns_value(self) -> bool:
-        return returns_value(self.descriptor)
+        return self._returns_value
 
     @property
     def key(self) -> Tuple[str, str]:

@@ -6,6 +6,7 @@
     repro table1 [--scale N]        # regenerate Table I
     repro table2 [--scale N]        # regenerate Table II
     repro profile WORKLOAD [...]    # run one workload under one agent
+    repro bench [--scale N]         # time the suite, record host perf
 """
 
 from __future__ import annotations
@@ -30,15 +31,45 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_table1(args) -> int:
-    table = build_table1(full_suite(scale=args.scale), runs=args.runs)
+    table = build_table1(full_suite(scale=args.scale), runs=args.runs,
+                         jobs=args.jobs)
     print(render_table1(table))
     return 0
 
 
 def _cmd_table2(args) -> int:
-    table = build_table2(full_suite(scale=args.scale), runs=args.runs)
+    table = build_table2(full_suite(scale=args.scale), runs=args.runs,
+                         jobs=args.jobs)
     print(render_table2(table))
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.harness.bench import format_bench, run_bench, write_bench
+
+    doc = run_bench(scale=args.scale)
+    print(format_bench(doc))
+    if args.output:
+        write_bench(doc, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (scale, runs, jobs).
+
+    Rejecting zero/negative values here gives a one-line usage error
+    instead of a crash deep inside workload construction or the
+    harness.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
 
 
 def _agent_spec(name: str) -> AgentSpec:
@@ -91,13 +122,17 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list)
 
     p1 = sub.add_parser("table1", help="regenerate Table I")
-    p1.add_argument("--scale", type=int, default=1)
-    p1.add_argument("--runs", type=int, default=1)
+    p1.add_argument("--scale", type=_positive_int, default=1)
+    p1.add_argument("--runs", type=_positive_int, default=1)
+    p1.add_argument("--jobs", type=_positive_int, default=1,
+                    help="worker processes for independent cells")
     p1.set_defaults(func=_cmd_table1)
 
     p2 = sub.add_parser("table2", help="regenerate Table II")
-    p2.add_argument("--scale", type=int, default=1)
-    p2.add_argument("--runs", type=int, default=1)
+    p2.add_argument("--scale", type=_positive_int, default=1)
+    p2.add_argument("--runs", type=_positive_int, default=1)
+    p2.add_argument("--jobs", type=_positive_int, default=1,
+                    help="worker processes for independent cells")
     p2.set_defaults(func=_cmd_table2)
 
     pp = sub.add_parser("profile", help="profile one workload")
@@ -105,9 +140,16 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--agent", type=_agent_spec,
                     default=AgentSpec.ipa(),
                     help="none | spa | ipa | ipa-dynamic | ipa-nocomp")
-    pp.add_argument("--scale", type=int, default=1)
-    pp.add_argument("--runs", type=int, default=1)
+    pp.add_argument("--scale", type=_positive_int, default=1)
+    pp.add_argument("--runs", type=_positive_int, default=1)
     pp.set_defaults(func=_cmd_profile)
+
+    pb = sub.add_parser(
+        "bench", help="time the JVM98 suite; record host performance")
+    pb.add_argument("--scale", type=_positive_int, default=1)
+    pb.add_argument("--output", default="BENCH_interpreter.json",
+                    help="JSON file to write ('' to skip writing)")
+    pb.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -1,0 +1,95 @@
+"""Host-performance tracker for the interpreter.
+
+The ROADMAP's "fast as the hardware allows" goal needs a trajectory:
+this module times the JVM98 suite under the ``none`` agent (the
+interpreter hot path with no profiling machinery attached) and records
+host wall-clock seconds plus simulated instructions per host second.
+``repro bench`` writes the measurement to ``BENCH_interpreter.json`` so
+successive changes can be compared.
+
+Host seconds are measured, never simulated: nothing here touches cycle
+accounting.  The suite runs serially — parallel cells would make the
+wall-clock numbers a function of core count rather than interpreter
+speed.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional
+
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.launcher import runtime_archive
+
+#: Default output file, relative to the invoking directory.
+DEFAULT_BENCH_PATH = "BENCH_interpreter.json"
+
+
+def run_bench(scale: int = 1,
+              workloads: Optional[List] = None) -> Dict:
+    """Time the suite and return the measurement document."""
+    from repro.workloads import jvm98_suite
+
+    if workloads is None:
+        workloads = jvm98_suite(scale)
+    runtime_archive()  # build the runtime outside the timed region
+
+    per_workload = {}
+    total_host = 0.0
+    total_instructions = 0
+    for workload in workloads:
+        workload.archive  # author/serialize outside the timed region
+        config = RunConfig(agent=AgentSpec.none())
+        start = time.perf_counter()
+        result = execute(workload, config)
+        host_seconds = time.perf_counter() - start
+        total_host += host_seconds
+        total_instructions += result.instructions
+        per_workload[workload.name] = {
+            "host_seconds": round(host_seconds, 4),
+            "instructions": result.instructions,
+            "instructions_per_second": round(
+                result.instructions / host_seconds) if host_seconds > 0
+                else None,
+        }
+
+    return {
+        "benchmark": "jvm98/none-agent",
+        "scale": scale,
+        "python": platform.python_version(),
+        "host_seconds": round(total_host, 4),
+        "instructions": total_instructions,
+        "instructions_per_second": round(
+            total_instructions / total_host) if total_host > 0 else None,
+        "per_workload": per_workload,
+    }
+
+
+def write_bench(doc: Dict, path: str = DEFAULT_BENCH_PATH) -> None:
+    """Persist a measurement document as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def format_bench(doc: Dict) -> str:
+    """Human-readable rendering of a measurement document."""
+    lines = [
+        f"benchmark: {doc['benchmark']} (scale {doc['scale']}, "
+        f"python {doc['python']})",
+        f"{'workload':<12} {'host s':>9} {'instructions':>14} "
+        f"{'instr/s':>12}",
+    ]
+    for name, row in doc["per_workload"].items():
+        lines.append(
+            f"{name:<12} {row['host_seconds']:>9.3f} "
+            f"{row['instructions']:>14,} "
+            f"{row['instructions_per_second']:>12,}")
+    lines.append(
+        f"{'TOTAL':<12} {doc['host_seconds']:>9.3f} "
+        f"{doc['instructions']:>14,} "
+        f"{doc['instructions_per_second']:>12,}")
+    return "\n".join(lines)

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro import units
 from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.parallel import CellSpec, describable, run_cells
 from repro.harness.runner import RunResult, execute
 from repro.jvm.machine import VMConfig
 from repro.workloads.base import MetricKind, Workload
@@ -100,20 +101,44 @@ def _geomean_row(rows: List[OverheadRow]) -> Optional[OverheadRow]:
 
 def build_table1(workloads: List[Workload],
                  vm_config: Optional[VMConfig] = None,
-                 runs: int = 1) -> Table1:
-    """Run every workload under {original, SPA, IPA} and build Table I."""
+                 runs: int = 1,
+                 jobs: int = 1) -> Table1:
+    """Run every workload under {original, SPA, IPA} and build Table I.
+
+    ``jobs > 1`` fans the independent (workload × agent) cells across
+    processes; the merge order is fixed, so the table is identical to a
+    serial build.
+    """
     vm_config = vm_config or VMConfig()
-    specs = [AgentSpec.none(), AgentSpec.spa(), AgentSpec.ipa()]
+    agents = [("original", "none"), ("spa", "spa"), ("ipa", "ipa")]
     time_rows: List[OverheadRow] = []
     throughput_rows: List[OverheadRow] = []
     raw: Dict[str, Dict[str, RunResult]] = {}
 
-    for workload in workloads:
-        results = {}
-        for spec in specs:
-            config = RunConfig(agent=spec, vm_config=vm_config,
-                               runs=runs)
-            results[spec.label] = execute(workload, config)
+    if jobs > 1 and all(describable(w) for w in workloads):
+        cells = [CellSpec(workload_name=w.name, scale=w.scale,
+                          agent_name=agent_name, runs=runs,
+                          vm_config=vm_config)
+                 for w in workloads for _, agent_name in agents]
+        flat = run_cells(cells, jobs)
+        per_workload = [
+            dict(zip((label for label, _ in agents),
+                     flat[i * len(agents):(i + 1) * len(agents)]))
+            for i in range(len(workloads))]
+    else:
+        per_workload = []
+        for workload in workloads:
+            results = {}
+            for label, agent_name in agents:
+                spec = (AgentSpec.none() if agent_name == "none" else
+                        AgentSpec.spa() if agent_name == "spa" else
+                        AgentSpec.ipa())
+                config = RunConfig(agent=spec, vm_config=vm_config,
+                                   runs=runs)
+                results[label] = execute(workload, config)
+            per_workload.append(results)
+
+    for workload, results in zip(workloads, per_workload):
         raw[workload.name] = results
         row = _row_from_results(workload, results["original"],
                                 results["spa"], results["ipa"])

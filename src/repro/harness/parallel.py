@@ -1,0 +1,100 @@
+"""Parallel execution of independent harness cells.
+
+A *cell* is one (workload × agent-config) execution — the independent
+unit of Table I/II.  Cells share nothing at the simulation level (each
+builds its own VM), so they fan out across worker processes freely; the
+only requirement is a deterministic merge, which :func:`run_cells`
+guarantees by returning results in the order the cells were given,
+regardless of completion order.
+
+Agent factories are callables (sometimes closures) and thus not
+picklable, so a :class:`CellSpec` carries a *description* — workload
+registry name + scale, agent name + kwargs — and each worker rebuilds
+the live objects on its side.  Workloads not present in the registry
+(e.g. ad-hoc test workloads) cannot be described this way; the table
+builders fall back to in-process execution for those.
+
+Workers are forked when the platform allows it, after the parent has
+warmed the runtime-archive cache, so every worker inherits the built
+runtime library through copy-on-write instead of rebuilding it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import HarnessError
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import RunResult, execute
+from repro.jvm.machine import VMConfig
+
+#: Agent names a cell may reference (the CLI's agent vocabulary).
+_AGENT_BUILDERS = {
+    "none": lambda kwargs: AgentSpec.none(),
+    "original": lambda kwargs: AgentSpec.none(),
+    "spa": lambda kwargs: AgentSpec.spa(),
+    "ipa": lambda kwargs: AgentSpec.ipa(**kwargs),
+}
+
+
+@dataclass
+class CellSpec:
+    """Picklable description of one (workload × agent) cell."""
+
+    workload_name: str
+    scale: int = 1
+    agent_name: str = "none"
+    agent_kwargs: Dict = field(default_factory=dict)
+    runs: int = 1
+    vm_config: Optional[VMConfig] = None
+
+
+def describable(workload) -> bool:
+    """True when ``workload`` can be rebuilt from the registry by name
+    (the requirement for shipping a cell to another process)."""
+    from repro.workloads import get_workload, workload_names
+
+    if workload.name not in workload_names():
+        return False
+    return type(get_workload(workload.name)) is type(workload)
+
+
+def run_cell(cell: CellSpec) -> RunResult:
+    """Rebuild a cell's workload and config, then execute it."""
+    from repro.workloads import get_workload
+
+    builder = _AGENT_BUILDERS.get(cell.agent_name)
+    if builder is None:
+        raise HarnessError(
+            f"unknown agent {cell.agent_name!r}; "
+            f"known: {sorted(_AGENT_BUILDERS)}")
+    workload = get_workload(cell.workload_name, scale=cell.scale)
+    config = RunConfig(agent=builder(cell.agent_kwargs),
+                       vm_config=cell.vm_config or VMConfig(),
+                       runs=cell.runs)
+    return execute(workload, config)
+
+
+def run_cells(cells: List[CellSpec], jobs: int = 1) -> List[RunResult]:
+    """Execute ``cells``, fanning across ``jobs`` processes.
+
+    Results come back in cell order — the merge is deterministic and
+    identical to a serial run.
+    """
+    if jobs < 1:
+        raise HarnessError(f"jobs must be >= 1, got {jobs}")
+    jobs = min(jobs, len(cells))
+    if jobs <= 1:
+        return [run_cell(cell) for cell in cells]
+
+    # warm shared caches before forking so workers inherit them
+    from repro.launcher import runtime_archive
+
+    runtime_archive()
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(run_cell, cells)

@@ -36,7 +36,8 @@ class LoadedMethod:
 
     __slots__ = ("info", "owner", "interp_cost_list", "compiled_cost_list",
                  "active_costs", "invocation_count", "backedge_count",
-                 "compiled", "native_impl", "native_resolved")
+                 "compiled", "native_impl", "native_resolved",
+                 "ops", "operands")
 
     def __init__(self, info, owner, cost_model):
         self.info = info
@@ -48,9 +49,16 @@ class LoadedMethod:
             self.compiled_cost_list = tuple(
                 cost_model.compiled_cost(SPECS[ins.op].cost_class)
                 for ins in info.code)
+            # pre-decoded dispatch streams: the interpreter indexes
+            # these tuples instead of touching Instruction attributes
+            # on its hot path (opcodes as plain ints, operands as-is)
+            self.ops = tuple(int(ins.op) for ins in info.code)
+            self.operands = tuple(ins.operand for ins in info.code)
         else:
             self.interp_cost_list = ()
             self.compiled_cost_list = ()
+            self.ops = ()
+            self.operands = ()
         self.active_costs = self.interp_cost_list
         self.invocation_count = 0
         self.backedge_count = 0

@@ -10,6 +10,8 @@ under the choice of clock.
 
 from __future__ import annotations
 
+import math
+
 #: Nominal clock rate of the simulated CPU (Pentium 4, 2.66 GHz).
 DEFAULT_CLOCK_HZ: int = 2_660_000_000
 
@@ -51,13 +53,16 @@ def throughput_overhead_percent(base_ops: float, measured_ops: float) -> float:
 
 
 def geometric_mean(values) -> float:
-    """Geometric mean of a sequence of positive numbers."""
+    """Geometric mean of a sequence of positive numbers.
+
+    Computed in the log domain (``exp(mean(log(v)))``): a direct running
+    product overflows to ``inf`` (or underflows to ``0.0``) on long or
+    large-valued sequences long before the true mean leaves float range.
+    """
     vals = list(values)
     if not vals:
         raise ValueError("geometric_mean of empty sequence")
-    product = 1.0
     for v in vals:
         if v <= 0:
             raise ValueError(f"geometric_mean requires positive values, got {v}")
-        product *= v
-    return product ** (1.0 / len(vals))
+    return math.exp(math.fsum(map(math.log, vals)) / len(vals))

@@ -227,3 +227,40 @@ class TestCallChainExtension:
             "cc", lambda: agent)))
         deepest = agent.deepest_chain()
         assert deepest is not None and len(deepest) >= 2
+
+
+class TestThreadEndFoldIsIdempotent:
+    """THREAD_END folds the thread's accumulated times into the global
+    totals.  The fold must also reset the TLS context: a duplicate
+    THREAD_END (or any later fold) may only contribute the cycles that
+    elapsed *since* the first fold, never re-add the whole run."""
+
+    def _run_and_refire(self, agent):
+        from repro.launcher import create_vm
+
+        workload = MixedWorkload(iterations=800)
+        vm = create_vm()
+        vm.attach_agent(agent)
+        vm.loader.add_classpath_archive(workload.archive)
+        vm.launch(workload.main_class)
+        folded = agent.total_time_bytecode + agent.total_time_native
+        assert folded > 0
+        # a buggy event source delivers THREAD_END twice while the
+        # thread is still current
+        thread = vm.threads.all_threads[0]
+        vm.threads.current = thread
+        vm.jvmti.dispatch_thread_end(thread)
+        refolded = agent.total_time_bytecode + agent.total_time_native
+        return folded, refolded
+
+    def test_spa_duplicate_thread_end_does_not_double_count(self):
+        folded, refolded = self._run_and_refire(SPA())
+        # only the sliver between the two events (event work, PCL
+        # reads) may be added — a re-fold of the run would re-add
+        # hundreds of thousands of cycles
+        assert refolded - folded < folded * 0.01
+
+    def test_ipa_duplicate_thread_end_does_not_double_count(self):
+        folded, refolded = self._run_and_refire(
+            IPA(instrumentation="none"))
+        assert refolded - folded < folded * 0.01

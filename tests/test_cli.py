@@ -47,3 +47,59 @@ class TestCommands:
         assert main(["profile", "jbb2005", "--agent", "none"]) == 0
         out = capsys.readouterr().out
         assert "ops/second" in out
+
+
+class TestArgumentValidation:
+    """--scale/--runs/--jobs must be rejected at parse time — not crash
+    deep inside workload construction or the harness."""
+
+    @pytest.mark.parametrize("argv", [
+        ["table1", "--scale", "0"],
+        ["table1", "--scale", "-3"],
+        ["table1", "--runs", "0"],
+        ["table1", "--jobs", "0"],
+        ["table2", "--scale", "-1"],
+        ["table2", "--runs", "-2"],
+        ["table2", "--jobs", "-4"],
+        ["profile", "jess", "--scale", "0"],
+        ["profile", "jess", "--runs", "0"],
+        ["bench", "--scale", "0"],
+    ])
+    def test_nonpositive_values_rejected(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2  # argparse usage error
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_non_integer_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "big"])
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_positive_values_accepted(self):
+        args = build_parser().parse_args(
+            ["table1", "--scale", "2", "--runs", "3", "--jobs", "4"])
+        assert (args.scale, args.runs, args.jobs) == (2, 3, 4)
+
+
+class TestBenchCommand:
+    def test_bench_parses_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.scale == 1
+        assert args.output == "BENCH_interpreter.json"
+
+    def test_bench_runs_and_writes(self, tmp_path, capsys, monkeypatch):
+        from repro.workloads import jvm98_suite  # noqa: F401 - sanity
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--scale", "1",
+                     "--output", str(out)]) == 0
+        console = capsys.readouterr().out
+        assert "instr/s" in console
+        assert out.exists()
+        import json
+        doc = json.loads(out.read_text())
+        assert doc["instructions"] > 0
+        assert doc["instructions_per_second"] > 0
+        assert set(doc["per_workload"]) == {
+            "compress", "jess", "db", "javac", "mpegaudio", "mtrt",
+            "jack"}

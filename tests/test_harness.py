@@ -121,3 +121,91 @@ class TestTable2:
         assert "% native execution" in text
         assert "JNI calls" in text
         assert "error [pts]" in text
+
+
+class TestRunnerRepetition:
+    """The runs > 1 median-selection path and execute_many."""
+
+    def test_median_run_selected_from_odd_runs(self):
+        # deterministic simulator: every repetition is identical, so
+        # the median must equal any single run, for any runs count
+        workload = MixedWorkload()
+        baseline = execute(workload, RunConfig(runs=1))
+        for runs in (3, 5):
+            repeated = execute(workload, RunConfig(runs=runs))
+            assert repeated.cycles == baseline.cycles
+            assert repeated.instructions == baseline.instructions
+
+    def test_runs_validation_catches_all_repetitions(self):
+        calls = []
+
+        class FlakyObserved(MixedWorkload):
+            name = "flaky-observed"
+
+            def validate(self, vm):
+                calls.append(1)
+                return super().validate(vm)
+
+        execute(FlakyObserved(), RunConfig(runs=3))
+        assert len(calls) == 3  # every repetition is validated
+
+    def test_execute_many_matches_individual_executes(self):
+        from repro.harness.runner import execute_many
+
+        workload = MixedWorkload()
+        configs = [RunConfig(agent=AgentSpec.none()),
+                   RunConfig(agent=AgentSpec.ipa())]
+        batched = execute_many(workload, configs)
+        assert [r.agent_label for r in batched] == ["original", "ipa"]
+        individual = [execute(workload, c) for c in configs]
+        assert [r.cycles for r in batched] == \
+            [r.cycles for r in individual]
+
+    def test_execute_many_empty(self):
+        from repro.harness.runner import execute_many
+
+        assert execute_many(MixedWorkload(), []) == []
+
+
+class TestParallelCells:
+    """--jobs fan-out must be invisible in the results."""
+
+    def test_registry_workloads_are_describable(self):
+        from repro.harness.parallel import describable
+        from repro.workloads import get_workload
+
+        assert describable(get_workload("jess"))
+        assert not describable(MixedWorkload())
+
+    def test_parallel_matches_serial(self):
+        from repro.harness.parallel import CellSpec, run_cells
+
+        cells = [CellSpec("jess", agent_name="none"),
+                 CellSpec("jess", agent_name="ipa"),
+                 CellSpec("jess", agent_name="spa")]
+        serial = run_cells(cells, jobs=1)
+        fanned = run_cells(cells, jobs=3)
+        assert [r.agent_label for r in fanned] == \
+            ["original", "ipa", "spa"]
+        assert [r.cycles for r in fanned] == \
+            [r.cycles for r in serial]
+        assert [r.instructions for r in fanned] == \
+            [r.instructions for r in serial]
+
+    def test_unknown_agent_rejected(self):
+        from repro.harness.parallel import CellSpec, run_cell
+
+        with pytest.raises(HarnessError, match="unknown agent"):
+            run_cell(CellSpec("jess", agent_name="bogus"))
+
+    def test_invalid_jobs_rejected(self):
+        from repro.harness.parallel import run_cells
+
+        with pytest.raises(HarnessError):
+            run_cells([], jobs=0)
+
+    def test_table1_falls_back_to_serial_for_adhoc_workloads(self):
+        # MixedWorkload is not registry-backed, so jobs > 1 must fall
+        # back to in-process execution and still produce the table
+        table = build_table1([MixedWorkload()], jobs=4)
+        assert [row.benchmark for row in table.time_rows] == ["mixed"]

@@ -1,6 +1,8 @@
 """Interpreter edge cases: float arrays, null paths, nested handlers,
 cast corners, clinit-triggering instructions, IINC wrapping."""
 
+import math
+
 import pytest
 
 from repro.bytecode.assembler import ClassAssembler
@@ -225,3 +227,48 @@ class TestMiscSemantics:
                                 expr_main("sf.Main", body)),
                       "sf.Main")
         assert vm.console[-1] == "77"
+
+
+class TestFloatDivisionByZero:
+    """JVM float semantics (JVMS fdiv): dividing by zero never throws —
+    x/0.0 is ±Infinity with the XOR of the operand signs, and 0.0/0.0
+    is NaN.  Only integer idiv/irem raise ArithmeticException."""
+
+    def _fdiv(self, a, b):
+        c = ClassAssembler("fz.Main")
+        c.field("r", static=True, default=0.0)
+        with c.method("main", "()V", static=True) as m:
+            m.ldc(a).ldc(b).fdiv()
+            m.putstatic("fz.Main", "r")
+            m.return_()
+        vm = run_main(build_app(c), "fz.Main")
+        thread = vm.threads.all_threads[0]
+        assert thread.uncaught_exception is None, \
+            "fdiv by zero must not throw"
+        return vm.loader.loaded_class("fz.Main").statics["r"]
+
+    def test_positive_by_zero_is_positive_infinity(self):
+        assert self._fdiv(1.5, 0.0) == math.inf
+
+    def test_negative_by_zero_is_negative_infinity(self):
+        assert self._fdiv(-1.5, 0.0) == -math.inf
+
+    def test_positive_by_negative_zero_is_negative_infinity(self):
+        assert self._fdiv(2.0, -0.0) == -math.inf
+
+    def test_zero_by_zero_is_nan(self):
+        assert math.isnan(self._fdiv(0.0, 0.0))
+
+    def test_finite_division_unchanged(self):
+        assert self._fdiv(5.0, 2.0) == 2.5
+
+    def test_integer_division_by_zero_still_throws(self):
+        c = ClassAssembler("iz.Main")
+        with c.method("main", "()V", static=True) as m:
+            m.iconst(7).iconst(0).idiv().istore(0)
+            m.return_()
+        vm = run_main(build_app(c), "iz.Main")
+        thread = vm.threads.all_threads[0]
+        assert thread.uncaught_exception is not None
+        assert thread.uncaught_exception.class_name == \
+            "java.lang.ArithmeticException"

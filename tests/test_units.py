@@ -68,3 +68,29 @@ class TestGeometricMean:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             units.geometric_mean([1.0, 0.0])
+
+    def test_no_overflow_on_large_values(self):
+        # a direct running product of these is inf after ~2 terms;
+        # the log-domain mean is exactly representable
+        values = [1e200] * 400
+        assert units.geometric_mean(values) == pytest.approx(
+            1e200, rel=1e-12)
+
+    def test_no_underflow_on_tiny_values(self):
+        # the direct product underflows to 0.0, whose root is 0.0
+        values = [1e-200] * 400
+        result = units.geometric_mean(values)
+        assert result > 0.0
+        assert result == pytest.approx(1e-200, rel=1e-12)
+
+    def test_mixed_magnitudes_stay_finite(self):
+        # the running product saturates to inf before the small terms
+        # can pull it back; the true mean is exactly 1.0
+        values = [1e300] * 5 + [1e-300] * 5
+        result = units.geometric_mean(values)
+        assert math.isfinite(result)
+        assert result == pytest.approx(1.0, rel=1e-9)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.geometric_mean([2.0, -1.0])
