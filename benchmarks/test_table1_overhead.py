@@ -89,7 +89,9 @@ def test_table1_assemble_and_check(benchmark):
         else:
             throughput_rows.append(row)
     table = Table1(time_rows, _geomean_row(time_rows),
-                   throughput_rows, {})
+                   throughput_rows, {},
+                   throughput_geomean_row=_geomean_row(
+                       throughput_rows, MetricKind.THROUGHPUT))
     rendered = render_table1(table)
     print()
     print(rendered)

@@ -28,6 +28,13 @@ from repro.harness.report import render_table1, render_table2
 from repro.harness.runner import RunResult, execute, execute_many
 from repro.harness.statistics import Table2, build_table2
 from repro.launcher import create_vm, runtime_archive
+from repro.observability import (
+    ObservabilityConfig,
+    chrome_trace_doc,
+    folded_lines,
+    write_chrome_trace,
+    write_folded,
+)
 from repro.workloads import (
     Workload,
     full_suite,
@@ -53,6 +60,11 @@ __all__ = [
     "render_table2",
     "create_vm",
     "runtime_archive",
+    "ObservabilityConfig",
+    "chrome_trace_doc",
+    "folded_lines",
+    "write_chrome_trace",
+    "write_folded",
     "Workload",
     "full_suite",
     "get_workload",

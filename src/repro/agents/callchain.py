@@ -71,6 +71,8 @@ class CallChainAgent(AgentBase):
         self.max_depth = max_depth
         self.roots: Dict[str, CCTNode] = {}
         self._states: Dict[int, _ThreadState] = {}
+        from repro.observability.tracer import NULL_TRACER
+        self._tracer = NULL_TRACER
 
     def on_load(self, env) -> None:
         super().on_load(env)
@@ -86,6 +88,10 @@ class CallChainAgent(AgentBase):
         for event in (JvmtiEvent.METHOD_ENTRY, JvmtiEvent.METHOD_EXIT,
                       JvmtiEvent.THREAD_END):
             env.enable_event(event)
+        # observability: method spans are emitted by peeking at the
+        # thread cycle counter — the CCT totals are bit-identical with
+        # tracing on or off
+        self._tracer = env.observer.tracer
 
     def _state(self, thread) -> _ThreadState:
         state = self._states.get(thread.thread_id)
@@ -99,13 +105,21 @@ class CallChainAgent(AgentBase):
         env.charge(EVENT_WORK, thread)
         state = self._state(thread)
         if len(state.stack) >= self.max_depth:
-            state.stack.append(state.stack[-1])  # depth-capped: fold
+            folded = state.stack[-1]
+            state.stack.append(folded)  # depth-capped: fold
+            if self._tracer.enabled:
+                self._tracer.begin(folded.method_name, "method",
+                                   thread.thread_id,
+                                   thread.cycles_total)
             return
         node = state.stack[-1].child(method.qualified_name,
                                      method.is_native)
         node.calls += 1
         node._entry_stack.append(env.pcl.get_timestamp(thread))
         state.stack.append(node)
+        if self._tracer.enabled:
+            self._tracer.begin(node.method_name, "method",
+                               thread.thread_id, thread.cycles_total)
 
     def _method_exit(self, env, thread, method, by_exception) -> None:
         env.charge(EVENT_WORK, thread)
@@ -117,6 +131,9 @@ class CallChainAgent(AgentBase):
             entered = node._entry_stack.pop()
             node.inclusive_cycles += \
                 env.pcl.get_timestamp(thread) - entered
+        if self._tracer.enabled:
+            self._tracer.end(node.method_name, "method",
+                             thread.thread_id, thread.cycles_total)
 
     def _thread_end(self, env, thread) -> None:
         env.charge(EVENT_WORK, thread)

@@ -86,6 +86,8 @@ class IPA(AgentBase):
         self._comp: Dict[str, int] = {}
         self._dynamic = None
         self.static_stats = None
+        from repro.observability.tracer import NULL_TRACER
+        self._tracer = NULL_TRACER
 
     # -- Agent_OnLoad -------------------------------------------------------------
 
@@ -116,6 +118,10 @@ class IPA(AgentBase):
         env.set_native_method_prefix(self.config.prefix)
         self._install_jni_interception(env)
         self._compute_compensation(env.cost_model)
+        # observability: transition spans are recorded by *peeking* at
+        # the thread cycle counter — zero simulated cost, so profiling
+        # results are bit-identical with tracing on or off
+        self._tracer = env.observer.tracer
 
     def _install_jni_interception(self, env) -> None:
         table = env.get_jni_function_table()
@@ -257,16 +263,28 @@ class IPA(AgentBase):
     def _j2n_begin(self, thread) -> None:
         self.native_method_calls += 1
         self._close_span(thread, True, "bytecode", "j2n_begin")
+        if self._tracer.enabled:
+            self._tracer.begin("ipa:native", "transition",
+                               thread.thread_id, thread.cycles_total)
 
     def _j2n_end(self, thread) -> None:
         self._close_span(thread, False, "native", "j2n_end")
+        if self._tracer.enabled:
+            self._tracer.end("ipa:native", "transition",
+                             thread.thread_id, thread.cycles_total)
 
     def _n2j_begin(self, thread) -> None:
         self.jni_calls += 1
         self._close_span(thread, False, "native", "n2j_begin")
+        if self._tracer.enabled:
+            self._tracer.begin("ipa:java", "transition",
+                               thread.thread_id, thread.cycles_total)
 
     def _n2j_end(self, thread) -> None:
         self._close_span(thread, True, "bytecode", "n2j_end")
+        if self._tracer.enabled:
+            self._tracer.end("ipa:java", "transition",
+                             thread.thread_id, thread.cycles_total)
 
     # -- results --------------------------------------------------------------------------------
 

@@ -51,6 +51,8 @@ class SPA(AgentBase):
         self.native_method_invocations = 0
         self._monitor = None
         self._vm_death_seen = False
+        from repro.observability.tracer import NULL_TRACER
+        self._tracer = NULL_TRACER
 
     # -- Agent_OnLoad ----------------------------------------------------------
 
@@ -72,6 +74,9 @@ class SPA(AgentBase):
                       JvmtiEvent.VM_DEATH):
             env.enable_event(event)
         self._monitor = env.create_raw_monitor("spa-globals")
+        # observability: transition markers peek at the cycle counter
+        # (zero simulated cost; totals identical with tracing on/off)
+        self._tracer = env.observer.tracer
 
     # -- helper: TLS allocation on demand ---------------------------------------
     # (the JVMTI does not signal ThreadStart for the bootstrapping
@@ -128,6 +133,11 @@ class SPA(AgentBase):
             else:
                 tc.time_bytecode += delta
             tc.timestamp = now
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "spa:J->N" if is_native else "spa:N->J",
+                    "transition", thread.thread_id,
+                    thread.cycles_total)
         tc.stack.append(is_native)
 
     def _method_exit(self, env, thread, method, by_exception) -> None:
@@ -146,6 +156,11 @@ class SPA(AgentBase):
             else:
                 tc.time_bytecode += delta
             tc.timestamp = now
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "spa:N->J" if is_native else "spa:J->N",
+                    "transition", thread.thread_id,
+                    thread.cycles_total)
 
     def _vm_death(self, env) -> None:
         self._vm_death_seen = True

@@ -6,7 +6,13 @@
     repro table1 [--scale N]        # regenerate Table I
     repro table2 [--scale N]        # regenerate Table II
     repro profile WORKLOAD [...]    # run one workload under one agent
+    repro trace WORKLOAD [...]      # record a Chrome/Perfetto trace
+    repro metrics FILE.jsonl [...]  # summarize exported metrics
     repro bench [--scale N]         # time the suite, record host perf
+
+Observability never perturbs measurement: ``--trace``/``--metrics-out``
+on ``table1``/``table2`` produce byte-identical tables (the trace and
+metrics files are written on the side; notices go to stderr).
 """
 
 from __future__ import annotations
@@ -20,7 +26,17 @@ from repro.harness.overhead import build_table1
 from repro.harness.report import render_table1, render_table2
 from repro.harness.runner import execute
 from repro.harness.statistics import build_table2
+from repro.observability import (
+    ObservabilityConfig,
+    write_chrome_trace,
+    write_folded,
+    write_metrics_jsonl,
+)
 from repro.workloads import full_suite, get_workload, workload_names
+
+#: Agent vocabulary of ``--agent`` (kept sorted for error messages).
+AGENT_NAMES = ("callchain", "ipa", "ipa-dynamic", "ipa-nocomp", "none",
+               "spa")
 
 
 def _cmd_list(_args) -> int:
@@ -30,17 +46,46 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _observability_from(args) -> Optional[ObservabilityConfig]:
+    trace_out = getattr(args, "trace", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not trace_out and not metrics_out:
+        return None
+    return ObservabilityConfig(trace=bool(trace_out),
+                               metrics=bool(metrics_out))
+
+
+def _write_table_observability(args, captures) -> None:
+    """Write side files; notices go to stderr so the table on stdout
+    stays byte-identical with observability off."""
+    captures = [doc for doc in (captures or []) if doc]
+    if getattr(args, "trace", None):
+        doc = write_chrome_trace(args.trace, captures)
+        print(f"trace: {len(doc['traceEvents'])} events -> "
+              f"{args.trace}", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        records = [record for doc in captures
+                   for record in doc.get("metrics", [])]
+        count = write_metrics_jsonl(args.metrics_out, records)
+        print(f"metrics: {count} records -> {args.metrics_out}",
+              file=sys.stderr)
+
+
 def _cmd_table1(args) -> int:
     table = build_table1(full_suite(scale=args.scale), runs=args.runs,
-                         jobs=args.jobs)
+                         jobs=args.jobs,
+                         observability=_observability_from(args))
     print(render_table1(table))
+    _write_table_observability(args, table.captures)
     return 0
 
 
 def _cmd_table2(args) -> int:
     table = build_table2(full_suite(scale=args.scale), runs=args.runs,
-                         jobs=args.jobs)
+                         jobs=args.jobs,
+                         observability=_observability_from(args))
     print(render_table2(table))
+    _write_table_observability(args, table.captures)
     return 0
 
 
@@ -73,6 +118,8 @@ def _positive_int(text: str) -> int:
 
 
 def _agent_spec(name: str) -> AgentSpec:
+    """argparse type for ``--agent``: unknown names exit 2 with the
+    valid-agent list (a usage error, not a traceback)."""
     if name == "none":
         return AgentSpec.none()
     if name == "spa":
@@ -83,10 +130,17 @@ def _agent_spec(name: str) -> AgentSpec:
         return AgentSpec.ipa(instrumentation="dynamic")
     if name == "ipa-nocomp":
         return AgentSpec.ipa(compensate=False)
-    raise argparse.ArgumentTypeError(f"unknown agent {name!r}")
+    if name == "callchain":
+        return AgentSpec.callchain()
+    raise argparse.ArgumentTypeError(
+        f"unknown agent {name!r} (valid: {', '.join(AGENT_NAMES)})")
 
 
 def _cmd_profile(args) -> int:
+    if args.flamegraph and args.agent.label != "callchain":
+        print("repro profile: --flamegraph requires --agent callchain "
+              "(the calling-context-tree profiler)", file=sys.stderr)
+        return 2
     workload = get_workload(args.workload, scale=args.scale)
     result = execute(workload, RunConfig(agent=args.agent,
                                          runs=args.runs))
@@ -107,6 +161,53 @@ def _cmd_profile(args) -> int:
                 print(f"  {key}: {value:.3f}")
             else:
                 print(f"  {key}: {value}")
+    if args.flamegraph:
+        lines = write_folded(args.flamegraph,
+                             result.agent_object.roots)
+        print(f"flamegraph:    {lines} folded stacks -> "
+              f"{args.flamegraph}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one workload with the tracer on; export a Chrome trace."""
+    workload = get_workload(args.workload, scale=args.scale)
+    observability = ObservabilityConfig(
+        trace=True, metrics=bool(args.metrics_out))
+    result = execute(workload, RunConfig(agent=args.agent,
+                                         runs=args.runs,
+                                         observability=observability))
+    capture = result.observability
+    doc = write_chrome_trace(args.trace_out, [capture])
+    print(f"workload:      {result.workload}")
+    print(f"agent:         {result.agent_label}")
+    print(f"cycles:        {result.cycles:,}")
+    print(f"trace events:  {len(doc['traceEvents']):,}")
+    print(f"threads:       {len(capture['thread_names'])}")
+    print(f"trace:         {args.trace_out} "
+          f"(open in Perfetto / chrome://tracing)")
+    if args.metrics_out:
+        count = write_metrics_jsonl(args.metrics_out,
+                                    capture["metrics"])
+        print(f"metrics:       {count} records -> {args.metrics_out}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Summarize one or more exported metrics JSONL files."""
+    from repro.observability.metrics import (
+        format_metrics_summary,
+        read_metrics_jsonl,
+        summarize_metrics,
+    )
+
+    records = []
+    for path in args.files:
+        records.extend(read_metrics_jsonl(path))
+    if not records:
+        print("no metrics records found", file=sys.stderr)
+        return 1
+    print(format_metrics_summary(summarize_metrics(records)))
     return 0
 
 
@@ -121,28 +222,55 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list workloads").set_defaults(
         func=_cmd_list)
 
-    p1 = sub.add_parser("table1", help="regenerate Table I")
-    p1.add_argument("--scale", type=_positive_int, default=1)
-    p1.add_argument("--runs", type=_positive_int, default=1)
-    p1.add_argument("--jobs", type=_positive_int, default=1,
-                    help="worker processes for independent cells")
-    p1.set_defaults(func=_cmd_table1)
-
-    p2 = sub.add_parser("table2", help="regenerate Table II")
-    p2.add_argument("--scale", type=_positive_int, default=1)
-    p2.add_argument("--runs", type=_positive_int, default=1)
-    p2.add_argument("--jobs", type=_positive_int, default=1,
-                    help="worker processes for independent cells")
-    p2.set_defaults(func=_cmd_table2)
+    for name, help_text, func in (
+            ("table1", "regenerate Table I", _cmd_table1),
+            ("table2", "regenerate Table II", _cmd_table2)):
+        pt = sub.add_parser(name, help=help_text)
+        pt.add_argument("--scale", type=_positive_int, default=1)
+        pt.add_argument("--runs", type=_positive_int, default=1)
+        pt.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes for independent cells")
+        pt.add_argument("--trace", metavar="OUT.json", default=None,
+                        help=("record per-cell traces; write merged "
+                              "Chrome trace-event JSON (table output "
+                              "is unchanged)"))
+        pt.add_argument("--metrics-out", metavar="OUT.jsonl",
+                        default=None,
+                        help="write per-cell metrics records as JSONL")
+        pt.set_defaults(func=func)
 
     pp = sub.add_parser("profile", help="profile one workload")
     pp.add_argument("workload")
     pp.add_argument("--agent", type=_agent_spec,
                     default=AgentSpec.ipa(),
-                    help="none | spa | ipa | ipa-dynamic | ipa-nocomp")
+                    help=" | ".join(AGENT_NAMES))
     pp.add_argument("--scale", type=_positive_int, default=1)
     pp.add_argument("--runs", type=_positive_int, default=1)
+    pp.add_argument("--flamegraph", metavar="OUT.folded", default=None,
+                    help=("write folded stacks from the callchain CCT "
+                          "(requires --agent callchain)"))
     pp.set_defaults(func=_cmd_profile)
+
+    ptr = sub.add_parser(
+        "trace", help="trace one workload (Chrome/Perfetto JSON)")
+    ptr.add_argument("workload")
+    ptr.add_argument("--agent", type=_agent_spec,
+                     default=AgentSpec.none(),
+                     help=" | ".join(AGENT_NAMES))
+    ptr.add_argument("--scale", type=_positive_int, default=1)
+    ptr.add_argument("--runs", type=_positive_int, default=1)
+    ptr.add_argument("--trace-out", metavar="OUT.json",
+                     default="trace.json",
+                     help="Chrome trace-event JSON output path")
+    ptr.add_argument("--metrics-out", metavar="OUT.jsonl",
+                     default=None,
+                     help="also export metrics records as JSONL")
+    ptr.set_defaults(func=_cmd_trace)
+
+    pm = sub.add_parser(
+        "metrics", help="summarize exported metrics JSONL files")
+    pm.add_argument("files", nargs="+", metavar="FILE.jsonl")
+    pm.set_defaults(func=_cmd_metrics)
 
     pb = sub.add_parser(
         "bench", help="time the JVM98 suite; record host performance")

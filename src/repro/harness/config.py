@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.jvm.machine import VMConfig
+from repro.observability.sink import ObservabilityConfig
 
 
 @dataclass
@@ -36,6 +37,12 @@ class AgentSpec:
 
         return cls("ipa", lambda: IPA(**kwargs))
 
+    @classmethod
+    def callchain(cls, **kwargs) -> "AgentSpec":
+        from repro.agents.callchain import CallChainAgent
+
+        return cls("callchain", lambda: CallChainAgent(**kwargs))
+
 
 @dataclass
 class RunConfig:
@@ -50,3 +57,7 @@ class RunConfig:
     #: Optional host-side sampling profiler factory (the system-specific
     #: related-work approach; see repro.agents.sampling).
     sampler: Optional[Callable] = None
+    #: What to observe (trace events, metrics).  ``None`` leaves the
+    #: VM's no-op null sink in place; either way, simulated cycle
+    #: accounting is bit-identical (observability never charges time).
+    observability: Optional[ObservabilityConfig] = None

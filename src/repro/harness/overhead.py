@@ -3,20 +3,26 @@
 For TIME workloads (SPEC JVM98) the overhead formula is
 ``time_with_profiling / time_without - 1``; for THROUGHPUT workloads
 (SPEC JBB2005) it is ``ops_without / ops_with - 1`` — exactly the
-paper's two formulas.  A geometric-mean row summarises the JVM98 times,
-as in the paper.
+paper's two formulas.  A geometric-mean row summarises each section
+(the paper prints one for the JVM98 times; we add the symmetric row
+for the throughput section).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import units
 from repro.harness.config import AgentSpec, RunConfig
 from repro.harness.parallel import CellSpec, describable, run_cells
 from repro.harness.runner import RunResult, execute
 from repro.jvm.machine import VMConfig
+from repro.observability.sink import ObservabilityConfig
 from repro.workloads.base import MetricKind, Workload
 
 
@@ -35,13 +41,21 @@ class OverheadRow:
 
 @dataclass
 class Table1:
-    """The full Table I: JVM98 rows, their geometric mean, JBB rows."""
+    """The full Table I: JVM98 rows, their geometric mean, JBB rows
+    (and *their* geometric mean)."""
 
     time_rows: List[OverheadRow]
     geomean_row: Optional[OverheadRow]
     throughput_rows: List[OverheadRow]
     #: Raw per-(workload, agent) results for deeper analysis.
     raw: Dict[str, Dict[str, RunResult]]
+    #: Geometric-mean summary of the throughput section (the time
+    #: section always had one; the throughput section now matches).
+    throughput_geomean_row: Optional[OverheadRow] = None
+    #: Per-cell observability capture documents, in fixed cell order
+    #: ((workload × agent), workloads outermost) — ``None`` when the
+    #: table was built without observability.
+    captures: Optional[List[dict]] = None
 
     @property
     def rows(self) -> List[OverheadRow]:
@@ -49,6 +63,8 @@ class Table1:
         if self.geomean_row is not None:
             rows.append(self.geomean_row)
         rows.extend(self.throughput_rows)
+        if self.throughput_geomean_row is not None:
+            rows.append(self.throughput_geomean_row)
         return rows
 
 
@@ -80,53 +96,98 @@ def _row_from_results(workload: Workload, base: RunResult,
     )
 
 
-def _geomean_row(rows: List[OverheadRow]) -> Optional[OverheadRow]:
+def _geomean_row(rows: List[OverheadRow],
+                 metric: MetricKind = MetricKind.TIME
+                 ) -> Optional[OverheadRow]:
+    """Geometric-mean summary of one table section.
+
+    The overhead columns apply the section's own formula to the mean
+    values: slowdown of the means for TIME, throughput loss of the
+    means for THROUGHPUT.
+    """
     if not rows:
         return None
+    mean_original = units.geometric_mean(r.value_original for r in rows)
+    mean_spa = units.geometric_mean(r.value_spa for r in rows)
+    mean_ipa = units.geometric_mean(r.value_ipa for r in rows)
     return OverheadRow(
         benchmark="geom. mean",
-        metric=MetricKind.TIME,
-        value_original=units.geometric_mean(
-            r.value_original for r in rows),
-        value_spa=units.geometric_mean(r.value_spa for r in rows),
-        value_ipa=units.geometric_mean(r.value_ipa for r in rows),
-        overhead_spa_percent=units.geometric_mean(
-            r.value_spa for r in rows) / units.geometric_mean(
-            r.value_original for r in rows) * 100.0 - 100.0,
-        overhead_ipa_percent=units.geometric_mean(
-            r.value_ipa for r in rows) / units.geometric_mean(
-            r.value_original for r in rows) * 100.0 - 100.0,
+        metric=metric,
+        value_original=mean_original,
+        value_spa=mean_spa,
+        value_ipa=mean_ipa,
+        overhead_spa_percent=_overhead_for(metric, mean_original,
+                                           mean_spa),
+        overhead_ipa_percent=_overhead_for(metric, mean_original,
+                                           mean_ipa),
     )
+
+
+def run_observed_cells(cells: List[CellSpec], jobs: int,
+                       observability: Optional[ObservabilityConfig]
+                       ) -> Tuple[List[RunResult],
+                                  Optional[List[dict]]]:
+    """Execute cells, returning results plus per-cell capture docs.
+
+    With observability off this is plain :func:`run_cells`.  With it
+    on, each worker writes its capture to a per-process file named
+    after the cell index; the parent reads the files back in cell
+    order, so the merge is deterministic regardless of completion
+    order (and identical between serial and ``jobs > 1`` builds).
+    """
+    if observability is None or not observability.enabled:
+        return run_cells(cells, jobs), None
+    capture_dir = tempfile.mkdtemp(prefix="repro-obs-")
+    try:
+        for index, cell in enumerate(cells):
+            cell.observability = observability
+            cell.observability_path = os.path.join(
+                capture_dir, f"cell-{index:04d}.json")
+        flat = run_cells(cells, jobs)
+        captures = []
+        for cell in cells:
+            with open(cell.observability_path, encoding="utf-8") as fh:
+                captures.append(json.load(fh))
+        return flat, captures
+    finally:
+        shutil.rmtree(capture_dir, ignore_errors=True)
 
 
 def build_table1(workloads: List[Workload],
                  vm_config: Optional[VMConfig] = None,
                  runs: int = 1,
-                 jobs: int = 1) -> Table1:
+                 jobs: int = 1,
+                 observability: Optional[ObservabilityConfig] = None
+                 ) -> Table1:
     """Run every workload under {original, SPA, IPA} and build Table I.
 
     ``jobs > 1`` fans the independent (workload × agent) cells across
     processes; the merge order is fixed, so the table is identical to a
-    serial build.
+    serial build.  ``observability`` records traces/metrics per cell
+    (collected in :attr:`Table1.captures`) without changing a single
+    simulated cycle — the rendered table is byte-identical either way.
     """
     vm_config = vm_config or VMConfig()
     agents = [("original", "none"), ("spa", "spa"), ("ipa", "ipa")]
     time_rows: List[OverheadRow] = []
     throughput_rows: List[OverheadRow] = []
     raw: Dict[str, Dict[str, RunResult]] = {}
+    captures: Optional[List[dict]] = None
 
-    if jobs > 1 and all(describable(w) for w in workloads):
+    if all(describable(w) for w in workloads):
         cells = [CellSpec(workload_name=w.name, scale=w.scale,
                           agent_name=agent_name, runs=runs,
                           vm_config=vm_config)
                  for w in workloads for _, agent_name in agents]
-        flat = run_cells(cells, jobs)
+        flat, captures = run_observed_cells(cells, jobs, observability)
         per_workload = [
             dict(zip((label for label, _ in agents),
                      flat[i * len(agents):(i + 1) * len(agents)]))
             for i in range(len(workloads))]
     else:
         per_workload = []
+        if observability is not None and observability.enabled:
+            captures = []
         for workload in workloads:
             results = {}
             for label, agent_name in agents:
@@ -134,8 +195,11 @@ def build_table1(workloads: List[Workload],
                         AgentSpec.spa() if agent_name == "spa" else
                         AgentSpec.ipa())
                 config = RunConfig(agent=spec, vm_config=vm_config,
-                                   runs=runs)
-                results[label] = execute(workload, config)
+                                   runs=runs, observability=observability)
+                result = execute(workload, config)
+                if captures is not None:
+                    captures.append(result.observability)
+                results[label] = result
             per_workload.append(results)
 
     for workload, results in zip(workloads, per_workload):
@@ -148,4 +212,7 @@ def build_table1(workloads: List[Workload],
             throughput_rows.append(row)
 
     return Table1(time_rows, _geomean_row(time_rows), throughput_rows,
-                  raw)
+                  raw,
+                  throughput_geomean_row=_geomean_row(
+                      throughput_rows, MetricKind.THROUGHPUT),
+                  captures=captures)

@@ -21,6 +21,7 @@ runtime library through copy-on-write instead of rebuilding it.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -29,6 +30,7 @@ from repro.errors import HarnessError
 from repro.harness.config import AgentSpec, RunConfig
 from repro.harness.runner import RunResult, execute
 from repro.jvm.machine import VMConfig
+from repro.observability.sink import ObservabilityConfig
 
 #: Agent names a cell may reference (the CLI's agent vocabulary).
 _AGENT_BUILDERS = {
@@ -36,6 +38,7 @@ _AGENT_BUILDERS = {
     "original": lambda kwargs: AgentSpec.none(),
     "spa": lambda kwargs: AgentSpec.spa(),
     "ipa": lambda kwargs: AgentSpec.ipa(**kwargs),
+    "callchain": lambda kwargs: AgentSpec.callchain(**kwargs),
 }
 
 
@@ -49,6 +52,12 @@ class CellSpec:
     agent_kwargs: Dict = field(default_factory=dict)
     runs: int = 1
     vm_config: Optional[VMConfig] = None
+    #: What to observe during the cell (``None`` = nothing).
+    observability: Optional[ObservabilityConfig] = None
+    #: Where the worker writes its capture document.  Workers emit
+    #: per-process files (one per cell) instead of piping captures
+    #: through IPC; the parent merges them in fixed cell order.
+    observability_path: Optional[str] = None
 
 
 def describable(workload) -> bool:
@@ -73,8 +82,18 @@ def run_cell(cell: CellSpec) -> RunResult:
     workload = get_workload(cell.workload_name, scale=cell.scale)
     config = RunConfig(agent=builder(cell.agent_kwargs),
                        vm_config=cell.vm_config or VMConfig(),
-                       runs=cell.runs)
-    return execute(workload, config)
+                       runs=cell.runs,
+                       observability=cell.observability)
+    result = execute(workload, config)
+    if cell.observability_path is not None:
+        with open(cell.observability_path, "w",
+                  encoding="utf-8") as fh:
+            json.dump(result.observability, fh)
+        result.observability = None  # travels via the file instead
+    # live agents close over the VM (unpicklable closures) — results
+    # crossing a process boundary must not drag the simulation along
+    result.agent_object = None
+    return result
 
 
 def run_cells(cells: List[CellSpec], jobs: int = 1) -> List[RunResult]:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import statistics
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -12,6 +13,8 @@ from repro.harness.config import RunConfig
 from repro.jni.stdlib import build_java_library
 from repro.jvm.machine import JavaVM, VMConfig
 from repro.launcher import runtime_archive
+from repro.observability.sink import ObservabilitySink
+from repro.observability.tracer import HARNESS_TID
 from repro.workloads.base import MetricKind, Workload
 
 
@@ -34,6 +37,12 @@ class RunResult:
     jit_vetoed: bool
     operations: Optional[int] = None
     console: List[str] = field(default_factory=list)
+    #: Capture document (trace events + metrics records) when the run
+    #: was observed; ``None`` otherwise.  JSON-safe and picklable.
+    observability: Optional[Dict] = None
+    #: The live agent instance (CCT access for flamegraph export).
+    #: Host-side only — stripped before crossing process boundaries.
+    agent_object: Optional[object] = None
 
     @property
     def operations_per_second(self) -> Optional[float]:
@@ -50,6 +59,10 @@ def _build_vm(workload: Workload, config: RunConfig) -> JavaVM:
         jvmti_version=config.vm_config.jvmti_version,
     )
     vm = JavaVM(vm_config)
+    if config.observability is not None and \
+            config.observability.enabled:
+        # install before agents attach so they pick up the live tracer
+        vm.obs = ObservabilitySink(config.observability)
     vm.native_registry.register(build_java_library(), preload=True)
     for library in workload.native_libraries():
         vm.native_registry.register(library)
@@ -73,13 +86,22 @@ def _build_vm(workload: Workload, config: RunConfig) -> JavaVM:
 
 
 def _run_once(workload: Workload, config: RunConfig) -> RunResult:
+    wall_started = time.perf_counter()
     vm = _build_vm(workload, config)
+    sink = vm.obs
+    tracer = sink.tracer
+    launch_started = vm.threads.total_cycles()
     vm.launch(workload.main_class)
+    tracer.complete(f"launch:{workload.name}", "harness", HARNESS_TID,
+                    launch_started, vm.threads.total_cycles())
 
+    validate_started = vm.threads.total_cycles()
     check = workload.validate(vm)
     operations = None
     if workload.metric is MetricKind.THROUGHPUT:
         operations = workload.operations(vm)
+    tracer.complete("validate", "harness", HARNESS_TID,
+                    validate_started, vm.threads.total_cycles())
 
     agent_report = None
     if vm.agents:
@@ -88,6 +110,15 @@ def _run_once(workload: Workload, config: RunConfig) -> RunResult:
     sampler = getattr(vm, "sampler", None)
     if sampler is not None:
         sampler_report = sampler.report()
+
+    observability = None
+    if sink.enabled:
+        _record_run_metrics(sink, vm,
+                            time.perf_counter() - wall_started)
+        observability = sink.capture(
+            labels={"workload": workload.name,
+                    "agent": config.agent.label},
+            clock_hz=vm.config.clock_hz)
 
     return RunResult(
         workload=workload.name,
@@ -106,7 +137,39 @@ def _run_once(workload: Workload, config: RunConfig) -> RunResult:
         jit_vetoed=vm.jit.vetoed,
         operations=operations,
         console=list(vm.console),
+        observability=observability,
+        agent_object=vm.agents[0] if vm.agents else None,
     )
+
+
+def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
+                        wall_seconds: float) -> None:
+    """Fold the VM's host-side statistics into the metrics registry.
+
+    Reading them is free of simulated cost — they are bookkeeping the
+    machine maintains regardless of observability.
+    """
+    metrics = sink.metrics
+    if not metrics.enabled:
+        return
+    metrics.inc("instructions_retired", vm.instructions_retired)
+    metrics.inc("method_invocations", vm.method_invocations)
+    metrics.inc("native_invocations", vm.native_invocations)
+    metrics.inc("jni_invocations", vm.jni_invocations)
+    metrics.inc("inline_cache_hits", vm.ic_hits)
+    metrics.inc("inline_cache_misses", vm.ic_misses)
+    metrics.inc("classes_loaded", vm.loader.classes_loaded)
+    metrics.inc("jvmti_events_dispatched",
+                vm.jvmti.events_dispatched)
+    for event_name, count in sorted(
+            vm.jvmti.dispatch_counts.items()):
+        metrics.inc(f"jvmti_events_{event_name.lower()}", count)
+    metrics.inc("pcl_reads", vm.pcl.reads)
+    metrics.inc("jit_compiled_methods", vm.jit.compile_count)
+    metrics.set_gauge("cycles_total", vm.total_cycles)
+    for tag, cycles in sorted(vm.ground_truth().items()):
+        metrics.set_gauge(f"cycles_{tag}", cycles)
+    metrics.set_gauge("host_wall_seconds", round(wall_seconds, 6))
 
 
 def execute(workload: Workload,

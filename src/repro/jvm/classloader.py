@@ -215,6 +215,11 @@ class ClassLoader:
             raise ClassNotFoundError(f"class not found: {name}")
 
         self._loading.append(name)
+        tracer = self._vm.obs.tracer
+        trace_thread = self._vm.threads.current \
+            if tracer.enabled else None
+        load_started = trace_thread.cycles_total \
+            if trace_thread is not None else 0
         try:
             hooked = self._vm.jvmti.dispatch_class_file_load_hook(name, data)
             cf = load_class(hooked if hooked is not None else data)
@@ -232,6 +237,10 @@ class ClassLoader:
             self.classes_loaded += 1
             self._charge_load(loaded)
             self._initialize(loaded)
+            if trace_thread is not None:
+                tracer.complete(name, "classload",
+                                trace_thread.thread_id, load_started,
+                                trace_thread.cycles_total)
             return loaded
         finally:
             self._loading.remove(name)

@@ -272,13 +272,28 @@ class Interpreter:
         thread.charge(vm.cost_model.native_invoke_base, ChargeTag.NATIVE)
         vm.native_invocations += 1
         env = vm.jni_env(thread)
+        obs = vm.obs
+        entered = thread.cycles_total if obs.enabled else 0
         try:
             result = impl(env, *args)
         except Unwind:
+            if obs.enabled:
+                self._observe_j2n(obs, thread, method, entered)
             self._exit_method_event(thread, method, by_exception=True)
             raise
+        if obs.enabled:
+            self._observe_j2n(obs, thread, method, entered)
         self._exit_method_event(thread, method, by_exception=False)
         return result
+
+    @staticmethod
+    def _observe_j2n(obs, thread, method, entered: int) -> None:
+        """Record one J2N (bytecode -> native) span; observes the
+        per-thread cycle counter without charging it."""
+        now = thread.cycles_total
+        obs.tracer.complete(method.qualified_name, "j2n",
+                            thread.thread_id, entered, now)
+        obs.metrics.observe("j2n_span_cycles", now - entered)
 
     # -- the interpreter loop --------------------------------------------------------
 
@@ -586,7 +601,9 @@ class Interpreter:
                                         "java.lang.Object")
                                 if receiver_class is q[4]:
                                     resolved = q[5]
+                                    vm.ic_hits += 1
                                 else:  # IC miss: resolve and re-seed
+                                    vm.ic_misses += 1
                                     dispatched = \
                                         receiver_class.resolve_method(
                                             q[2], q[3])

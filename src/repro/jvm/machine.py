@@ -36,6 +36,8 @@ from repro.jvmti.host import (
     JVMTI_VERSION_1_1,
     JVMTIHost,
 )
+from repro.observability.sink import NULL_SINK
+from repro.observability.tracer import HARNESS_TID
 from repro.pcl.counters import PCL
 
 MAIN_DESCRIPTOR = "()V"
@@ -71,11 +73,18 @@ class JavaVM:
         self.agents: List = []
         self._launched = False
         self._dead = False
+        #: Observability sink — a shared no-op by default; the harness
+        #: installs a live sink before launch.  Hooks only *observe*
+        #: per-thread cycle counters, so cycle accounting is identical
+        #: whether the sink records or not.
+        self.obs = NULL_SINK
         # statistics
         self.instructions_retired = 0
         self.method_invocations = 0
         self.native_invocations = 0
         self.jni_invocations = 0
+        self.ic_hits = 0
+        self.ic_misses = 0
         # simulated file system: name -> bytes (inputs) / bytearray (outputs)
         self.files: Dict[str, bytes] = {}
 
@@ -123,7 +132,12 @@ class JavaVM:
         main_thread.state = ThreadState.RUNNING
         self.threads.current = main_thread
 
+        tracer = self.obs.tracer
+        tracer.register_thread(main_thread.thread_id, main_thread.name)
+
         self.jvmti.dispatch_vm_init()
+        tracer.instant("VM_INIT", "vm", main_thread.thread_id,
+                       main_thread.cycles_total)
 
         main_class = self.loader.load(main_class_name)
         main_method = main_class.resolve_method("main", MAIN_DESCRIPTOR)
@@ -134,11 +148,15 @@ class JavaVM:
         # like a real launcher, enter Java through the JNI invocation
         # interface — so agents intercepting the JNI function table see
         # the initial native->Java transition of the main thread
+        main_start = main_thread.cycles_total
         try:
             self.jni_env(main_thread).call_static_void_method(main_method)
         except Unwind as unwind:
             self._report_uncaught(main_thread, unwind.jobject)
         self._finish_thread(main_thread)
+        tracer.complete(f"thread:{main_thread.name}", "thread",
+                        main_thread.thread_id, main_start,
+                        main_thread.cycles_total)
 
         # drain threads that were started but never joined
         while self.threads.has_queued:
@@ -148,6 +166,8 @@ class JavaVM:
         self.threads.current = None
         self._dead = True
         self.jvmti.dispatch_vm_death()
+        tracer.instant("VM_DEATH", "vm", HARNESS_TID,
+                       self.threads.total_cycles())
         return self
 
     def run_thread(self, thread: SimThread) -> None:
@@ -161,6 +181,9 @@ class JavaVM:
         previous = self.threads.current
         self.threads.current = thread
         thread.state = ThreadState.RUNNING
+        tracer = self.obs.tracer
+        tracer.register_thread(thread.thread_id, thread.name)
+        thread_start = thread.cycles_total
         self.jvmti.dispatch_thread_start(thread)
         run_method = None
         if thread.java_object is not None:
@@ -176,6 +199,9 @@ class JavaVM:
         except Unwind as unwind:
             self._report_uncaught(thread, unwind.jobject)
         self._finish_thread(thread)
+        tracer.complete(f"thread:{thread.name}", "thread",
+                        thread.thread_id, thread_start,
+                        thread.cycles_total)
         self.threads.current = previous
 
     def ensure_thread_finished(self, thread: SimThread) -> None:

@@ -168,6 +168,14 @@ class JVMTIAgentEnv:
         return self._host.vm.pcl
 
     @property
+    def observer(self):
+        """The VM's observability sink (a no-op null sink unless the
+        harness installed a live one).  Agents may record trace events
+        and metrics through it; recording is free of simulated cost by
+        construction — it never touches thread cycle counters."""
+        return self._host.vm.obs
+
+    @property
     def cost_model(self):
         """Read-only access to machine timing constants — the stand-in
         for the offline micro-calibration the paper used to estimate
@@ -189,6 +197,9 @@ class JVMTIHost:
         self.method_exit_enabled = False
         self._class_hook_enabled = False
         self.events_dispatched = 0
+        #: Host-side per-event-type delivery counts (observability
+        #: metrics source; maintaining them charges no simulated time).
+        self.dispatch_counts: Dict[str, int] = {}
 
     def attach(self, agent) -> JVMTIAgentEnv:
         env = JVMTIAgentEnv(self, agent)
@@ -209,11 +220,13 @@ class JVMTIHost:
 
     def _deliver(self, event: JvmtiEvent, thread, *args):
         dispatch_cost = self.vm.cost_model.jvmti_event_dispatch
+        counts = self.dispatch_counts
         for env in self.agent_envs:
             if event in env.enabled_events:
                 if thread is not None:
                     thread.charge(dispatch_cost, ChargeTag.AGENT)
                 self.events_dispatched += 1
+                counts[event.name] = counts.get(event.name, 0) + 1
                 env.callbacks[event](env, *args)
 
     def dispatch_vm_init(self) -> None:
@@ -252,6 +265,9 @@ class JVMTIHost:
                 if thread is not None:
                     thread.charge(dispatch_cost, ChargeTag.AGENT)
                 self.events_dispatched += 1
+                event_name = JvmtiEvent.CLASS_FILE_LOAD_HOOK.name
+                self.dispatch_counts[event_name] = \
+                    self.dispatch_counts.get(event_name, 0) + 1
                 result = env.callbacks[JvmtiEvent.CLASS_FILE_LOAD_HOOK](
                     env, name, current)
                 if result is not None:

@@ -1,0 +1,61 @@
+"""Observability: zero-perturbation tracing, metrics, flamegraphs.
+
+The simulator measures where time goes at the bytecode/native boundary;
+this package makes the *simulator itself* observable without touching
+what it measures.  The hard rule, inherited from the cost-model work:
+**simulated cycle accounting is bit-identical with tracing on, off, or
+absent**.  Every hook in the VM, the agents, and the harness only
+*peeks* at per-thread cycle counters (``SimThread.cycles_total``); it
+never calls :meth:`~repro.pcl.counters.PCL.get_timestamp` and never
+:meth:`~repro.jvm.threads.SimThread.charge`-s anything.  Tracing
+observes the clock, it does not advance it.
+
+Components:
+
+* :mod:`~repro.observability.tracer` — per-thread span/instant event
+  buffers over simulated time;
+* :mod:`~repro.observability.chrome_trace` — Chrome trace-event JSON
+  export (open the file in Perfetto / ``chrome://tracing``);
+* :mod:`~repro.observability.metrics` — counters, gauges, histograms
+  with JSONL export and host-side aggregation;
+* :mod:`~repro.observability.flamegraph` — folded-stack export from
+  the callchain agent's calling-context tree;
+* :mod:`~repro.observability.sink` — the :class:`ObservabilitySink`
+  bundle the VM carries (a no-op null sink by default) and the
+  picklable :class:`ObservabilityConfig` the harness ships to worker
+  processes.
+"""
+
+from repro.observability.chrome_trace import (
+    chrome_trace_doc,
+    write_chrome_trace,
+)
+from repro.observability.flamegraph import folded_lines, write_folded
+from repro.observability.metrics import (
+    MetricsRegistry,
+    read_metrics_jsonl,
+    summarize_metrics,
+    write_metrics_jsonl,
+)
+from repro.observability.sink import (
+    NULL_SINK,
+    ObservabilityConfig,
+    ObservabilitySink,
+)
+from repro.observability.tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "ObservabilityConfig",
+    "ObservabilitySink",
+    "NULL_SINK",
+    "chrome_trace_doc",
+    "write_chrome_trace",
+    "folded_lines",
+    "write_folded",
+    "read_metrics_jsonl",
+    "summarize_metrics",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,65 @@
+"""Folded-stack flamegraph export from the callchain CCT.
+
+The callchain agent (the paper's Section VII future-work extension)
+builds per-thread calling-context trees with *inclusive* cycle
+attribution.  Flamegraph tooling (Brendan Gregg's ``flamegraph.pl``,
+speedscope, Perfetto's import) expects *folded stacks*: one line per
+calling context with its **self** weight — the inclusive time minus
+the children's, so the tooling can re-derive inclusive totals by
+summation.
+
+Native frames are suffixed ``_[k]`` so standard flamegraph palettes
+color them like kernel/native frames — the Java/native boundary the
+paper is about stays visible in the rendered graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+def _self_cycles(node) -> int:
+    inherited = sum(child.inclusive_cycles
+                    for child in node.children.values())
+    return max(0, node.inclusive_cycles - inherited)
+
+
+def folded_lines(roots: Dict[str, object]) -> List[str]:
+    """``thread;frame;frame weight`` lines, lexicographically sorted.
+
+    ``roots`` maps thread name to the thread's CCT root (the shape of
+    :attr:`repro.agents.callchain.CallChainAgent.roots`).  Frames with
+    zero self time are folded away (their weight lives in descendants).
+    """
+    lines: List[str] = []
+    for thread_name in sorted(roots):
+        root = roots[thread_name]
+        for chain, node in root.walk():
+            weight = _self_cycles(node)
+            if weight <= 0 or len(chain) < 2:
+                continue  # skip the synthetic <thread> sentinel root
+            frames = [thread_name]
+            frames.extend(
+                frame + "_[k]" if is_native else frame
+                for frame, is_native in _tag_chain(root, chain))
+            lines.append(";".join(frames) + f" {weight}")
+    lines.sort()
+    return lines
+
+
+def _tag_chain(root, chain):
+    """Walk ``chain`` (which starts at the sentinel root) re-resolving
+    each node so frames carry their Java/native tag."""
+    node = root
+    for frame in chain[1:]:
+        node = node.children[frame]
+        yield frame, node.is_native
+
+
+def write_folded(path: str, roots: Dict[str, object]) -> int:
+    """Write folded stacks; returns the number of lines."""
+    lines = folded_lines(roots)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)

@@ -1,0 +1,269 @@
+"""Metrics registry: counters, gauges, histograms; JSONL export.
+
+The registry is host-side bookkeeping only — incrementing a counter
+never charges simulated cycles.  Instruments are created on first use
+(``registry.counter("j2n_calls").inc()``), exported as one JSON object
+per line (easy to concatenate across worker processes), and re-read /
+aggregated by :func:`read_metrics_jsonl` + :func:`summarize_metrics`
+for the ``repro metrics`` summary view.
+
+Histogram buckets are powers of two over simulated cycles — wide
+enough to cover anything from one dispatch to a whole run without
+per-histogram configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+#: Upper bounds of the default histogram buckets (powers of two); one
+#: overflow bucket catches everything above the last bound.
+DEFAULT_BUCKET_BOUNDS = tuple(2 ** p for p in range(4, 33, 2))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds=DEFAULT_BUCKET_BOUNDS):
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Named instruments for one run (or one harness cell)."""
+
+    enabled = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) ------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    # -- convenience recorders ------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value) -> None:
+        self.histogram(name).observe(value)
+
+    # -- export ---------------------------------------------------------------
+
+    def as_records(self, labels: Optional[Dict] = None) -> List[dict]:
+        """One JSON-safe record per instrument, sorted by name."""
+        labels = dict(labels or {})
+        records: List[dict] = []
+        for name in sorted(self._counters):
+            records.append({"name": name, "type": "counter",
+                            "value": self._counters[name].value,
+                            "labels": labels})
+        for name in sorted(self._gauges):
+            records.append({"name": name, "type": "gauge",
+                            "value": self._gauges[name].value,
+                            "labels": labels})
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            records.append({
+                "name": name, "type": "histogram",
+                "count": h.count, "sum": h.sum,
+                "min": h.min, "max": h.max,
+                "bounds": list(h.bounds),
+                "bucket_counts": list(h.bucket_counts),
+                "labels": labels,
+            })
+        return records
+
+
+class _NullInstrument:
+    """Counter/gauge/histogram stand-in whose recorders do nothing."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: all instruments are shared no-ops."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value) -> None:
+        pass
+
+    def observe(self, name: str, value) -> None:
+        pass
+
+    def as_records(self, labels: Optional[Dict] = None) -> List[dict]:
+        return []
+
+
+NULL_METRICS = NullMetrics()
+
+
+# -- JSONL I/O and the `repro metrics` summary view ---------------------------
+
+
+def write_metrics_jsonl(path: str, records: Iterable[dict]) -> int:
+    """Write records one-per-line; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_metrics_jsonl(path: str) -> List[dict]:
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_metrics(records: Iterable[dict]) -> List[dict]:
+    """Aggregate records across cells/processes, by (name, type).
+
+    Counters and histogram counts/sums add; gauges report min/max over
+    the contributing cells (a fleet-wide range, not a meaningless sum).
+    Returns summary rows sorted by name.
+    """
+    summary: Dict[tuple, dict] = {}
+    for record in records:
+        key = (record["name"], record["type"])
+        row = summary.get(key)
+        if row is None:
+            row = summary[key] = {"name": record["name"],
+                                  "type": record["type"], "cells": 0}
+        row["cells"] += 1
+        if record["type"] == "counter":
+            row["total"] = row.get("total", 0) + record["value"]
+        elif record["type"] == "gauge":
+            value = record["value"]
+            row["min"] = value if "min" not in row else \
+                min(row["min"], value)
+            row["max"] = value if "max" not in row else \
+                max(row["max"], value)
+        else:  # histogram
+            row["count"] = row.get("count", 0) + record["count"]
+            row["sum"] = row.get("sum", 0) + record["sum"]
+            for edge in ("min", "max"):
+                value = record.get(edge)
+                if value is None:
+                    continue
+                fold = min if edge == "min" else max
+                row[edge] = value if row.get(edge) is None \
+                    else fold(row[edge], value)
+    return [summary[key] for key in sorted(summary)]
+
+
+def format_metrics_summary(rows: List[dict]) -> str:
+    """Plain-text table for the ``repro metrics`` subcommand."""
+    lines = [f"{'metric':32s} {'type':9s} {'cells':>5s}  value"]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        if row["type"] == "counter":
+            value = f"total={row['total']:,}"
+        elif row["type"] == "gauge":
+            value = f"min={row['min']:,} max={row['max']:,}"
+        else:
+            mean = row["sum"] / row["count"] if row["count"] else 0.0
+            value = (f"count={row['count']:,} sum={row['sum']:,} "
+                     f"mean={mean:,.1f}")
+        lines.append(f"{row['name']:32s} {row['type']:9s} "
+                     f"{row['cells']:>5d}  {value}")
+    return "\n".join(lines)

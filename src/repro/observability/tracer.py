@@ -1,0 +1,143 @@
+"""Span/instant event tracing over simulated time.
+
+The tracer is *lock-free in spirit*: every simulated thread appends to
+its own buffer (the host is single-threaded, but the design mirrors a
+per-thread ring buffer — no shared mutable state on the record path
+beyond a monotonically increasing sequence number used to make the
+export order total).  Records are plain tuples; nothing is formatted
+until export.
+
+Timestamps are **per-thread simulated cycle counts** — the same
+virtualized clock PCL exposes to the paper's agents, read here at zero
+simulated cost (the tracer observes the clock, it never charges it).
+Each thread's timeline therefore starts at 0, exactly like the
+per-thread hardware counters the paper virtualizes.
+
+Record layout (one tuple per event)::
+
+    (phase, name, category, tid, ts, dur, args, seq)
+
+``phase`` uses the Chrome trace-event vocabulary: ``"X"`` complete
+span, ``"B"``/``"E"`` nested span begin/end, ``"i"`` instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Synthetic track id for events that belong to no simulated thread
+#: (harness stages, VM lifecycle edges after the last thread dies).
+HARNESS_TID = 0
+
+TraceRecord = Tuple[str, str, str, int, int, int, Optional[dict], int]
+
+
+class Tracer:
+    """Per-thread event buffers for one VM run."""
+
+    enabled = True
+
+    def __init__(self):
+        self._buffers: Dict[int, List[TraceRecord]] = {}
+        self._seq = 0
+        self.thread_names: Dict[int, str] = {HARNESS_TID: "harness"}
+
+    # -- registration ---------------------------------------------------------
+
+    def register_thread(self, tid: int, name: str) -> None:
+        """Name a track (shown as the thread name in trace viewers)."""
+        self.thread_names[tid] = name
+
+    # -- recording ------------------------------------------------------------
+
+    def _append(self, tid: int, record_head, ts: int, dur: int,
+                args: Optional[dict]) -> None:
+        buf = self._buffers.get(tid)
+        if buf is None:
+            buf = self._buffers[tid] = []
+        self._seq += 1
+        buf.append(record_head + (tid, ts, dur, args, self._seq))
+
+    def complete(self, name: str, cat: str, tid: int, start: int,
+                 end: int, args: Optional[dict] = None) -> None:
+        """One finished span (``ph="X"``) from ``start`` to ``end``."""
+        self._append(tid, ("X", name, cat), start, end - start, args)
+
+    def begin(self, name: str, cat: str, tid: int, ts: int,
+              args: Optional[dict] = None) -> None:
+        """Open a nested span (``ph="B"``)."""
+        self._append(tid, ("B", name, cat), ts, 0, args)
+
+    def end(self, name: str, cat: str, tid: int, ts: int) -> None:
+        """Close the innermost open span (``ph="E"``)."""
+        self._append(tid, ("E", name, cat), ts, 0, None)
+
+    def instant(self, name: str, cat: str, tid: int, ts: int,
+                args: Optional[dict] = None) -> None:
+        """A zero-duration marker (``ph="i"``)."""
+        self._append(tid, ("i", name, cat), ts, 0, args)
+
+    # -- export ---------------------------------------------------------------
+
+    @property
+    def event_count(self) -> int:
+        return sum(len(buf) for buf in self._buffers.values())
+
+    def events_in_order(self) -> List[TraceRecord]:
+        """All records merged across threads, totally ordered.
+
+        The order is ``(ts, seq)``: timestamp first, recording order as
+        the tiebreak — deterministic because the simulation is.
+        """
+        merged: List[TraceRecord] = []
+        for buf in self._buffers.values():
+            merged.extend(buf)
+        merged.sort(key=lambda record: (record[4], record[7]))
+        return merged
+
+    def as_doc_events(self) -> List[list]:
+        """JSON-safe event list for a capture document."""
+        return [[ph, name, cat, tid, ts, dur, args]
+                for ph, name, cat, tid, ts, dur, args, _
+                in self.events_in_order()]
+
+
+class NullTracer:
+    """The disabled tracer: every record call is a no-op.
+
+    Hot paths check :attr:`enabled` before even snapshotting cycle
+    counters, so an untraced run does not pay for argument assembly
+    either.
+    """
+
+    enabled = False
+    thread_names: Dict[int, str] = {}
+
+    def register_thread(self, tid: int, name: str) -> None:
+        pass
+
+    def complete(self, name, cat, tid, start, end, args=None) -> None:
+        pass
+
+    def begin(self, name, cat, tid, ts, args=None) -> None:
+        pass
+
+    def end(self, name, cat, tid, ts) -> None:
+        pass
+
+    def instant(self, name, cat, tid, ts, args=None) -> None:
+        pass
+
+    @property
+    def event_count(self) -> int:
+        return 0
+
+    def events_in_order(self) -> List[TraceRecord]:
+        return []
+
+    def as_doc_events(self) -> List[list]:
+        return []
+
+
+#: Shared no-op tracer (stateless, safe to alias everywhere).
+NULL_TRACER = NullTracer()

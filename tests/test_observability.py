@@ -1,0 +1,271 @@
+"""Observability subsystem: tracer, metrics, Chrome trace export,
+flamegraph folding, and the zero-perturbation guarantee.
+
+The hard rule under test: simulated cycle accounting is bit-identical
+with tracing enabled, disabled, or absent.  Hooks *observe* the
+per-thread cycle counters; they never charge them.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.observability import (
+    NULL_SINK,
+    NULL_TRACER,
+    MetricsRegistry,
+    ObservabilityConfig,
+    chrome_trace_doc,
+    read_metrics_jsonl,
+    summarize_metrics,
+)
+from repro.observability.metrics import NULL_METRICS
+from repro.observability.sink import ObservabilitySink
+from repro.observability.tracer import HARNESS_TID, Tracer
+from repro.workloads import get_workload
+
+
+class TestTracer:
+    def test_complete_event_recorded(self):
+        tracer = Tracer()
+        tracer.register_thread(3, "worker")
+        tracer.complete("span", "cat", 3, 10, 25, args={"k": 1})
+        events = tracer.events_in_order()
+        assert len(events) == 1
+        ph, name, cat, tid, ts, dur, args, _seq = events[0]
+        assert (ph, name, cat, tid, ts, dur) == \
+            ("X", "span", "cat", 3, 10, 15)
+        assert args == {"k": 1}
+
+    def test_events_sorted_by_timestamp_then_sequence(self):
+        tracer = Tracer()
+        tracer.instant("b", "cat", 1, 50)
+        tracer.instant("a", "cat", 2, 10)
+        tracer.instant("c", "cat", 1, 10)
+        names = [e[1] for e in tracer.events_in_order()]
+        assert names == ["a", "c", "b"]
+
+    def test_begin_end_pair(self):
+        tracer = Tracer()
+        tracer.begin("nest", "cat", 1, 5)
+        tracer.end("nest", "cat", 1, 9)
+        phases = [e[0] for e in tracer.events_in_order()]
+        assert phases == ["B", "E"]
+
+    def test_harness_tid_is_reserved(self):
+        tracer = Tracer()
+        assert tracer.thread_names[HARNESS_TID] == "harness"
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.register_thread(1, "x")
+        NULL_TRACER.complete("a", "b", 1, 0, 1)
+        NULL_TRACER.instant("a", "b", 1, 0)
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.event_count == 0
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.inc("ops")
+        reg.inc("ops", 4)
+        reg.set_gauge("depth", 7)
+        records = {r["name"]: r for r in reg.as_records({"w": "x"})}
+        assert records["ops"]["value"] == 5
+        assert records["ops"]["type"] == "counter"
+        assert records["depth"]["value"] == 7
+        assert records["ops"]["labels"] == {"w": "x"}
+
+    def test_histogram_observes(self):
+        reg = MetricsRegistry()
+        for v in (3, 17, 900):
+            reg.observe("lat", v)
+        record = {r["name"]: r for r in reg.as_records({})}["lat"]
+        assert record["type"] == "histogram"
+        assert record["count"] == 3
+        assert record["sum"] == 920
+        assert record["min"] == 3
+        assert record["max"] == 900
+
+    def test_null_metrics_is_inert(self):
+        NULL_METRICS.inc("x")
+        NULL_METRICS.observe("y", 3)
+        assert not NULL_METRICS.enabled
+        assert NULL_METRICS.as_records({}) == []
+
+    def test_summarize_merges_cells(self):
+        a = MetricsRegistry()
+        a.inc("ops", 2)
+        b = MetricsRegistry()
+        b.inc("ops", 5)
+        records = a.as_records({"cell": "a"}) + \
+            b.as_records({"cell": "b"})
+        summary = summarize_metrics(records)
+        by_name = {row["name"]: row for row in summary}
+        assert by_name["ops"]["total"] == 7
+        assert by_name["ops"]["cells"] == 2
+
+
+class TestSink:
+    def test_null_sink_disabled(self):
+        assert not NULL_SINK.enabled
+        assert NULL_SINK.tracer is NULL_TRACER
+
+    def test_config_selects_components(self):
+        sink = ObservabilitySink(ObservabilityConfig(trace=True,
+                                                     metrics=False))
+        assert sink.tracer.enabled
+        assert not sink.metrics.enabled
+
+    def test_capture_shape(self):
+        sink = ObservabilitySink(ObservabilityConfig(trace=True,
+                                                     metrics=True))
+        sink.tracer.register_thread(1, "main")
+        sink.tracer.complete("s", "c", 1, 0, 4)
+        sink.metrics.inc("n")
+        doc = sink.capture(labels={"workload": "w"}, clock_hz=1000)
+        assert doc["labels"] == {"workload": "w"}
+        assert doc["clock_hz"] == 1000
+        assert doc["thread_names"]["1"] == "main"
+        assert len(doc["events"]) == 1
+        assert doc["metrics"][0]["name"] == "n"
+
+
+class TestChromeTraceExport:
+    """`repro trace compress --trace-out t.json` emits valid Chrome
+    trace-event JSON (the ISSUE's acceptance check)."""
+
+    @pytest.fixture(scope="class")
+    def trace_doc(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("trace") / "t.json"
+        assert main(["trace", "compress", "--trace-out",
+                     str(out)]) == 0
+        return json.loads(out.read_text())
+
+    def test_toplevel_schema(self, trace_doc):
+        assert "traceEvents" in trace_doc
+        assert trace_doc["metadata"]["time_unit"] == "simulated-cycles"
+        assert trace_doc["displayTimeUnit"] == "ms"
+
+    def test_event_schema(self, trace_doc):
+        events = trace_doc["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("ph", "name", "pid", "tid"):
+                assert key in event, event
+            if event["ph"] == "X":
+                assert "ts" in event
+                assert event["dur"] >= 0
+            elif event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_metadata_names_process_and_threads(self, trace_doc):
+        meta = [e for e in trace_doc["traceEvents"]
+                if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert "process_name" in names
+        assert "thread_name" in names
+
+    def test_phase_spans_present(self, trace_doc):
+        cats = {e.get("cat") for e in trace_doc["traceEvents"]}
+        assert "classload" in cats
+        assert "harness" in cats
+        assert "thread" in cats
+
+    def test_timestamps_are_simulated_cycles(self, trace_doc):
+        launch = [e for e in trace_doc["traceEvents"]
+                  if e["name"].startswith("launch:")]
+        assert launch and all(e["ts"] >= 0 for e in launch)
+
+
+class TestFlamegraph:
+    def test_profile_writes_folded_stacks(self, tmp_path, capsys):
+        out = tmp_path / "out.folded"
+        assert main(["profile", "jess", "--agent", "callchain",
+                     "--flamegraph", str(out)]) == 0
+        assert "folded stacks" in capsys.readouterr().out
+        lines = out.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+            frames = stack.split(";")
+            assert len(frames) >= 2          # thread;frame...
+        # native frames carry the perf-style kernel-ish suffix
+        assert any("_[k]" in line for line in lines)
+
+    def test_flamegraph_requires_callchain(self, tmp_path, capsys):
+        out = tmp_path / "out.folded"
+        assert main(["profile", "jess", "--agent", "ipa",
+                     "--flamegraph", str(out)]) == 2
+        assert "callchain" in capsys.readouterr().err
+        assert not out.exists()
+
+
+class TestCliErrors:
+    def test_unknown_agent_exits_2_with_valid_list(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "jess", "--agent", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown agent 'bogus'" in err
+        for name in ("callchain", "ipa", "none", "spa"):
+            assert name in err
+
+
+class TestMetricsCli:
+    def test_trace_with_metrics_then_summary(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.jsonl"
+        assert main(["trace", "jess", "--trace-out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        records = read_metrics_jsonl(str(metrics))
+        names = {r["name"] for r in records}
+        assert "instructions_retired" in names
+        assert "classes_loaded" in names
+        assert main(["metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "instructions_retired" in out
+
+    def test_metrics_empty_exits_1(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["metrics", str(empty)]) == 1
+
+
+class TestZeroPerturbation:
+    """Cycle accounting must be bit-identical with observability on,
+    off, or absent."""
+
+    @pytest.mark.parametrize("agent", [AgentSpec.none, AgentSpec.spa,
+                                       AgentSpec.ipa,
+                                       AgentSpec.callchain])
+    def test_cycles_identical_with_and_without(self, agent):
+        workload = get_workload("jess")
+        plain = execute(workload, RunConfig(agent=agent()))
+        observed = execute(workload, RunConfig(
+            agent=agent(),
+            observability=ObservabilityConfig(trace=True,
+                                              metrics=True)))
+        assert observed.cycles == plain.cycles
+        assert observed.instructions == plain.instructions
+        assert observed.ground_truth_native_fraction == \
+            plain.ground_truth_native_fraction
+        assert observed.observability is not None
+        assert plain.observability is None
+
+    def test_trace_events_do_not_charge_cycles(self):
+        workload = get_workload("db")
+        observed = execute(workload, RunConfig(
+            agent=AgentSpec.ipa(),
+            observability=ObservabilityConfig(trace=True,
+                                              metrics=False)))
+        doc = chrome_trace_doc([observed.observability])
+        assert doc["traceEvents"]
+        gauge = {r["name"]: r for r in
+                 (observed.observability["metrics"] or [])}
+        assert gauge == {}  # metrics off ⇒ no records, trace still on
