@@ -9,10 +9,16 @@
     repro trace WORKLOAD [...]      # record a Chrome/Perfetto trace
     repro metrics FILE.jsonl [...]  # summarize exported metrics
     repro bench [--scale N]         # time the suite, record host perf
+    repro bench --compare BASE.json # gate on host-throughput regression
 
 Observability never perturbs measurement: ``--trace``/``--metrics-out``
 on ``table1``/``table2`` produce byte-identical tables (the trace and
 metrics files are written on the side; notices go to stderr).
+
+``--tier {template,interp}`` (on table1/table2/profile/trace/bench)
+selects the execution tier.  The template tier is the default and is
+accounting-invariant: every simulated number is bit-identical to the
+plain interpreter — only host throughput changes.
 """
 
 from __future__ import annotations
@@ -26,6 +32,8 @@ from repro.harness.overhead import build_table1
 from repro.harness.report import render_table1, render_table2
 from repro.harness.runner import execute
 from repro.harness.statistics import build_table2
+from repro.jit.policy import JitPolicy
+from repro.jvm.machine import VMConfig
 from repro.observability import (
     ObservabilityConfig,
     write_chrome_trace,
@@ -44,6 +52,28 @@ def _cmd_list(_args) -> int:
         workload = get_workload(name)
         print(f"{name:12s} {workload.description}")
     return 0
+
+
+def _vm_config_from(args) -> VMConfig:
+    """Map ``--tier`` to a :class:`VMConfig`.
+
+    ``template`` (the default) runs the interpreter plus the template
+    second tier; ``interp`` is the dispatch loop alone.  All simulated
+    numbers are bit-identical between the two — the flag exists for
+    host-throughput A/B runs and for ruling the tier out when
+    debugging.
+    """
+    tier = getattr(args, "tier", "template")
+    return VMConfig(
+        jit_policy=JitPolicy(template_tier=(tier == "template")))
+
+
+def _add_tier_argument(subparser) -> None:
+    subparser.add_argument(
+        "--tier", choices=("template", "interp"), default="template",
+        help=("execution tier: 'template' (interpreter + specialized-"
+              "Python second tier, default) or 'interp' (dispatch loop "
+              "only); simulated output is identical either way"))
 
 
 def _observability_from(args) -> Optional[ObservabilityConfig]:
@@ -72,8 +102,9 @@ def _write_table_observability(args, captures) -> None:
 
 
 def _cmd_table1(args) -> int:
-    table = build_table1(full_suite(scale=args.scale), runs=args.runs,
-                         jobs=args.jobs,
+    table = build_table1(full_suite(scale=args.scale),
+                         vm_config=_vm_config_from(args),
+                         runs=args.runs, jobs=args.jobs,
                          observability=_observability_from(args))
     print(render_table1(table))
     _write_table_observability(args, table.captures)
@@ -81,8 +112,9 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    table = build_table2(full_suite(scale=args.scale), runs=args.runs,
-                         jobs=args.jobs,
+    table = build_table2(full_suite(scale=args.scale),
+                         vm_config=_vm_config_from(args),
+                         runs=args.runs, jobs=args.jobs,
                          observability=_observability_from(args))
     print(render_table2(table))
     _write_table_observability(args, table.captures)
@@ -90,13 +122,31 @@ def _cmd_table2(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.harness.bench import format_bench, run_bench, write_bench
+    from repro.harness.bench import (
+        compare_bench,
+        format_bench,
+        read_bench,
+        run_bench,
+        write_bench,
+    )
 
-    doc = run_bench(scale=args.scale)
+    doc = run_bench(scale=args.scale, tier=args.tier)
     print(format_bench(doc))
     if args.output:
         write_bench(doc, args.output)
         print(f"wrote {args.output}")
+    if args.compare:
+        try:
+            baseline = read_bench(args.compare)
+        except OSError as exc:
+            print(f"repro bench: cannot read baseline "
+                  f"{args.compare}: {exc}", file=sys.stderr)
+            return 2
+        ok, lines = compare_bench(doc, baseline,
+                                  args.max_regression)
+        print("\n".join(lines))
+        if not ok:
+            return 1
     return 0
 
 
@@ -142,8 +192,10 @@ def _cmd_profile(args) -> int:
               "(the calling-context-tree profiler)", file=sys.stderr)
         return 2
     workload = get_workload(args.workload, scale=args.scale)
-    result = execute(workload, RunConfig(agent=args.agent,
-                                         runs=args.runs))
+    result = execute(workload,
+                     RunConfig(agent=args.agent,
+                               vm_config=_vm_config_from(args),
+                               runs=args.runs))
     print(f"workload:      {result.workload}")
     print(f"agent:         {result.agent_label}")
     print(f"cycles:        {result.cycles:,}")
@@ -174,9 +226,11 @@ def _cmd_trace(args) -> int:
     workload = get_workload(args.workload, scale=args.scale)
     observability = ObservabilityConfig(
         trace=True, metrics=bool(args.metrics_out))
-    result = execute(workload, RunConfig(agent=args.agent,
-                                         runs=args.runs,
-                                         observability=observability))
+    result = execute(workload,
+                     RunConfig(agent=args.agent,
+                               vm_config=_vm_config_from(args),
+                               runs=args.runs,
+                               observability=observability))
     capture = result.observability
     doc = write_chrome_trace(args.trace_out, [capture])
     print(f"workload:      {result.workload}")
@@ -237,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
         pt.add_argument("--metrics-out", metavar="OUT.jsonl",
                         default=None,
                         help="write per-cell metrics records as JSONL")
+        _add_tier_argument(pt)
         pt.set_defaults(func=func)
 
     pp = sub.add_parser("profile", help="profile one workload")
@@ -249,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--flamegraph", metavar="OUT.folded", default=None,
                     help=("write folded stacks from the callchain CCT "
                           "(requires --agent callchain)"))
+    _add_tier_argument(pp)
     pp.set_defaults(func=_cmd_profile)
 
     ptr = sub.add_parser(
@@ -265,6 +321,7 @@ def build_parser() -> argparse.ArgumentParser:
     ptr.add_argument("--metrics-out", metavar="OUT.jsonl",
                      default=None,
                      help="also export metrics records as JSONL")
+    _add_tier_argument(ptr)
     ptr.set_defaults(func=_cmd_trace)
 
     pm = sub.add_parser(
@@ -277,6 +334,14 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--scale", type=_positive_int, default=1)
     pb.add_argument("--output", default="BENCH_interpreter.json",
                     help="JSON file to write ('' to skip writing)")
+    pb.add_argument("--compare", metavar="BASELINE.json", default=None,
+                    help=("compare against a stored measurement; exit "
+                          "non-zero on host-throughput regression"))
+    pb.add_argument("--max-regression", type=float, default=5.0,
+                    metavar="PCT",
+                    help=("allowed suite-rate regression in percent "
+                          "for --compare (default: 5.0)"))
+    _add_tier_argument(pb)
     pb.set_defaults(func=_cmd_bench)
     return parser
 

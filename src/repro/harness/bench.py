@@ -1,16 +1,24 @@
-"""Host-performance tracker for the interpreter.
+"""Host-performance tracker for the execution engine.
 
 The ROADMAP's "fast as the hardware allows" goal needs a trajectory:
-this module times the JVM98 suite under the ``none`` agent (the
-interpreter hot path with no profiling machinery attached) and records
-host wall-clock seconds plus simulated instructions per host second.
-``repro bench`` writes the measurement to ``BENCH_interpreter.json`` so
-successive changes can be compared.
+this module times the JVM98 suite under the ``none`` agent (the hot
+path with no profiling machinery attached) and records host wall-clock
+seconds plus simulated instructions per host second.  ``repro bench``
+writes the measurement to ``BENCH_interpreter.json`` so successive
+changes can be compared, and ``repro bench --compare`` turns a stored
+measurement into a regression gate.
+
+``tier`` selects the execution tier: ``"template"`` (the default —
+interpreter plus the template second tier) or ``"interp"`` (dispatch
+loop only).  Both produce bit-identical simulated numbers; only host
+throughput differs.
 
 Host seconds are measured, never simulated: nothing here touches cycle
 accounting.  The suite runs serially — parallel cells would make the
-wall-clock numbers a function of core count rather than interpreter
-speed.
+wall-clock numbers a function of core count rather than engine speed.
+A workload that finishes under the host timer's resolution reports the
+suite-level rate instead of ``null`` (``rate_source: "suite"``), so
+compare tooling never divides by null.
 """
 
 from __future__ import annotations
@@ -18,18 +26,20 @@ from __future__ import annotations
 import json
 import platform
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.harness.config import AgentSpec, RunConfig
 from repro.harness.runner import execute
+from repro.jit.policy import JitPolicy
+from repro.jvm.machine import VMConfig
 from repro.launcher import runtime_archive
 
 #: Default output file, relative to the invoking directory.
 DEFAULT_BENCH_PATH = "BENCH_interpreter.json"
 
 
-def run_bench(scale: int = 1,
-              workloads: Optional[List] = None) -> Dict:
+def run_bench(scale: int = 1, workloads: Optional[List] = None,
+              tier: str = "template") -> Dict:
     """Time the suite and return the measurement document."""
     from repro.workloads import jvm98_suite
 
@@ -37,33 +47,48 @@ def run_bench(scale: int = 1,
         workloads = jvm98_suite(scale)
     runtime_archive()  # build the runtime outside the timed region
 
-    per_workload = {}
+    rows = []
     total_host = 0.0
     total_instructions = 0
     for workload in workloads:
         workload.archive  # author/serialize outside the timed region
-        config = RunConfig(agent=AgentSpec.none())
+        config = RunConfig(
+            agent=AgentSpec.none(),
+            vm_config=VMConfig(jit_policy=JitPolicy(
+                template_tier=(tier == "template"))))
         start = time.perf_counter()
         result = execute(workload, config)
         host_seconds = time.perf_counter() - start
         total_host += host_seconds
         total_instructions += result.instructions
-        per_workload[workload.name] = {
+        rows.append((workload.name, host_seconds, result.instructions))
+
+    suite_rate = round(total_instructions / total_host) \
+        if total_host > 0 else 0
+    per_workload = {}
+    for name, host_seconds, instructions in rows:
+        row = {
             "host_seconds": round(host_seconds, 4),
-            "instructions": result.instructions,
-            "instructions_per_second": round(
-                result.instructions / host_seconds) if host_seconds > 0
-                else None,
+            "instructions": instructions,
         }
+        if host_seconds > 0:
+            row["instructions_per_second"] = round(
+                instructions / host_seconds)
+        else:
+            # under timer resolution: fall back to the suite-level rate
+            # so downstream compare tooling never divides by null
+            row["instructions_per_second"] = suite_rate
+            row["rate_source"] = "suite"
+        per_workload[name] = row
 
     return {
         "benchmark": "jvm98/none-agent",
         "scale": scale,
+        "tier": tier,
         "python": platform.python_version(),
         "host_seconds": round(total_host, 4),
         "instructions": total_instructions,
-        "instructions_per_second": round(
-            total_instructions / total_host) if total_host > 0 else None,
+        "instructions_per_second": suite_rate,
         "per_workload": per_workload,
     }
 
@@ -75,21 +100,78 @@ def write_bench(doc: Dict, path: str = DEFAULT_BENCH_PATH) -> None:
         fh.write("\n")
 
 
+def read_bench(path: str) -> Dict:
+    """Load a measurement document written by :func:`write_bench`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
 def format_bench(doc: Dict) -> str:
     """Human-readable rendering of a measurement document."""
     lines = [
         f"benchmark: {doc['benchmark']} (scale {doc['scale']}, "
-        f"python {doc['python']})",
+        f"tier {doc.get('tier', 'interp')}, python {doc['python']})",
         f"{'workload':<12} {'host s':>9} {'instructions':>14} "
         f"{'instr/s':>12}",
     ]
     for name, row in doc["per_workload"].items():
+        rate = row["instructions_per_second"]
+        rate_text = f"{rate:,}" if rate is not None else "n/a"
+        if row.get("rate_source") == "suite":
+            rate_text += "*"
         lines.append(
             f"{name:<12} {row['host_seconds']:>9.3f} "
             f"{row['instructions']:>14,} "
-            f"{row['instructions_per_second']:>12,}")
+            f"{rate_text:>12}")
     lines.append(
         f"{'TOTAL':<12} {doc['host_seconds']:>9.3f} "
         f"{doc['instructions']:>14,} "
         f"{doc['instructions_per_second']:>12,}")
+    if any(row.get("rate_source") == "suite"
+           for row in doc["per_workload"].values()):
+        lines.append("* under host-timer resolution; suite-level rate")
     return "\n".join(lines)
+
+
+def compare_bench(current: Dict, baseline: Dict,
+                  max_regression_percent: float = 5.0
+                  ) -> Tuple[bool, List[str]]:
+    """Compare a fresh measurement against a stored baseline.
+
+    Returns ``(ok, report_lines)``: ``ok`` is False when the suite-level
+    host throughput regressed by more than ``max_regression_percent``.
+    Simulated numbers are not compared here — they are covered by the
+    golden-table tests; this gate is purely about host speed.
+    """
+    lines = []
+    base_rate = baseline.get("instructions_per_second") or 0
+    cur_rate = current.get("instructions_per_second") or 0
+    lines.append(f"baseline: {base_rate:,} instr/s "
+                 f"(tier {baseline.get('tier', 'interp')}, "
+                 f"python {baseline.get('python', '?')})")
+    lines.append(f"current:  {cur_rate:,} instr/s "
+                 f"(tier {current.get('tier', 'interp')}, "
+                 f"python {current.get('python', '?')})")
+    if base_rate <= 0:
+        lines.append("baseline rate missing or zero; nothing to gate")
+        return True, lines
+    change = (cur_rate - base_rate) / base_rate * 100.0
+    verb = "faster" if change >= 0 else "slower"
+    lines.append(f"change:   {change:+.1f}% ({verb})")
+    for name, row in current.get("per_workload", {}).items():
+        base_row = baseline.get("per_workload", {}).get(name)
+        if not base_row:
+            continue
+        b = base_row.get("instructions_per_second") or 0
+        c = row.get("instructions_per_second") or 0
+        if b > 0:
+            lines.append(f"  {name:<12} {b:>12,} -> {c:>12,} "
+                         f"({(c - b) / b * 100.0:+.1f}%)")
+    ok = change >= -max_regression_percent
+    if ok:
+        lines.append(f"OK: within the {max_regression_percent:.1f}% "
+                     f"regression budget")
+    else:
+        lines.append(f"REGRESSION: more than "
+                     f"{max_regression_percent:.1f}% below baseline")
+    return ok, lines

@@ -166,6 +166,16 @@ def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
         metrics.inc(f"jvmti_events_{event_name.lower()}", count)
     metrics.inc("pcl_reads", vm.pcl.reads)
     metrics.inc("jit_compiled_methods", vm.jit.compile_count)
+    metrics.inc("jit_templates_translated", vm.jit.templates_translated)
+    metrics.inc("jit_template_entries", vm.jit.template_entries)
+    metrics.inc("jit_template_invalidated",
+                vm.jit.code_cache.invalidated)
+    for reason, count in sorted(vm.jit.template_bailouts.items()):
+        metrics.inc(f"jit_template_bailout_{reason.replace(':', '_')}",
+                    count)
+    for reason, count in sorted(vm.jit.template_deopts.items()):
+        metrics.inc(f"jit_template_deopt_{reason.replace(':', '_')}",
+                    count)
     metrics.set_gauge("cycles_total", vm.total_cycles)
     for tag, cycles in sorted(vm.ground_truth().items()):
         metrics.set_gauge(f"cycles_{tag}", cycles)

@@ -1,0 +1,64 @@
+"""The template-tier code cache.
+
+Holds the specialized Python functions the translator produced, keyed
+by :class:`~repro.jvm.classloader.LoadedMethod` (identity — methods are
+per-VM objects).  The cache keeps the generated source next to each
+function so failures are debuggable (``source_for``), and it is the
+single place templates are *invalidated*: when a method keeps
+deoptimizing past the policy threshold, :meth:`invalidate` detaches the
+template (the method stays JIT-compiled — cost arrays are untouched —
+it merely returns to the generic dispatch loop for good).
+
+Nothing in here touches simulated cycle accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheEntry:
+    """One installed template."""
+
+    qualified_name: str
+    source: str
+    active: bool = True
+
+
+class TemplateCodeCache:
+    """Installed templates plus lifetime statistics."""
+
+    def __init__(self):
+        self._entries: Dict[object, CacheEntry] = {}
+        self.installed = 0
+        self.invalidated = 0
+        #: reason -> count, for metrics export.
+        self.invalidation_reasons: Dict[str, int] = {}
+
+    def install(self, method, func, source: str) -> None:
+        """Attach ``func`` as ``method``'s template."""
+        method.template = func
+        self._entries[method] = CacheEntry(method.qualified_name, source)
+        self.installed += 1
+
+    def invalidate(self, method, reason: str) -> None:
+        """Detach ``method``'s template (idempotent)."""
+        if method.template is None:
+            return
+        method.template = None
+        entry = self._entries.get(method)
+        if entry is not None:
+            entry.active = False
+        self.invalidated += 1
+        self.invalidation_reasons[reason] = \
+            self.invalidation_reasons.get(reason, 0) + 1
+
+    def source_for(self, method) -> Optional[str]:
+        """Generated source of ``method``'s template (debugging aid)."""
+        entry = self._entries.get(method)
+        return entry.source if entry is not None else None
+
+    def __len__(self) -> int:
+        return len(self._entries)

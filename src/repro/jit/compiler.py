@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
+from repro.jit.codecache import TemplateCodeCache
 from repro.jit.policy import JitPolicy
+from repro.jit.template import translate
 from repro.jvm.costmodel import ChargeTag
 
 
@@ -23,6 +25,13 @@ class JitCompiler:
         self.policy = policy
         self._vetoed = False
         self.methods_compiled: List = []
+        # template tier (second execution tier) state
+        self.code_cache = TemplateCodeCache()
+        self.template_entries = 0
+        #: translator bail-out reason -> count (no silent fallback)
+        self.template_bailouts: Dict[str, int] = {}
+        #: runtime deopt reason -> count
+        self.template_deopts: Dict[str, int] = {}
 
     @property
     def enabled(self) -> bool:
@@ -48,7 +57,37 @@ class JitCompiler:
             thread.charge(cost, ChargeTag.VM)
         method.mark_compiled()
         self.methods_compiled.append(method)
+        if self.policy.template_tier:
+            self._translate(method)
+
+    def _translate(self, method) -> None:
+        """Second tier: install a specialized Python function.
+
+        Translation is host-only work — it charges no simulated cycles
+        (the compile charge above models the whole compilation)."""
+        func, source, reason = translate(method, self._vm,
+                                         policy=self.policy)
+        if func is None:
+            self.template_bailouts[reason] = \
+                self.template_bailouts.get(reason, 0) + 1
+            return
+        self.code_cache.install(method, func, source)
+
+    def note_deopt(self, method, reason: str) -> None:
+        """Record a template deoptimization; drop templates that keep
+        bouncing back to the interpreter."""
+        self.template_deopts[reason] = \
+            self.template_deopts.get(reason, 0) + 1
+        method.template_deopt_count += 1
+        if (method.template is not None
+                and method.template_deopt_count
+                >= self.policy.template_deopt_disable_threshold):
+            self.code_cache.invalidate(method, reason)
 
     @property
     def compile_count(self) -> int:
         return len(self.methods_compiled)
+
+    @property
+    def templates_translated(self) -> int:
+        return self.code_cache.installed

@@ -23,7 +23,21 @@ class JitPolicy:
     #: on-stack-replacement stand-in: the switched cost array takes
     #: effect on the next cost lookup).
     backedge_threshold: int = 1500
+    #: Second execution tier: translate compiled methods to specialized
+    #: Python (``repro.jit.template``).  Host-speed only — simulated
+    #: cycle accounting is bit-identical with the tier off.
+    template_tier: bool = True
+    #: Drop a method's template after this many deoptimizations (the
+    #: template keeps falling back to the interpreter, so it is not
+    #: paying for itself).  The method stays JIT-*compiled* (cost
+    #: arrays); only the host-speed template is discarded.
+    template_deopt_disable_threshold: int = 50
+    #: Methods longer than this many instructions are not translated
+    #: (bail-out reason ``too_long``) — bounds generated-source size.
+    template_code_limit: int = 2000
 
     def copy(self) -> "JitPolicy":
         return JitPolicy(self.enabled, self.invoke_threshold,
-                         self.backedge_threshold)
+                         self.backedge_threshold, self.template_tier,
+                         self.template_deopt_disable_threshold,
+                         self.template_code_limit)

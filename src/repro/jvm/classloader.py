@@ -37,7 +37,7 @@ class LoadedMethod:
     __slots__ = ("info", "owner", "interp_cost_list", "compiled_cost_list",
                  "active_costs", "invocation_count", "backedge_count",
                  "compiled", "native_impl", "native_resolved",
-                 "ops", "operands")
+                 "ops", "operands", "template", "template_deopt_count")
 
     def __init__(self, info, owner, cost_model):
         self.info = info
@@ -65,6 +65,11 @@ class LoadedMethod:
         self.compiled = False
         self.native_impl = None
         self.native_resolved = False
+        # template tier: the specialized Python function the JIT
+        # installed for this method (None = dispatch loop), and how
+        # often it has deoptimized (the policy disable threshold)
+        self.template = None
+        self.template_deopt_count = 0
 
     @property
     def is_native(self) -> bool:

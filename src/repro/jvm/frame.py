@@ -13,7 +13,7 @@ class Frame:
     the operand stack; ``pc`` indexes into the method's instruction list.
     """
 
-    __slots__ = ("method", "locals", "stack", "pc")
+    __slots__ = ("method", "locals", "stack", "pc", "deopted")
 
     def __init__(self, method, args: List):
         self.method = method
@@ -24,6 +24,10 @@ class Frame:
         self.locals = slots
         self.stack: List = []
         self.pc = 0
+        #: Set when a template deoptimized this activation back to the
+        #: interpreter; the tier dispatch never re-enters a deopted
+        #: frame (its template restarts only on a fresh activation).
+        self.deopted = False
 
     def __repr__(self):  # pragma: no cover - debug aid
         return (f"<Frame {self.method.owner.name}."

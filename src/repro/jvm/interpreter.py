@@ -295,6 +295,34 @@ class Interpreter:
                             thread.thread_id, entered, now)
         obs.metrics.observe("j2n_span_cycles", now - entered)
 
+    # -- template-tier throw helpers ---------------------------------------------
+
+    def _template_throw(self, thread, frame, pc: int, class_name: str,
+                        message: str, pending: int, icount: int):
+        """Raise a VM-synthesized exception from template code.
+
+        Mirrors the ``_Throw`` handler of :meth:`_run` exactly: sync the
+        pc, synthesize (which may load classes and charge VM cycles)
+        *before* flushing pending bytecode cycles, then hand the object
+        back for dispatch."""
+        frame.pc = pc
+        exc_obj = self.synthesize_exception(thread, class_name, message)
+        if pending:
+            thread.charge(pending, ChargeTag.BYTECODE)
+        if icount:
+            self._vm.instructions_retired += icount
+        return (2, exc_obj)
+
+    def _template_raise(self, thread, frame, pc: int, exc_obj,
+                        pending: int, icount: int):
+        """ATHROW of an existing throwable from template code."""
+        frame.pc = pc
+        if pending:
+            thread.charge(pending, ChargeTag.BYTECODE)
+        if icount:
+            self._vm.instructions_retired += icount
+        return (2, exc_obj)
+
     # -- the interpreter loop --------------------------------------------------------
 
     def _run(self, thread, base: int):  # noqa: C901 - the dispatch loop
@@ -381,6 +409,32 @@ class Interpreter:
             # call/return/exception boundary
             frame = frames[-1]
             method = frame.method
+            # tier dispatch: a fresh activation of a method with an
+            # installed template runs specialized Python instead of the
+            # dispatch loop.  Mid-method frames (handler resumption,
+            # deopt restarts, returns into a caller) always interpret.
+            tfunc = method.template
+            if tfunc is not None and frame.pc == 0 and not frame.stack \
+                    and not frame.deopted:
+                jit.template_entries += 1
+                outcome = tfunc(self, thread, frame)
+                k = outcome[0]
+                if k == 1:
+                    continue  # deopt: reinterpret this activation
+                if k == 0:  # return: accounting flushed, MethodExit fired
+                    frames.pop()
+                    if len(frames) == base:
+                        return outcome[2]
+                    caller = frames[-1]
+                    caller.pc += 1
+                    if outcome[1]:
+                        caller.stack.append(outcome[2])
+                    continue
+                # k == 2: thrown — frame.pc synced and accounting
+                # flushed by the template; unwind like the except arm
+                self._dispatch_exception(thread, frames, base,
+                                         outcome[1])
+                continue
             code = method.info.code
             ops = method.ops
             operands = method.operands

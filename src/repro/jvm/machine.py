@@ -18,6 +18,7 @@ off the VM afterwards.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -65,6 +66,13 @@ class JavaVM:
         self.loader = ClassLoader(self)
         self.jvmti = JVMTIHost(self, self.config.jvmti_version)
         self.jit = JitCompiler(self, self.config.jit_policy)
+        if self.jit.policy.enabled and self.jit.policy.template_tier:
+            # templates re-enter the interpreter recursively for Java
+            # calls (a few host frames per simulated frame); the host
+            # default limit sits far below max_frames.  Never lowered.
+            needed = 4 * self.cost_model.max_frames + 1000
+            if sys.getrecursionlimit() < needed:
+                sys.setrecursionlimit(needed)
         self.native_registry = NativeRegistry(self)
         self.jni_table = JNIFunctionTable(self)
         self.interpreter = Interpreter(self)

@@ -1,0 +1,143 @@
+"""Bench regression gate: compare_bench, rate fallback, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.harness import bench as bench_module
+from repro.harness.bench import compare_bench, read_bench, write_bench
+
+
+def _doc(rate, per_workload=None, tier="template"):
+    return {
+        "benchmark": "jvm98/none-agent",
+        "scale": 1,
+        "tier": tier,
+        "python": "3.11.0",
+        "host_seconds": 1.0,
+        "instructions": rate,
+        "instructions_per_second": rate,
+        "per_workload": per_workload or {},
+    }
+
+
+class TestCompareBench:
+    def test_within_budget_passes(self):
+        ok, lines = compare_bench(_doc(980), _doc(1000), 5.0)
+        assert ok
+        assert any("OK" in line for line in lines)
+        assert any("-2.0%" in line for line in lines)
+
+    def test_improvement_passes(self):
+        ok, lines = compare_bench(_doc(2000), _doc(1000), 5.0)
+        assert ok
+        assert any("+100.0%" in line for line in lines)
+
+    def test_regression_fails(self):
+        ok, lines = compare_bench(_doc(900), _doc(1000), 5.0)
+        assert not ok
+        assert any("REGRESSION" in line for line in lines)
+
+    def test_budget_is_configurable(self):
+        ok, _ = compare_bench(_doc(900), _doc(1000), 15.0)
+        assert ok
+
+    def test_zero_baseline_never_gates(self):
+        ok, lines = compare_bench(_doc(900), _doc(0), 5.0)
+        assert ok
+        assert any("nothing to gate" in line for line in lines)
+
+    def test_per_workload_deltas_reported(self):
+        base = _doc(1000, {"db": {"host_seconds": 0.5,
+                                  "instructions": 500,
+                                  "instructions_per_second": 1000}})
+        cur = _doc(1500, {"db": {"host_seconds": 0.4,
+                                 "instructions": 600,
+                                 "instructions_per_second": 1500}})
+        _, lines = compare_bench(cur, base, 5.0)
+        assert any("db" in line and "+50.0%" in line for line in lines)
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench(_doc(1234), str(path))
+        assert read_bench(str(path)) == _doc(1234)
+
+
+class TestSuiteRateFallback:
+    def test_sub_resolution_workload_gets_suite_rate(self, monkeypatch):
+        """A workload finishing under timer resolution must report the
+        suite-level rate (flagged), never null."""
+        from repro.workloads import get_workload
+
+        class FakeTime:
+            # start/stop pairs: first workload takes 0.5s, second 0.0s
+            _values = iter([0.0, 0.5, 0.5, 0.5])
+
+            @classmethod
+            def perf_counter(cls):
+                return next(cls._values)
+
+        monkeypatch.setattr(bench_module, "time", FakeTime)
+        doc = bench_module.run_bench(
+            workloads=[get_workload("db"), get_workload("jess")])
+        rows = doc["per_workload"]
+        assert rows["db"].get("rate_source") is None
+        assert rows["jess"]["rate_source"] == "suite"
+        assert rows["jess"]["instructions_per_second"] == \
+            doc["instructions_per_second"]
+        assert all(row["instructions_per_second"] is not None
+                   for row in rows.values())
+
+    def test_fallback_rows_render_flagged(self):
+        doc = _doc(1000, {"tiny": {"host_seconds": 0.0,
+                                   "instructions": 10,
+                                   "instructions_per_second": 1000,
+                                   "rate_source": "suite"}})
+        text = bench_module.format_bench(doc)
+        assert "1,000*" in text
+        assert "host-timer resolution" in text
+
+
+class TestCliCompare:
+    @pytest.fixture
+    def fast_bench(self, monkeypatch):
+        monkeypatch.setattr(bench_module, "run_bench",
+                            lambda scale=1, workloads=None,
+                            tier="template": _doc(1000, tier=tier))
+
+    def test_compare_ok_exits_zero(self, tmp_path, capsys, fast_bench):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(_doc(990)))
+        assert main(["bench", "--output", "",
+                     "--compare", str(baseline)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_compare_regression_exits_one(self, tmp_path, capsys,
+                                          fast_bench):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(_doc(2000)))
+        assert main(["bench", "--output", "",
+                     "--compare", str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_max_regression_flag(self, tmp_path, fast_bench):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(_doc(1100)))
+        assert main(["bench", "--output", "", "--compare",
+                     str(baseline), "--max-regression", "3"]) == 1
+        assert main(["bench", "--output", "", "--compare",
+                     str(baseline), "--max-regression", "20"]) == 0
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys,
+                                             fast_bench):
+        assert main(["bench", "--output", "", "--compare",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_tier_flag_reaches_run_bench(self, tmp_path, capsys,
+                                         fast_bench):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--tier", "interp",
+                     "--output", str(out)]) == 0
+        assert json.loads(out.read_text())["tier"] == "interp"
