@@ -1,0 +1,173 @@
+"""Native-boundary analysis: static J2N/N2J views of the call graph.
+
+The paper's measurements hinge on the Java↔native boundary; this module
+computes its *static* shape so the harness can cross-check the dynamic
+IPA counters against it:
+
+* **Declared natives** — every ``native`` method in the archives.  This
+  is the ground set: a native can be entered with no bytecode call site
+  at all (JNI ``CallStaticIntMethod``-style entry from the host), so
+  method *sets*, not site sets, are what the dynamic run must stay
+  inside.
+* **J2N call sites** — ``invoke*`` instructions whose CHA cone contains
+  a native method: the static upper bound of Figure-1's J2N arrows.
+* **Reachable natives** — declared natives inside the CHA cone of the
+  entry points; declared-but-unreachable natives are reported so a
+  too-small dynamic count is explainable.
+* **N2J candidates** — non-native methods native code could call back
+  into.  Host natives receive object references and the JNI env, so the
+  static over-approximation is: non-native methods of any class that
+  declares a native, plus every ``run()V`` (thread bodies are started
+  from the host scheduler).
+
+:func:`cross_check` then compares a dynamic native-method set (recorded
+by the VM at first resolution, zero simulated cost) against the static
+set, normalizing instrumentation renames (``_$$ipa$$_foo`` ↔ ``foo``)
+and ignoring the agent's own runtime class.  Every dynamically observed
+native must be statically declared — a violation means the static
+analysis (or the archive set given to it) is wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.callgraph import CallGraph, CallSite, qualified_name
+from repro.instrument.wrapper_gen import InstrumentationConfig
+
+
+@dataclass
+class NativeBoundaryReport:
+    """Static boundary facts extracted from one call graph."""
+
+    declared_natives: Set[str] = field(default_factory=set)
+    j2n_sites: List[CallSite] = field(default_factory=list)
+    reachable_natives: Set[str] = field(default_factory=set)
+    n2j_candidates: Set[str] = field(default_factory=set)
+
+    @property
+    def unreachable_natives(self) -> Set[str]:
+        return self.declared_natives - self.reachable_natives
+
+    def to_json(self) -> dict:
+        return {
+            "declared_natives": sorted(self.declared_natives),
+            "reachable_natives": sorted(self.reachable_natives),
+            "unreachable_natives": sorted(self.unreachable_natives),
+            "n2j_candidates": sorted(self.n2j_candidates),
+            "j2n_sites": [site.to_json() for site in self.j2n_sites],
+        }
+
+
+def analyze_boundary(graph: CallGraph) -> NativeBoundaryReport:
+    """Slice the native boundary out of a CHA call graph."""
+    report = NativeBoundaryReport()
+    report.declared_natives = {
+        qname for qname, method in graph.methods.items()
+        if method.is_native}
+
+    for site in graph.call_sites:
+        if any(target in report.declared_natives
+               for target in site.targets):
+            report.j2n_sites.append(site)
+
+    reachable = graph.reachable()
+    report.reachable_natives = report.declared_natives & reachable
+
+    native_owners = {graph.owner[qname]
+                     for qname in report.declared_natives}
+    for qname, method in graph.methods.items():
+        if method.is_native:
+            continue
+        if graph.owner[qname] in native_owners or (
+                method.name == "run" and method.descriptor == "()V"):
+            report.n2j_candidates.add(qname)
+
+    return report
+
+
+def normalize_native_name(qname: str,
+                          config: Optional[InstrumentationConfig] = None
+                          ) -> Optional[str]:
+    """Fold an instrumented native's qualified name back to the original
+    (``pkg.C._$$ipa$$_foo(...)`` → ``pkg.C.foo(...)``); ``None`` for the
+    agent's own runtime class, which is outside the measured boundary.
+    """
+    config = config or InstrumentationConfig()
+    if qname.startswith(config.runtime_class + "."):
+        return None
+    return qname.replace(config.prefix, "", 1)
+
+
+@dataclass
+class BoundaryCheck:
+    """Result of the static-vs-dynamic native-set comparison."""
+
+    static_natives: Set[str] = field(default_factory=set)
+    dynamic_natives: Set[str] = field(default_factory=set)
+
+    @property
+    def covered(self) -> Set[str]:
+        """Statically declared natives the dynamic run actually hit."""
+        return self.static_natives & self.dynamic_natives
+
+    @property
+    def uncovered(self) -> Set[str]:
+        """Static-only natives (declared, never invoked in this run)."""
+        return self.static_natives - self.dynamic_natives
+
+    @property
+    def violations(self) -> Set[str]:
+        """Dynamically observed natives missing from the static set —
+        must be empty for a sound static analysis."""
+        return self.dynamic_natives - self.static_natives
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of declared natives exercised dynamically."""
+        if not self.static_natives:
+            return 1.0
+        return len(self.covered) / len(self.static_natives)
+
+    def to_json(self) -> dict:
+        return {
+            "static_natives": len(self.static_natives),
+            "dynamic_natives": len(self.dynamic_natives),
+            "covered": len(self.covered),
+            "coverage": round(self.coverage, 4),
+            "uncovered": sorted(self.uncovered),
+            "violations": sorted(self.violations),
+            "ok": self.ok,
+        }
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else (
+            f"VIOLATION ({len(self.violations)} dynamic-only)")
+        return (f"native boundary: {len(self.covered)}/"
+                f"{len(self.static_natives)} declared natives covered "
+                f"dynamically ({self.coverage:.0%}), "
+                f"{len(self.uncovered)} static-only — {status}")
+
+
+def cross_check(report: NativeBoundaryReport,
+                dynamic_qnames: Iterable[str],
+                config: Optional[InstrumentationConfig] = None
+                ) -> BoundaryCheck:
+    """Compare the static native set against dynamically invoked
+    natives (both normalized for instrumentation renames)."""
+    config = config or InstrumentationConfig()
+    check = BoundaryCheck()
+    for qname in report.declared_natives:
+        normalized = normalize_native_name(qname, config)
+        if normalized is not None:
+            check.static_natives.add(normalized)
+    for qname in dynamic_qnames:
+        normalized = normalize_native_name(qname, config)
+        if normalized is not None:
+            check.dynamic_natives.add(normalized)
+    return check

@@ -1,0 +1,223 @@
+"""Instrumentation linter: validates the Figure-2 invariants.
+
+Given a class that *should* carry static instrumentation, checks that
+the wrapper transformation (:mod:`repro.instrument.wrapper_gen`) was
+applied completely and exactly once:
+
+* every ``native`` method is renamed with the prefix and kept native;
+* every renamed native has a wrapper of the original name and the same
+  descriptor, non-native, with matching static-ness;
+* the wrapper opens with ``J2N_Begin``, calls the renamed native exactly
+  once, and runs ``J2N_End`` immediately after it;
+* a single catch-all exception-table row protects the native call and
+  its handler runs ``J2N_End`` before rethrowing — the transition
+  counters must balance even when the native throws;
+* no double instrumentation (stacked prefixes, repeated ``J2N_Begin``);
+* excluded classes (the agent runtime itself) carry no instrumentation.
+
+A corrupted wrapper — e.g. the ``J2N_End`` after the native call edited
+out — yields an error finding, which ``repro analyze
+--check-instrumentation`` turns into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+from repro.bytecode.opcodes import Op
+from repro.classfile.classfile import ClassFile
+from repro.classfile.constant_pool import CpMethodRef
+from repro.classfile.members import MethodInfo
+from repro.errors import ClassFileError, ConstantPoolError
+from repro.instrument.wrapper_gen import InstrumentationConfig
+
+
+class _Linter:
+    def __init__(self, cf: ClassFile, config: InstrumentationConfig):
+        self.cf = cf
+        self.config = config
+        self.findings: List[Finding] = []
+
+    def _finding(self, severity: Severity, rule: str, method: str,
+                 message: str, pc: Optional[int] = None) -> None:
+        self.findings.append(Finding(
+            severity=severity, rule=rule, class_name=self.cf.name,
+            method=method, message=message, pc=pc))
+
+    def _error(self, rule: str, method: str, message: str,
+               pc: Optional[int] = None) -> None:
+        self._finding(Severity.ERROR, rule, method, message, pc=pc)
+
+    def _ref(self, cp_index) -> Optional[CpMethodRef]:
+        try:
+            return self.cf.constant_pool.get_typed(cp_index, CpMethodRef)
+        except (ConstantPoolError, ClassFileError):
+            return None
+
+    def _is_runtime_call(self, ins, method_name: str) -> bool:
+        if ins.op is not Op.INVOKESTATIC:
+            return False
+        ref = self._ref(ins.operand)
+        return (ref is not None
+                and ref.class_name == self.config.runtime_class
+                and ref.method_name == method_name
+                and ref.descriptor == "()V")
+
+    # -- checks ---------------------------------------------------------------
+
+    def run(self, require_instrumented: bool) -> List[Finding]:
+        config = self.config
+        cf = self.cf
+
+        if config.is_excluded(cf.name):
+            for method in cf.methods:
+                if method.name.startswith(config.prefix):
+                    self._error(
+                        "excluded-class-instrumented",
+                        f"{method.name}{method.descriptor}",
+                        "excluded class carries an instrumentation "
+                        "prefix")
+            return self.findings
+
+        for method in cf.methods:
+            where = f"{method.name}{method.descriptor}"
+            if method.name.startswith(config.prefix):
+                self._check_renamed(method, where)
+            elif method.is_native and require_instrumented:
+                self._error(
+                    "native-not-wrapped", where,
+                    f"native method carries no {config.prefix!r} "
+                    f"prefix — instrumentation missed it")
+        return self.findings
+
+    def _check_renamed(self, method: MethodInfo, where: str) -> None:
+        config = self.config
+        original = method.name[len(config.prefix):]
+        if original.startswith(config.prefix):
+            self._error("double-instrumentation", where,
+                        "stacked instrumentation prefixes")
+            return
+        if not method.is_native:
+            self._error("renamed-not-native", where,
+                        "renamed method lost its native flag")
+        wrapper = self.cf.find_method(original, method.descriptor)
+        if wrapper is None:
+            self._error(
+                "missing-wrapper", where,
+                f"no wrapper {original}{method.descriptor} for the "
+                f"renamed native")
+            return
+        self._check_wrapper(wrapper, method)
+
+    def _check_wrapper(self, wrapper: MethodInfo,
+                       target: MethodInfo) -> None:
+        config = self.config
+        where = f"{wrapper.name}{wrapper.descriptor}"
+        if wrapper.is_native:
+            self._error("wrapper-native", where,
+                        "wrapper is itself native")
+            return
+        if wrapper.is_static != target.is_static:
+            self._error("wrapper-flags", where,
+                        "wrapper and renamed native disagree on "
+                        "static-ness")
+        code = wrapper.code or []
+        if not code or not self._is_runtime_call(code[0],
+                                                 config.begin_method):
+            self._error(
+                "missing-begin", where,
+                f"wrapper does not open with "
+                f"{config.runtime_class}.{config.begin_method}", pc=0)
+
+        begin_count = sum(
+            1 for ins in code
+            if self._is_runtime_call(ins, config.begin_method))
+        if begin_count > 1:
+            self._error("double-instrumentation", where,
+                        f"{config.begin_method} invoked {begin_count} "
+                        f"times — wrapper wrapped twice?")
+
+        target_pcs = [
+            pc for pc, ins in enumerate(code)
+            if ins.op in (Op.INVOKESTATIC, Op.INVOKESPECIAL)
+            and (ref := self._ref(ins.operand)) is not None
+            and ref.class_name == self.cf.name
+            and ref.method_name == target.name
+            and ref.descriptor == target.descriptor]
+        if not target_pcs:
+            self._error("missing-target-call", where,
+                        f"wrapper never invokes the renamed native "
+                        f"{target.name}")
+            return
+        if len(target_pcs) > 1:
+            self._error("double-instrumentation", where,
+                        f"renamed native invoked {len(target_pcs)} "
+                        f"times", pc=target_pcs[1])
+        target_pc = target_pcs[0]
+
+        end_pc = target_pc + 1
+        if end_pc >= len(code) or not self._is_runtime_call(
+                code[end_pc], config.end_method):
+            self._error(
+                "missing-end", where,
+                f"{config.runtime_class}.{config.end_method} does not "
+                f"immediately follow the native call", pc=target_pc)
+
+        self._check_handler(wrapper, where, target_pc)
+
+    def _check_handler(self, wrapper: MethodInfo, where: str,
+                       target_pc: int) -> None:
+        config = self.config
+        code = wrapper.code or []
+        rows = [entry for entry in wrapper.exception_table
+                if entry.catch_type is None
+                and entry.start <= target_pc < entry.end]
+        if not rows:
+            self._error(
+                "missing-handler", where,
+                "no catch-all exception-table row covers the native "
+                "call — J2N_End is skipped when the native throws",
+                pc=target_pc)
+            return
+        if len(rows) > 1:
+            self._error("double-instrumentation", where,
+                        f"{len(rows)} catch-all rows cover the native "
+                        f"call", pc=target_pc)
+        handler = rows[0].handler
+        handler_runs_end = (
+            isinstance(handler, int) and handler < len(code)
+            and self._is_runtime_call(code[handler], config.end_method)
+            and handler + 1 < len(code)
+            and code[handler + 1].op is Op.ATHROW)
+        if not handler_runs_end:
+            self._error(
+                "bad-handler", where,
+                f"exception handler does not run {config.end_method} "
+                f"and rethrow", pc=handler if isinstance(handler, int)
+                else None)
+
+
+def lint_classfile(cf: ClassFile,
+                   config: Optional[InstrumentationConfig] = None,
+                   require_instrumented: bool = True) -> List[Finding]:
+    """Lint one class; returns findings (empty when the invariants
+    hold).  ``require_instrumented`` also flags bare (unprefixed)
+    native methods — set it ``False`` to lint archives that are only
+    partially instrumented."""
+    linter = _Linter(cf, config or InstrumentationConfig())
+    return linter.run(require_instrumented)
+
+
+def lint_archives(archives,
+                  config: Optional[InstrumentationConfig] = None,
+                  require_instrumented: bool = True) -> AnalysisReport:
+    """Lint every class of every archive into one report."""
+    report = AnalysisReport()
+    for archive in archives:
+        for cf in archive.classes():
+            report.classes_analyzed += 1
+            report.methods_analyzed += len(cf.methods)
+            report.extend(lint_classfile(
+                cf, config, require_instrumented=require_instrumented))
+    return report

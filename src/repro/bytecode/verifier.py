@@ -11,13 +11,16 @@ Checks, per method:
 * return opcodes match the method descriptor (value vs ``void``);
 * local indices stay below ``max_locals``.
 
-Types are not tracked (the interpreter is dynamically checked); this is a
-stack-discipline verifier in the spirit of the JVM's, scaled to the ISA.
+Types are not tracked here (the typed abstract-interpretation pass lives
+in :mod:`repro.analysis.typed_verifier`); this is a stack-discipline
+verifier in the spirit of the JVM's, scaled to the ISA.  Every failure
+raises a structured :class:`~repro.errors.VerifyError` naming the owning
+class, method, instruction index, and mnemonic where known.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.bytecode.instructions import Instruction
 from repro.bytecode.opcodes import INVOKE_OPS, Op, OperandKind, VARIABLE
@@ -25,7 +28,9 @@ from repro.classfile.constant_pool import CpMethodRef
 from repro.errors import VerifyError
 
 
-def _stack_effect(ins: Instruction, method, constant_pool):
+def _stack_effect(ins: Instruction, method, constant_pool,
+                  pc: Optional[int] = None,
+                  class_name: Optional[str] = None):
     """Return (pops, pushes) for ``ins``, resolving variable effects."""
     spec = ins.spec
     if spec.pops != VARIABLE:
@@ -39,71 +44,70 @@ def _stack_effect(ins: Instruction, method, constant_pool):
         pushes = 1 if returns_value(entry.descriptor) else 0
         return pops, pushes
     raise VerifyError(
-        f"cannot compute stack effect for {spec.mnemonic}")
+        "cannot compute stack effect",
+        class_name=class_name,
+        method=f"{method.name}{method.descriptor}",
+        pc=pc,
+        mnemonic=spec.mnemonic)
 
 
-def verify_method(method, constant_pool) -> int:
+def verify_method(method, constant_pool,
+                  class_name: Optional[str] = None) -> int:
     """Verify one method; returns the maximum operand-stack depth.
 
     ``method`` is a :class:`~repro.classfile.members.MethodInfo` whose
     branch operands are already resolved; ``constant_pool`` is the owning
-    class's pool.  Raises :class:`~repro.errors.VerifyError` on failure.
+    class's pool and ``class_name`` the owning class (named in
+    diagnostics when given).  Raises :class:`~repro.errors.VerifyError`
+    on failure.
     """
+    where = f"{method.name}{method.descriptor}"
+
+    def fail(reason, pc=None, mnemonic=None):
+        raise VerifyError(reason, class_name=class_name, method=where,
+                          pc=pc, mnemonic=mnemonic)
+
     if method.is_native:
         return 0
     code = method.code
     if not code:
-        raise VerifyError(
-            f"method {method.name}{method.descriptor} has empty code")
+        fail("method has empty code")
     n = len(code)
 
-    def check_target(index, what):
+    def check_target(index, what, pc=None):
         if not isinstance(index, int) or index < 0 or index >= n:
-            raise VerifyError(
-                f"{what} {index!r} out of range in "
-                f"{method.name}{method.descriptor}")
+            fail(f"{what} {index!r} out of range", pc=pc)
 
     # structural checks -----------------------------------------------------
     for pc, ins in enumerate(code):
+        mnemonic = ins.spec.mnemonic
         if ins.spec.operand is OperandKind.LABEL:
             if isinstance(ins.operand, str):
-                raise VerifyError(
-                    f"unresolved label {ins.operand!r} at pc {pc} in "
-                    f"{method.name}{method.descriptor}")
-            check_target(ins.operand, "branch target")
+                fail(f"unresolved label {ins.operand!r}", pc=pc,
+                     mnemonic=mnemonic)
+            check_target(ins.operand, "branch target", pc=pc)
         if ins.spec.operand is OperandKind.LOCAL and \
                 ins.operand >= method.max_locals:
-            raise VerifyError(
-                f"local index {ins.operand} >= max_locals "
-                f"{method.max_locals} at pc {pc} in "
-                f"{method.name}{method.descriptor}")
+            fail(f"local index {ins.operand} >= max_locals "
+                 f"{method.max_locals}", pc=pc, mnemonic=mnemonic)
         if ins.spec.operand is OperandKind.IINC and \
                 ins.operand[0] >= method.max_locals:
-            raise VerifyError(
-                f"iinc index {ins.operand[0]} >= max_locals "
-                f"{method.max_locals} at pc {pc} in "
-                f"{method.name}{method.descriptor}")
+            fail(f"iinc index {ins.operand[0]} >= max_locals "
+                 f"{method.max_locals}", pc=pc, mnemonic=mnemonic)
         if ins.op in (Op.IRETURN, Op.ARETURN) and not method.returns_value:
-            raise VerifyError(
-                f"value return from void method "
-                f"{method.name}{method.descriptor}")
+            fail("value return from void method", pc=pc, mnemonic=mnemonic)
         if ins.op is Op.RETURN and method.returns_value:
-            raise VerifyError(
-                f"void return from value-returning method "
-                f"{method.name}{method.descriptor}")
+            fail("void return from value-returning method", pc=pc,
+                 mnemonic=mnemonic)
     if not code[-1].spec.ends_block:
-        raise VerifyError(
-            f"control falls off the end of "
-            f"{method.name}{method.descriptor}")
+        fail("control falls off the end of the method", pc=n - 1)
 
     for entry in method.exception_table:
         check_target(entry.start, "exception-table start")
         check_target(entry.handler, "exception-table handler")
         if not isinstance(entry.end, int) or entry.end < entry.start or \
                 entry.end > n:
-            raise VerifyError(
-                f"bad exception-table range [{entry.start}, {entry.end}) in "
-                f"{method.name}{method.descriptor}")
+            fail(f"bad exception-table range [{entry.start}, {entry.end})")
 
     # stack dataflow ---------------------------------------------------------
     depth_at: Dict[int, int] = {0: 0}
@@ -114,16 +118,14 @@ def verify_method(method, constant_pool) -> int:
             worklist.append(entry.handler)
     max_depth = 1 if method.exception_table else 0
 
-    def flow_to(target: int, depth: int):
+    def flow_to(target: int, depth: int, pc=None):
         known = depth_at.get(target)
         if known is None:
             depth_at[target] = depth
             worklist.append(target)
         elif known != depth:
-            raise VerifyError(
-                f"inconsistent stack depth at pc {target} "
-                f"({known} vs {depth}) in "
-                f"{method.name}{method.descriptor}")
+            fail(f"inconsistent stack depth at pc {target} "
+                 f"({known} vs {depth})", pc=pc)
 
     visited = set()
     while worklist:
@@ -134,33 +136,29 @@ def verify_method(method, constant_pool) -> int:
         depth = depth_at[pc]
         while True:
             ins = code[pc]
-            pops, pushes = _stack_effect(ins, method, constant_pool)
+            pops, pushes = _stack_effect(ins, method, constant_pool,
+                                         pc=pc, class_name=class_name)
             if depth < pops:
-                raise VerifyError(
-                    f"stack underflow at pc {pc} ({ins.spec.mnemonic}: "
-                    f"needs {pops}, have {depth}) in "
-                    f"{method.name}{method.descriptor}")
+                fail(f"stack underflow ({ins.spec.mnemonic}: needs "
+                     f"{pops}, have {depth})", pc=pc,
+                     mnemonic=ins.spec.mnemonic)
             depth = depth - pops + pushes
             if depth > max_depth:
                 max_depth = depth
             if ins.spec.operand is OperandKind.LABEL:
-                flow_to(ins.operand, depth)
+                flow_to(ins.operand, depth, pc=pc)
             if ins.spec.ends_block:
                 break
             next_pc = pc + 1
             if next_pc >= n:
-                raise VerifyError(
-                    f"control falls off the end of "
-                    f"{method.name}{method.descriptor} at pc {pc}")
+                fail("control falls off the end of the method", pc=pc)
             # fall through to the next instruction
             known = depth_at.get(next_pc)
             if known is None:
                 depth_at[next_pc] = depth
             elif known != depth:
-                raise VerifyError(
-                    f"inconsistent stack depth at pc {next_pc} "
-                    f"({known} vs {depth}) in "
-                    f"{method.name}{method.descriptor}")
+                fail(f"inconsistent stack depth at pc {next_pc} "
+                     f"({known} vs {depth})", pc=pc)
             if next_pc in visited:
                 break
             visited.add(next_pc)
@@ -169,7 +167,11 @@ def verify_method(method, constant_pool) -> int:
     return max_depth
 
 
-def verify_class(cf) -> None:
-    """Verify every non-native method of a class file."""
+def verify_class(cf) -> int:
+    """Verify every non-native method of a class file; returns the
+    number of methods checked."""
+    checked = 0
     for method in cf.methods:
-        verify_method(method, cf.constant_pool)
+        verify_method(method, cf.constant_pool, class_name=cf.name)
+        checked += 1
+    return checked

@@ -8,6 +8,8 @@
     repro profile WORKLOAD [...]    # run one workload under one agent
     repro trace WORKLOAD [...]      # record a Chrome/Perfetto trace
     repro metrics FILE.jsonl [...]  # summarize exported metrics
+    repro analyze [...]             # static analysis: verify, CHA,
+                                    # native boundary, instr. linter
     repro bench [--scale N]         # time the suite, record host perf
     repro bench --compare BASE.json # gate on host-throughput regression
 
@@ -65,7 +67,8 @@ def _vm_config_from(args) -> VMConfig:
     """
     tier = getattr(args, "tier", "template")
     return VMConfig(
-        jit_policy=JitPolicy(template_tier=(tier == "template")))
+        jit_policy=JitPolicy(template_tier=(tier == "template")),
+        verify=getattr(args, "verify", "structural"))
 
 
 def _add_tier_argument(subparser) -> None:
@@ -74,6 +77,16 @@ def _add_tier_argument(subparser) -> None:
         help=("execution tier: 'template' (interpreter + specialized-"
               "Python second tier, default) or 'interp' (dispatch loop "
               "only); simulated output is identical either way"))
+
+
+def _add_verify_argument(subparser) -> None:
+    subparser.add_argument(
+        "--verify", choices=("off", "structural", "typed"),
+        default="structural",
+        help=("bytecode verification at class load: 'off', "
+              "'structural' (stack-discipline dataflow, default), or "
+              "'typed' (abstract interpretation); host-side only — "
+              "simulated numbers are identical across modes"))
 
 
 def _observability_from(args) -> Optional[ObservabilityConfig]:
@@ -115,9 +128,20 @@ def _cmd_table2(args) -> int:
     table = build_table2(full_suite(scale=args.scale),
                          vm_config=_vm_config_from(args),
                          runs=args.runs, jobs=args.jobs,
-                         observability=_observability_from(args))
+                         observability=_observability_from(args),
+                         boundary_check=args.boundary_check)
     print(render_table2(table))
     _write_table_observability(args, table.captures)
+    if table.boundary is not None:
+        # stderr, so the table on stdout stays byte-identical
+        failed = False
+        for name, check in table.boundary.items():
+            print(f"{name}: {check.summary()}", file=sys.stderr)
+            failed = failed or not check.ok
+        if failed:
+            print("boundary check FAILED: dynamically invoked natives "
+                  "missing from the static analysis", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -247,6 +271,89 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    """Static analysis over class archives: typed verifier, CHA call
+    graph, native-boundary report, and (optionally) the Figure-2
+    instrumentation linter.  Exits non-zero on error findings."""
+    import json
+
+    from repro.analysis import analyze_archives, record_analysis_metrics
+    from repro.classfile.archive import ClassArchive
+    from repro.instrument.wrapper_gen import InstrumentationConfig
+    from repro.launcher import runtime_archive
+
+    archives = []
+    if not args.no_runtime:
+        archives.append(runtime_archive())
+    for path in args.archive:
+        try:
+            archives.append(ClassArchive.load(path))
+        except OSError as exc:
+            print(f"repro analyze: cannot read archive {path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    names = list(workload_names()) if args.suite else list(args.workload)
+    for name in names:
+        archives.append(get_workload(name).archive)
+    if not archives:
+        print("repro analyze: nothing to analyze (--no-runtime with "
+              "no --archive/--workload/--suite)", file=sys.stderr)
+        return 2
+
+    instrumentation = InstrumentationConfig()
+    if args.check_instrumentation:
+        from repro.agents.ipa import IPA
+        from repro.instrument.static_instr import (
+            instrument_archives_cached,
+        )
+        already = any(
+            method.name.startswith(instrumentation.prefix)
+            for archive in archives for cf in archive.classes()
+            for method in cf.methods)
+        if not already:
+            archives, _stats = instrument_archives_cached(
+                archives, instrumentation)
+        # the agent-runtime class the wrappers call into
+        archives = list(archives) + [IPA().runtime_classes()]
+
+    result = analyze_archives(
+        archives,
+        check_instrumentation=args.check_instrumentation,
+        instrumentation=instrumentation)
+
+    if args.call_graph:
+        with open(args.call_graph, "w", encoding="utf-8") as fh:
+            json.dump(result.graph.to_json(), fh, indent=1)
+        print(f"call graph: {len(result.graph.methods)} methods, "
+              f"{len(result.graph.call_sites)} sites -> "
+              f"{args.call_graph}", file=sys.stderr)
+
+    if args.metrics_out:
+        from repro.observability.metrics import (
+            MetricsRegistry,
+            write_metrics_jsonl,
+        )
+        registry = MetricsRegistry()
+        record_analysis_metrics(registry, result)
+        count = write_metrics_jsonl(
+            args.metrics_out,
+            registry.as_records(labels={"source": "analyze"}))
+        print(f"metrics: {count} records -> {args.metrics_out}",
+              file=sys.stderr)
+
+    if args.format == "json":
+        print(json.dumps(result.to_json(), indent=1))
+    else:
+        print(result.report.format_text())
+        boundary = result.boundary
+        print(f"native boundary: {len(boundary.declared_natives)} "
+              f"declared natives ({len(boundary.reachable_natives)} "
+              f"CHA-reachable), {len(boundary.j2n_sites)} static J2N "
+              f"call sites, {len(boundary.n2j_candidates)} N2J "
+              f"callback candidates")
+    return 0 if result.report.ok else 1
+
+
 def _cmd_metrics(args) -> int:
     """Summarize one or more exported metrics JSONL files."""
     from repro.observability.metrics import (
@@ -292,6 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="write per-cell metrics records as JSONL")
         _add_tier_argument(pt)
+        _add_verify_argument(pt)
+        if name == "table2":
+            pt.add_argument(
+                "--boundary-check", action="store_true",
+                help=("cross-check dynamically invoked natives "
+                      "against the static native-boundary analysis "
+                      "(report on stderr; exit 1 on violation)"))
         pt.set_defaults(func=func)
 
     pp = sub.add_parser("profile", help="profile one workload")
@@ -305,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help=("write folded stacks from the callchain CCT "
                           "(requires --agent callchain)"))
     _add_tier_argument(pp)
+    _add_verify_argument(pp)
     pp.set_defaults(func=_cmd_profile)
 
     ptr = sub.add_parser(
@@ -322,12 +437,38 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="also export metrics records as JSONL")
     _add_tier_argument(ptr)
+    _add_verify_argument(ptr)
     ptr.set_defaults(func=_cmd_trace)
 
     pm = sub.add_parser(
         "metrics", help="summarize exported metrics JSONL files")
     pm.add_argument("files", nargs="+", metavar="FILE.jsonl")
     pm.set_defaults(func=_cmd_metrics)
+
+    pa = sub.add_parser(
+        "analyze",
+        help=("static analysis: typed verifier, CHA call graph, "
+              "native boundary, instrumentation linter"))
+    pa.add_argument("--workload", action="append", default=[],
+                    metavar="NAME",
+                    help="include a workload's archive (repeatable)")
+    pa.add_argument("--archive", action="append", default=[],
+                    metavar="PATH",
+                    help="include a serialized archive (repeatable)")
+    pa.add_argument("--suite", action="store_true",
+                    help="include every workload archive")
+    pa.add_argument("--no-runtime", action="store_true",
+                    help="exclude the runtime library archive")
+    pa.add_argument("--check-instrumentation", action="store_true",
+                    help=("instrument the archives, then lint the "
+                          "Figure-2 wrapper invariants"))
+    pa.add_argument("--call-graph", metavar="OUT.json", default=None,
+                    help="write the CHA call graph as JSON")
+    pa.add_argument("--metrics-out", metavar="OUT.jsonl", default=None,
+                    help="write analysis counters as metrics JSONL")
+    pa.add_argument("--format", choices=("text", "json"),
+                    default="text", help="report format")
+    pa.set_defaults(func=_cmd_analyze)
 
     pb = sub.add_parser(
         "bench", help="time the JVM98 suite; record host performance")

@@ -19,7 +19,52 @@ class BytecodeError(ReproError):
 
 
 class VerifyError(BytecodeError):
-    """Bytecode failed structural or stack-discipline verification."""
+    """Bytecode failed structural, stack-discipline, or type verification.
+
+    Carries structured context so callers (the classloader's fail-fast
+    path, the ``repro analyze`` report) can name the offending class,
+    method, instruction index, and mnemonic without parsing message
+    text.  Any field may be ``None`` when the failure site does not
+    know it; :func:`VerifyError.with_context` fills gaps as the error
+    propagates outward.
+    """
+
+    def __init__(self, message: str, class_name=None, method=None,
+                 pc=None, mnemonic=None):
+        self.reason = message
+        self.class_name = class_name
+        self.method = method
+        self.pc = pc
+        self.mnemonic = mnemonic
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        parts = [self.reason]
+        if self.mnemonic is not None and self.mnemonic not in self.reason:
+            parts.append(f"[{self.mnemonic}]")
+        if self.pc is not None and f"pc {self.pc}" not in self.reason:
+            parts.append(f"at pc {self.pc}")
+        where = self.location()
+        if where and where not in self.reason:
+            parts.append(f"in {where}")
+        return " ".join(parts)
+
+    def location(self) -> str:
+        """``class.method`` context string (empty when unknown)."""
+        if self.class_name and self.method:
+            return f"{self.class_name}.{self.method}"
+        return self.class_name or self.method or ""
+
+    def with_context(self, class_name=None, method=None, pc=None,
+                     mnemonic=None) -> "VerifyError":
+        """Return a copy with missing context fields filled in."""
+        return VerifyError(
+            self.reason,
+            class_name=self.class_name or class_name,
+            method=self.method or method,
+            pc=self.pc if self.pc is not None else pc,
+            mnemonic=self.mnemonic or mnemonic,
+        )
 
 
 class ClassFileError(ReproError):

@@ -40,6 +40,10 @@ class RunResult:
     #: Capture document (trace events + metrics records) when the run
     #: was observed; ``None`` otherwise.  JSON-safe and picklable.
     observability: Optional[Dict] = None
+    #: Qualified names of native methods the VM resolved during the
+    #: run — the dynamic side of the static-vs-dynamic native-boundary
+    #: cross-check.  Plain strings, picklable.
+    native_methods_invoked: List[str] = field(default_factory=list)
     #: The live agent instance (CCT access for flamegraph export).
     #: Host-side only — stripped before crossing process boundaries.
     agent_object: Optional[object] = None
@@ -57,6 +61,7 @@ def _build_vm(workload: Workload, config: RunConfig) -> JavaVM:
         cost_model=config.vm_config.cost_model,
         jit_policy=config.vm_config.jit_policy.copy(),
         jvmti_version=config.vm_config.jvmti_version,
+        verify=config.vm_config.verify,
     )
     vm = JavaVM(vm_config)
     if config.observability is not None and \
@@ -138,6 +143,7 @@ def _run_once(workload: Workload, config: RunConfig) -> RunResult:
         operations=operations,
         console=list(vm.console),
         observability=observability,
+        native_methods_invoked=sorted(vm.native_methods_invoked),
         agent_object=vm.agents[0] if vm.agents else None,
     )
 
@@ -159,6 +165,7 @@ def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
     metrics.inc("inline_cache_hits", vm.ic_hits)
     metrics.inc("inline_cache_misses", vm.ic_misses)
     metrics.inc("classes_loaded", vm.loader.classes_loaded)
+    metrics.inc("verifier_methods_verified", vm.methods_verified)
     metrics.inc("jvmti_events_dispatched",
                 vm.jvmti.events_dispatched)
     for event_name, count in sorted(

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis.typed_verifier import typed_verify_class
 from repro.bytecode.opcodes import SPECS
+from repro.bytecode.verifier import verify_class
 from repro.classfile.classfile import OBJECT_CLASS, ClassFile
 from repro.classfile.serializer import load_class
-from repro.errors import ClassNotFoundError, LinkageError
+from repro.errors import ClassNotFoundError, LinkageError, VMError
 from repro.jvm.costmodel import ChargeTag
 
 CLINIT = ("<clinit>", "()V")
@@ -231,6 +233,7 @@ class ClassLoader:
             if cf.name != name:
                 raise LinkageError(
                     f"archive entry {name!r} defines class {cf.name!r}")
+            self._verify(cf)
             super_class = None
             if cf.super_name is not None:
                 super_class = self.load(cf.super_name)
@@ -249,6 +252,26 @@ class ClassLoader:
             return loaded
         finally:
             self._loading.remove(name)
+
+    def _verify(self, cf: ClassFile) -> None:
+        """Fail-fast bytecode verification per ``VMConfig.verify``.
+
+        Runs on the host before linking — a class that fails never
+        loads, and the raised :class:`~repro.errors.VerifyError` names
+        the class, method, and instruction index.  No simulated cycles
+        are charged, so verified and unverified runs produce identical
+        measurements.
+        """
+        mode = self._vm.config.verify
+        if mode == "off":
+            return
+        if mode == "structural":
+            self._vm.methods_verified += verify_class(cf)
+        elif mode == "typed":
+            self._vm.methods_verified += typed_verify_class(cf)
+        else:
+            raise VMError(f"unknown verify mode {mode!r} "
+                          f"(expected off, structural, or typed)")
 
     def _charge_load(self, loaded: LoadedClass) -> None:
         thread = self._vm.threads.current

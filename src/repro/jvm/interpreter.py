@@ -269,6 +269,7 @@ class Interpreter:
                 raise Unwind(exc)
             method.native_impl = impl
             method.native_resolved = True
+            vm.native_methods_invoked.add(method.qualified_name)
         thread.charge(vm.cost_model.native_invoke_base, ChargeTag.NATIVE)
         vm.native_invocations += 1
         env = vm.jni_env(thread)

@@ -53,6 +53,12 @@ class VMConfig:
     jit_policy: JitPolicy = field(default_factory=JitPolicy)
     #: JVMTI version exposed to agents: (1, 0) or (1, 1).
     jvmti_version: tuple = JVMTI_VERSION_1_1
+    #: Bytecode verification at class load: ``"off"``, ``"structural"``
+    #: (stack-discipline dataflow), or ``"typed"`` (abstract
+    #: interpretation over the type lattice).  Verification runs on the
+    #: host and charges no simulated cycles, so results are identical
+    #: across modes for classes that verify.
+    verify: str = "structural"
 
 
 class JavaVM:
@@ -93,6 +99,12 @@ class JavaVM:
         self.jni_invocations = 0
         self.ic_hits = 0
         self.ic_misses = 0
+        self.methods_verified = 0
+        #: Qualified names of native methods actually resolved by this
+        #: VM (filled once per method at first invocation — zero cost
+        #: on the hot path); the harness cross-checks this set against
+        #: the static native-boundary analysis.
+        self.native_methods_invoked: set = set()
         # simulated file system: name -> bytes (inputs) / bytearray (outputs)
         self.files: Dict[str, bytes] = {}
 
