@@ -12,10 +12,19 @@
                                     # native boundary, instr. linter
     repro bench [--scale N]         # time the suite, record host perf
     repro bench --compare BASE.json # gate on host-throughput regression
+    repro runs list|show|diff|trend # query the run ledger
+    repro report [RUN_ID|--latest]  # self-contained HTML report
 
 Observability never perturbs measurement: ``--trace``/``--metrics-out``
 on ``table1``/``table2`` produce byte-identical tables (the trace and
 metrics files are written on the side; notices go to stderr).
+
+Every measuring invocation (``table1``/``table2``/``profile``/
+``trace``/``bench``/``analyze``) also appends a run manifest — run id,
+git SHA, host, resolved config, outcome — to the run ledger
+(``.repro-runs/`` by default; ``--ledger-dir`` overrides,
+``--no-ledger`` opts out).  The ledger is host-side bookkeeping: the
+tables are bit-identical with it on or off.
 
 ``--tier {template,interp}`` (on table1/table2/profile/trace/bench)
 selects the execution tier.  The template tier is the default and is
@@ -27,8 +36,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
+from repro.errors import LedgerError
 from repro.harness.config import AgentSpec, RunConfig
 from repro.harness.overhead import build_table1
 from repro.harness.report import render_table1, render_table2
@@ -42,11 +53,20 @@ from repro.observability import (
     write_folded,
     write_metrics_jsonl,
 )
+from repro.observability import ledger as ledger_module
+from repro.observability import logging as obs_logging
+from repro.observability.metrics import summarize_metrics
 from repro.workloads import full_suite, get_workload, workload_names
+
+log = obs_logging.get_logger("cli")
 
 #: Agent vocabulary of ``--agent`` (kept sorted for error messages).
 AGENT_NAMES = ("callchain", "ipa", "ipa-dynamic", "ipa-nocomp", "none",
                "spa")
+
+#: Subcommands whose invocations are recorded in the run ledger.
+LEDGER_COMMANDS = ("table1", "table2", "profile", "trace", "bench",
+                   "analyze")
 
 
 def _cmd_list(_args) -> int:
@@ -99,19 +119,39 @@ def _observability_from(args) -> Optional[ObservabilityConfig]:
 
 
 def _write_table_observability(args, captures) -> None:
-    """Write side files; notices go to stderr so the table on stdout
-    stays byte-identical with observability off."""
+    """Write side files; notices go to stderr (as structured log
+    lines) so the table on stdout stays byte-identical with
+    observability off."""
     captures = [doc for doc in (captures or []) if doc]
     if getattr(args, "trace", None):
         doc = write_chrome_trace(args.trace, captures)
-        print(f"trace: {len(doc['traceEvents'])} events -> "
-              f"{args.trace}", file=sys.stderr)
+        log.info("trace written", events=len(doc["traceEvents"]),
+                 path=args.trace)
     if getattr(args, "metrics_out", None):
         records = [record for doc in captures
                    for record in doc.get("metrics", [])]
         count = write_metrics_jsonl(args.metrics_out, records)
-        print(f"metrics: {count} records -> {args.metrics_out}",
-              file=sys.stderr)
+        log.info("metrics written", records=count,
+                 path=args.metrics_out)
+
+
+def _artifacts_from(args, **extra) -> dict:
+    """Side-file paths the run produced, for the manifest."""
+    artifacts = {}
+    if getattr(args, "trace", None):
+        artifacts["trace"] = args.trace
+    if getattr(args, "metrics_out", None):
+        artifacts["metrics"] = args.metrics_out
+    artifacts.update({kind: path for kind, path in extra.items()
+                      if path})
+    return artifacts
+
+
+def _capture_metrics_summary(captures) -> Optional[list]:
+    """Aggregate per-cell metrics records for the manifest snapshot."""
+    records = [record for doc in (captures or []) if doc
+               for record in doc.get("metrics", [])]
+    return summarize_metrics(records) if records else None
 
 
 def _cmd_table1(args) -> int:
@@ -119,8 +159,27 @@ def _cmd_table1(args) -> int:
                          vm_config=_vm_config_from(args),
                          runs=args.runs, jobs=args.jobs,
                          observability=_observability_from(args))
-    print(render_table1(table))
+    rendered = render_table1(table)
+    print(rendered)
     _write_table_observability(args, table.captures)
+    workloads = {}
+    for row in table.time_rows + table.throughput_rows:
+        workloads[row.benchmark] = {
+            "value_original": row.value_original,
+            "value_spa": row.value_spa,
+            "value_ipa": row.value_ipa,
+            "overhead_spa_percent": row.overhead_spa_percent,
+            "overhead_ipa_percent": row.overhead_ipa_percent,
+        }
+    args.ledger_outcome = {
+        "tables": {"table1": rendered},
+        "workloads": workloads,
+        "instructions": sum(result.instructions
+                            for results in table.raw.values()
+                            for result in results.values()),
+        "metrics": _capture_metrics_summary(table.captures),
+        "artifacts": _artifacts_from(args),
+    }
     return 0
 
 
@@ -130,17 +189,34 @@ def _cmd_table2(args) -> int:
                          runs=args.runs, jobs=args.jobs,
                          observability=_observability_from(args),
                          boundary_check=args.boundary_check)
-    print(render_table2(table))
+    rendered = render_table2(table)
+    print(rendered)
     _write_table_observability(args, table.captures)
+    args.ledger_outcome = {
+        "tables": {"table2": rendered},
+        "workloads": {row.benchmark: {
+            "percent_native": row.percent_native,
+            "jni_calls": row.jni_calls,
+            "native_method_calls": row.native_method_calls,
+            "ground_truth_percent_native":
+                row.ground_truth_percent_native,
+        } for row in table.rows},
+        "instructions": sum(result.instructions
+                            for results in table.raw.values()
+                            for result in results.values()),
+        "metrics": _capture_metrics_summary(table.captures),
+        "artifacts": _artifacts_from(args),
+    }
     if table.boundary is not None:
         # stderr, so the table on stdout stays byte-identical
         failed = False
         for name, check in table.boundary.items():
-            print(f"{name}: {check.summary()}", file=sys.stderr)
+            log.info("boundary check", workload=name,
+                     detail=check.summary())
             failed = failed or not check.ok
         if failed:
-            print("boundary check FAILED: dynamically invoked natives "
-                  "missing from the static analysis", file=sys.stderr)
+            log.error("boundary check FAILED: dynamically invoked "
+                      "natives missing from the static analysis")
             return 1
     return 0
 
@@ -156,6 +232,16 @@ def _cmd_bench(args) -> int:
 
     doc = run_bench(scale=args.scale, tier=args.tier)
     print(format_bench(doc))
+    args.ledger_outcome = {
+        "bench": doc,
+        "instructions": doc["instructions"],
+        "instructions_per_second": doc["instructions_per_second"],
+        "workloads": {
+            name: {"instructions_per_second":
+                   row["instructions_per_second"]}
+            for name, row in doc["per_workload"].items()},
+        "artifacts": _artifacts_from(args, bench=args.output),
+    }
     if args.output:
         write_bench(doc, args.output)
         print(f"wrote {args.output}")
@@ -163,8 +249,8 @@ def _cmd_bench(args) -> int:
         try:
             baseline = read_bench(args.compare)
         except OSError as exc:
-            print(f"repro bench: cannot read baseline "
-                  f"{args.compare}: {exc}", file=sys.stderr)
+            log.error("cannot read bench baseline",
+                      path=args.compare, error=str(exc))
             return 2
         ok, lines = compare_bench(doc, baseline,
                                   args.max_regression)
@@ -212,8 +298,8 @@ def _agent_spec(name: str) -> AgentSpec:
 
 def _cmd_profile(args) -> int:
     if args.flamegraph and args.agent.label != "callchain":
-        print("repro profile: --flamegraph requires --agent callchain "
-              "(the calling-context-tree profiler)", file=sys.stderr)
+        log.error("repro profile: --flamegraph requires --agent "
+                  "callchain (the calling-context-tree profiler)")
         return 2
     workload = get_workload(args.workload, scale=args.scale)
     result = execute(workload,
@@ -242,6 +328,20 @@ def _cmd_profile(args) -> int:
                              result.agent_object.roots)
         print(f"flamegraph:    {lines} folded stacks -> "
               f"{args.flamegraph}")
+    workload_cells = {"cycles": result.cycles,
+                      "instructions": result.instructions}
+    if result.agent_report and "percent_native" in result.agent_report:
+        workload_cells["percent_native"] = \
+            result.agent_report["percent_native"]
+    args.ledger_outcome = {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "seconds": result.seconds,
+        "agent_report": result.agent_report,
+        "workloads": {result.workload: workload_cells},
+        "artifacts": _artifacts_from(args,
+                                     flamegraph=args.flamegraph),
+    }
     return 0
 
 
@@ -268,6 +368,17 @@ def _cmd_trace(args) -> int:
         count = write_metrics_jsonl(args.metrics_out,
                                     capture["metrics"])
         print(f"metrics:       {count} records -> {args.metrics_out}")
+    args.ledger_outcome = {
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "trace_events": len(doc["traceEvents"]),
+        "metrics": _capture_metrics_summary([capture]),
+        "workloads": {result.workload: {
+            "cycles": result.cycles,
+            "instructions": result.instructions}},
+        "artifacts": _artifacts_from(
+            args, trace=args.trace_out, metrics=args.metrics_out),
+    }
     return 0
 
 
@@ -289,15 +400,15 @@ def _cmd_analyze(args) -> int:
         try:
             archives.append(ClassArchive.load(path))
         except OSError as exc:
-            print(f"repro analyze: cannot read archive {path}: {exc}",
-                  file=sys.stderr)
+            log.error("cannot read archive", path=path,
+                      error=str(exc))
             return 2
     names = list(workload_names()) if args.suite else list(args.workload)
     for name in names:
         archives.append(get_workload(name).archive)
     if not archives:
-        print("repro analyze: nothing to analyze (--no-runtime with "
-              "no --archive/--workload/--suite)", file=sys.stderr)
+        log.error("nothing to analyze (--no-runtime with no "
+                  "--archive/--workload/--suite)")
         return 2
 
     instrumentation = InstrumentationConfig()
@@ -324,22 +435,20 @@ def _cmd_analyze(args) -> int:
     if args.call_graph:
         with open(args.call_graph, "w", encoding="utf-8") as fh:
             json.dump(result.graph.to_json(), fh, indent=1)
-        print(f"call graph: {len(result.graph.methods)} methods, "
-              f"{len(result.graph.call_sites)} sites -> "
-              f"{args.call_graph}", file=sys.stderr)
+        log.info("call graph written",
+                 methods=len(result.graph.methods),
+                 sites=len(result.graph.call_sites),
+                 path=args.call_graph)
 
     if args.metrics_out:
-        from repro.observability.metrics import (
-            MetricsRegistry,
-            write_metrics_jsonl,
-        )
+        from repro.observability.metrics import MetricsRegistry
         registry = MetricsRegistry()
         record_analysis_metrics(registry, result)
         count = write_metrics_jsonl(
             args.metrics_out,
             registry.as_records(labels={"source": "analyze"}))
-        print(f"metrics: {count} records -> {args.metrics_out}",
-              file=sys.stderr)
+        log.info("metrics written", records=count,
+                 path=args.metrics_out)
 
     if args.format == "json":
         print(json.dumps(result.to_json(), indent=1))
@@ -351,6 +460,14 @@ def _cmd_analyze(args) -> int:
               f"CHA-reachable), {len(boundary.j2n_sites)} static J2N "
               f"call sites, {len(boundary.n2j_candidates)} N2J "
               f"callback candidates")
+    args.ledger_outcome = {
+        "analysis_ok": result.report.ok,
+        "findings": result.report.counts(),
+        "classes_analyzed": result.report.classes_analyzed,
+        "declared_natives": len(result.boundary.declared_natives),
+        "artifacts": _artifacts_from(args,
+                                     call_graph=args.call_graph),
+    }
     return 0 if result.report.ok else 1
 
 
@@ -366,10 +483,161 @@ def _cmd_metrics(args) -> int:
     for path in args.files:
         records.extend(read_metrics_jsonl(path))
     if not records:
-        print("no metrics records found", file=sys.stderr)
+        log.error("no metrics records found")
         return 1
     print(format_metrics_summary(summarize_metrics(records)))
     return 0
+
+
+# -- run ledger: `repro runs` and `repro report` ------------------------------
+
+
+def _ledger_from(args) -> ledger_module.Ledger:
+    return ledger_module.Ledger(ledger_module.resolve_ledger_dir(
+        getattr(args, "ledger_dir", None)))
+
+
+def _config_for_manifest(args) -> dict:
+    """The resolved configuration a manifest records."""
+    config = {}
+    for key in ("workload", "scale", "runs", "jobs", "tier", "verify",
+                "boundary_check", "suite", "check_instrumentation",
+                "max_regression", "compare"):
+        if hasattr(args, key):
+            config[key] = getattr(args, key)
+    agent = getattr(args, "agent", None)
+    if isinstance(agent, AgentSpec):
+        config["agent"] = agent.label
+    elif args.command == "table2":
+        config["agent"] = "ipa"
+    return config
+
+
+def _record_run(args, argv, status: int, wall_seconds: float) -> None:
+    """Append this invocation's manifest to the run ledger.
+
+    Best-effort host-side bookkeeping: an unwritable ledger degrades
+    to a warning and the command's own exit status stands.
+    """
+    manifest = ledger_module.new_manifest(
+        args.command, _config_for_manifest(args), argv)
+    outcome = dict(getattr(args, "ledger_outcome", None) or {})
+    outcome["exit_status"] = status
+    outcome["wall_seconds"] = round(wall_seconds, 4)
+    instructions = outcome.get("instructions")
+    if instructions and "instructions_per_second" not in outcome \
+            and wall_seconds > 0:
+        outcome["instructions_per_second"] = round(
+            instructions / wall_seconds)
+    outcome = {key: value for key, value in outcome.items()
+               if value is not None}
+    manifest["outcome"] = outcome
+    ledger = _ledger_from(args)
+    path = ledger.write(manifest)
+    if path is None:
+        log.warning("run ledger unwritable; manifest dropped",
+                    dir=ledger.directory, run=manifest["run_id"])
+    else:
+        log.info("run recorded", run=manifest["run_id"], path=path)
+
+
+def _cmd_runs_list(args) -> int:
+    manifests = ledger_module.filter_manifests(
+        _ledger_from(args).load_all(), command=args.command_filter,
+        workload=args.workload, agent=args.agent, tier=args.tier)
+    if args.limit:
+        manifests = manifests[-args.limit:]
+    print(ledger_module.format_runs_table(manifests))
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    print(ledger_module.format_manifest(
+        _ledger_from(args).load(args.run_id)))
+    return 0
+
+
+def _cmd_runs_diff(args) -> int:
+    ledger = _ledger_from(args)
+    lines = ledger_module.diff_manifests(ledger.load(args.run_a),
+                                         ledger.load(args.run_b))
+    print("\n".join(lines))
+    return 0
+
+
+def _cmd_runs_trend(args) -> int:
+    manifests = ledger_module.filter_manifests(
+        _ledger_from(args).load_all(), workload=args.workload)
+    ok, lines = ledger_module.trend_report(
+        manifests, max_regression_percent=args.max_regression)
+    print("\n".join(lines))
+    return 0 if ok else 1
+
+
+def _cmd_runs(args) -> int:
+    try:
+        return args.runs_func(args)
+    except LedgerError as exc:
+        log.error("ledger lookup failed", error=str(exc))
+        return 2
+
+
+def _cmd_report(args) -> int:
+    from repro.observability.report import render_report, write_report
+
+    ledger = _ledger_from(args)
+    try:
+        manifest = ledger.load(args.run_id) if args.run_id \
+            else ledger.latest()
+        history = ledger.load_all()
+    except LedgerError as exc:
+        log.error("cannot build report", error=str(exc))
+        return 2
+    flamegraph_text = None
+    folded = (manifest.get("outcome", {}).get("artifacts") or
+              {}).get("flamegraph")
+    if folded:
+        try:
+            with open(folded, "r", encoding="utf-8") as fh:
+                flamegraph_text = fh.read()
+        except OSError:
+            log.warning("flamegraph artifact unreadable",
+                        path=folded)
+    out = args.output or f"repro-report-{manifest['run_id']}.html"
+    write_report(out, render_report(manifest, history=history,
+                                    flamegraph_text=flamegraph_text))
+    print(f"report: {manifest['run_id']} -> {out}")
+    return 0
+
+
+def _add_global_arguments(parser, root: bool = False) -> None:
+    """Logging + ledger switches, accepted before *or* after the
+    subcommand.
+
+    The root parser carries the real defaults; subparser copies
+    default to ``SUPPRESS`` so a value parsed before the subcommand
+    (``repro --log-level debug table1``) is not clobbered by the
+    subparser's defaults.
+    """
+    suppressed = argparse.SUPPRESS
+
+    parser.add_argument(
+        "--log-level", choices=obs_logging.LEVEL_NAMES,
+        default="info" if root else suppressed,
+        help="stderr log verbosity (default: info)")
+    parser.add_argument(
+        "--log-json", action="store_true",
+        default=False if root else suppressed,
+        help="emit log lines as JSON objects instead of key=value")
+    parser.add_argument(
+        "--ledger-dir", metavar="DIR",
+        default=None if root else suppressed,
+        help=("run-ledger directory (default: $REPRO_LEDGER_DIR or "
+              f"{ledger_module.DEFAULT_LEDGER_DIR})"))
+    parser.add_argument(
+        "--no-ledger", action="store_true",
+        default=False if root else suppressed,
+        help="do not record this invocation in the run ledger")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -378,10 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
         description=("Reproduction of 'A Quantitative Evaluation of "
                      "the Contribution of Native Code to Java "
                      "Workloads' (IISWC 2006)"))
+    _add_global_arguments(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads").set_defaults(
-        func=_cmd_list)
+    pl = sub.add_parser("list", help="list workloads")
+    _add_global_arguments(pl)
+    pl.set_defaults(func=_cmd_list)
 
     for name, help_text, func in (
             ("table1", "regenerate Table I", _cmd_table1),
@@ -400,6 +670,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write per-cell metrics records as JSONL")
         _add_tier_argument(pt)
         _add_verify_argument(pt)
+        _add_global_arguments(pt)
         if name == "table2":
             pt.add_argument(
                 "--boundary-check", action="store_true",
@@ -420,6 +691,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "(requires --agent callchain)"))
     _add_tier_argument(pp)
     _add_verify_argument(pp)
+    _add_global_arguments(pp)
     pp.set_defaults(func=_cmd_profile)
 
     ptr = sub.add_parser(
@@ -438,11 +710,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also export metrics records as JSONL")
     _add_tier_argument(ptr)
     _add_verify_argument(ptr)
+    _add_global_arguments(ptr)
     ptr.set_defaults(func=_cmd_trace)
 
     pm = sub.add_parser(
         "metrics", help="summarize exported metrics JSONL files")
     pm.add_argument("files", nargs="+", metavar="FILE.jsonl")
+    _add_global_arguments(pm)
     pm.set_defaults(func=_cmd_metrics)
 
     pa = sub.add_parser(
@@ -468,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write analysis counters as metrics JSONL")
     pa.add_argument("--format", choices=("text", "json"),
                     default="text", help="report format")
+    _add_global_arguments(pa)
     pa.set_defaults(func=_cmd_analyze)
 
     pb = sub.add_parser(
@@ -483,17 +758,87 @@ def build_parser() -> argparse.ArgumentParser:
                     help=("allowed suite-rate regression in percent "
                           "for --compare (default: 5.0)"))
     _add_tier_argument(pb)
+    _add_global_arguments(pb)
     pb.set_defaults(func=_cmd_bench)
+
+    pr = sub.add_parser(
+        "runs", help="query the run ledger (list, show, diff, trend)")
+    runs_sub = pr.add_subparsers(dest="runs_command", required=True)
+    prl = runs_sub.add_parser("list", help="list recorded runs")
+    prl.add_argument("--command", dest="command_filter", default=None,
+                     metavar="NAME",
+                     help="only runs of one subcommand")
+    prl.add_argument("--workload", default=None, metavar="NAME",
+                     help="only runs that measured this workload")
+    prl.add_argument("--agent", default=None, metavar="NAME",
+                     help="only runs under this agent")
+    prl.add_argument("--tier", default=None,
+                     choices=("template", "interp"),
+                     help="only runs on this execution tier")
+    prl.add_argument("--limit", type=_positive_int, default=None,
+                     help="show only the most recent N runs")
+    _add_global_arguments(prl)
+    prl.set_defaults(runs_func=_cmd_runs_list)
+    prs = runs_sub.add_parser("show", help="show one run manifest")
+    prs.add_argument("run_id", metavar="RUN_ID",
+                     help="run id (a unique prefix is enough)")
+    _add_global_arguments(prs)
+    prs.set_defaults(runs_func=_cmd_runs_show)
+    prd = runs_sub.add_parser(
+        "diff", help="config + per-cell deltas between two runs")
+    prd.add_argument("run_a", metavar="RUN_A")
+    prd.add_argument("run_b", metavar="RUN_B")
+    _add_global_arguments(prd)
+    prd.set_defaults(runs_func=_cmd_runs_diff)
+    prt = runs_sub.add_parser(
+        "trend",
+        help=("per-workload series across the ledger with a "
+              "regression verdict (non-zero exit on regression)"))
+    prt.add_argument("--workload", default=None, metavar="NAME",
+                     help="restrict to one workload")
+    prt.add_argument("--max-regression", type=float, default=5.0,
+                     metavar="PCT",
+                     help=("allowed latest-vs-previous regression in "
+                           "percent (default: 5.0)"))
+    _add_global_arguments(prt)
+    prt.set_defaults(runs_func=_cmd_runs_trend)
+    _add_global_arguments(pr)
+    pr.set_defaults(func=_cmd_runs)
+
+    pre = sub.add_parser(
+        "report",
+        help="render a self-contained HTML report for a ledger run")
+    pre.add_argument("run_id", nargs="?", default=None,
+                     metavar="RUN_ID",
+                     help=("run id or unique prefix (default: the "
+                           "latest run)"))
+    pre.add_argument("--latest", action="store_true",
+                     help="report on the latest run (the default)")
+    pre.add_argument("--output", "-o", metavar="OUT.html",
+                     default=None,
+                     help="output path (default: "
+                          "repro-report-<run_id>.html)")
+    _add_global_arguments(pre)
+    pre.set_defaults(func=_cmd_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obs_logging.configure(
+        level=getattr(args, "log_level", "info"),
+        json_mode=getattr(args, "log_json", False))
+    started = time.perf_counter()
     try:
-        return args.func(args)
+        status = args.func(args)
     except BrokenPipeError:
         # stdout consumer (e.g. `| head`) went away; exit quietly
         return 0
+    if args.command in LEDGER_COMMANDS and \
+            not getattr(args, "no_ledger", False):
+        _record_run(args, argv if argv is not None else sys.argv[1:],
+                    status, time.perf_counter() - started)
+    return status
 
 
 if __name__ == "__main__":

@@ -139,3 +139,7 @@ class WorkloadError(ReproError):
 
 class HarnessError(ReproError):
     """The benchmark harness was misconfigured."""
+
+
+class LedgerError(ReproError):
+    """A run-ledger lookup failed (unknown or ambiguous run id)."""

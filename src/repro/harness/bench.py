@@ -33,6 +33,7 @@ from repro.harness.runner import execute
 from repro.jit.policy import JitPolicy
 from repro.jvm.machine import VMConfig
 from repro.launcher import runtime_archive
+from repro.observability.runinfo import git_info, utc_timestamp
 
 #: Default output file, relative to the invoking directory.
 DEFAULT_BENCH_PATH = "BENCH_interpreter.json"
@@ -81,16 +82,20 @@ def run_bench(scale: int = 1, workloads: Optional[List] = None,
             row["rate_source"] = "suite"
         per_workload[name] = row
 
-    return {
+    doc = {
         "benchmark": "jvm98/none-agent",
         "scale": scale,
         "tier": tier,
         "python": platform.python_version(),
+        "hostname": platform.node(),
+        "timestamp_utc": utc_timestamp(),
         "host_seconds": round(total_host, 4),
         "instructions": total_instructions,
         "instructions_per_second": suite_rate,
         "per_workload": per_workload,
     }
+    doc.update(git_info())
+    return doc
 
 
 def write_bench(doc: Dict, path: str = DEFAULT_BENCH_PATH) -> None:
@@ -167,6 +172,19 @@ def compare_bench(current: Dict, baseline: Dict,
         if b > 0:
             lines.append(f"  {name:<12} {b:>12,} -> {c:>12,} "
                          f"({(c - b) / b * 100.0:+.1f}%)")
+    # Provenance sanity: cross-host or dirty-tree comparisons are
+    # allowed but flagged — the numbers may not be commensurable.
+    base_host = baseline.get("hostname")
+    cur_host = current.get("hostname")
+    if base_host and cur_host and base_host != cur_host:
+        lines.append(f"WARNING: measurements from different hosts "
+                     f"({base_host} vs {cur_host}); rates may not "
+                     f"be comparable")
+    for label, doc in (("baseline", baseline), ("current", current)):
+        if doc.get("git_dirty"):
+            sha = doc.get("git_sha") or "?"
+            lines.append(f"WARNING: {label} was measured on a dirty "
+                         f"working tree (git {sha[:12]})")
     ok = change >= -max_regression_percent
     if ok:
         lines.append(f"OK: within the {max_regression_percent:.1f}% "

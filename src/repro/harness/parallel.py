@@ -30,7 +30,10 @@ from repro.errors import HarnessError
 from repro.harness.config import AgentSpec, RunConfig
 from repro.harness.runner import RunResult, execute
 from repro.jvm.machine import VMConfig
+from repro.observability import logging as obs_logging
 from repro.observability.sink import ObservabilityConfig
+
+log = obs_logging.get_logger("harness.parallel")
 
 #: Agent names a cell may reference (the CLI's agent vocabulary).
 _AGENT_BUILDERS = {
@@ -58,6 +61,13 @@ class CellSpec:
     #: per-process files (one per cell) instead of piping captures
     #: through IPC; the parent merges them in fixed cell order.
     observability_path: Optional[str] = None
+    #: Position in the submitted cell list (stamped by
+    #: :func:`run_cells`); workers use it as their log prefix so
+    #: interleaved stderr stays attributable.
+    index: Optional[int] = None
+    #: Parent logging configuration, re-applied on the worker side
+    #: (fork inherits it; spawn needs the explicit copy).
+    log_config: Optional[tuple] = None
 
 
 def describable(workload) -> bool:
@@ -74,6 +84,12 @@ def run_cell(cell: CellSpec) -> RunResult:
     """Rebuild a cell's workload and config, then execute it."""
     from repro.workloads import get_workload
 
+    if cell.log_config is not None and cell.index is not None:
+        level, json_mode = cell.log_config
+        obs_logging.configure(level=level, json_mode=json_mode,
+                              worker=f"w{cell.index:02d}")
+    log.debug("cell start", workload=cell.workload_name,
+              agent=cell.agent_name, runs=cell.runs)
     builder = _AGENT_BUILDERS.get(cell.agent_name)
     if builder is None:
         raise HarnessError(
@@ -93,6 +109,8 @@ def run_cell(cell: CellSpec) -> RunResult:
     # live agents close over the VM (unpicklable closures) — results
     # crossing a process boundary must not drag the simulation along
     result.agent_object = None
+    log.debug("cell done", workload=cell.workload_name,
+              agent=cell.agent_name, cycles=result.cycles)
     return result
 
 
@@ -112,6 +130,13 @@ def run_cells(cells: List[CellSpec], jobs: int = 1) -> List[RunResult]:
     from repro.launcher import runtime_archive
 
     runtime_archive()
+    # stamp cell indices + the parent's logging config so worker log
+    # lines carry a stable `worker=wNN` prefix (parent state is left
+    # untouched: serial runs above never reach this)
+    log_config = obs_logging.snapshot()
+    for index, cell in enumerate(cells):
+        cell.index = index
+        cell.log_config = log_config
     methods = multiprocessing.get_all_start_methods()
     ctx = multiprocessing.get_context(
         "fork" if "fork" in methods else None)

@@ -23,7 +23,20 @@ Components:
 * :mod:`~repro.observability.sink` — the :class:`ObservabilitySink`
   bundle the VM carries (a no-op null sink by default) and the
   picklable :class:`ObservabilityConfig` the harness ships to worker
-  processes.
+  processes;
+* :mod:`~repro.observability.runinfo` — run provenance (git SHA +
+  dirty flag, hostname, platform, UTC timestamps, run ids);
+* :mod:`~repro.observability.ledger` — the append-only run-manifest
+  ledger behind ``repro runs list/show/diff/trend``;
+* :mod:`~repro.observability.report` — self-contained static HTML
+  reports (tables, overhead bars, metrics, flamegraph, trends);
+* :mod:`~repro.observability.logging` — the structured (key=value /
+  JSON) leveled logging layer the CLI and harness workers share.
+
+The ledger, reports, and logging obey the same hard rule as the
+tracer and metrics: host-side bookkeeping only — simulated cycle
+accounting and the rendered tables are bit-identical with all of it
+on or off.
 """
 
 from repro.observability.chrome_trace import (
@@ -31,12 +44,14 @@ from repro.observability.chrome_trace import (
     write_chrome_trace,
 )
 from repro.observability.flamegraph import folded_lines, write_folded
+from repro.observability.ledger import Ledger, new_manifest
 from repro.observability.metrics import (
     MetricsRegistry,
     read_metrics_jsonl,
     summarize_metrics,
     write_metrics_jsonl,
 )
+from repro.observability.runinfo import collect_provenance, git_info
 from repro.observability.sink import (
     NULL_SINK,
     ObservabilityConfig,
@@ -47,6 +62,10 @@ from repro.observability.tracer import NULL_TRACER, Tracer
 __all__ = [
     "Tracer",
     "NULL_TRACER",
+    "Ledger",
+    "new_manifest",
+    "collect_provenance",
+    "git_info",
     "MetricsRegistry",
     "ObservabilityConfig",
     "ObservabilitySink",

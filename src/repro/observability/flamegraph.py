@@ -18,6 +18,17 @@ from __future__ import annotations
 from typing import Dict, List
 
 
+#: The folded format's structural characters.  ``;`` separates frames
+#: and a newline separates stacks, so neither may appear inside a
+#: frame or thread name — a hostile class name like ``a;b`` would
+#: otherwise split into two frames and corrupt every descendant stack.
+_FRAME_SANITIZE = str.maketrans({";": ":", "\n": "_", "\r": "_"})
+
+
+def _sanitize(name: str) -> str:
+    return name.translate(_FRAME_SANITIZE)
+
+
 def _self_cycles(node) -> int:
     inherited = sum(child.inclusive_cycles
                     for child in node.children.values())
@@ -38,9 +49,9 @@ def folded_lines(roots: Dict[str, object]) -> List[str]:
             weight = _self_cycles(node)
             if weight <= 0 or len(chain) < 2:
                 continue  # skip the synthetic <thread> sentinel root
-            frames = [thread_name]
+            frames = [_sanitize(thread_name)]
             frames.extend(
-                frame + "_[k]" if is_native else frame
+                _sanitize(frame) + ("_[k]" if is_native else "")
                 for frame, is_native in _tag_chain(root, chain))
             lines.append(";".join(frames) + f" {weight}")
     lines.sort()

@@ -206,12 +206,34 @@ def write_metrics_jsonl(path: str, records: Iterable[dict]) -> int:
 
 
 def read_metrics_jsonl(path: str) -> List[dict]:
-    records = []
+    """Read records back, tolerating the damage a crashed or
+    interrupted writer leaves behind.
+
+    Empty files and blank lines yield no records; a truncated *final*
+    line (the common state after an interrupted ``--jobs N`` worker)
+    is dropped silently; an undecodable line mid-file is skipped with
+    a warning — the readable remainder is still returned.
+    """
+    from repro.observability import logging as obs_logging
+
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = [line.strip() for line in fh]
+    while lines and not lines[-1]:
+        lines.pop()
+    records = []
+    for number, line in enumerate(lines, start=1):
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if number < len(lines):
+                obs_logging.get_logger("metrics").warning(
+                    "skipping undecodable metrics line", path=path,
+                    line=number)
+            continue  # final line: truncated mid-write; drop quietly
+        if isinstance(record, dict):
+            records.append(record)
     return records
 
 
@@ -224,6 +246,8 @@ def summarize_metrics(records: Iterable[dict]) -> List[dict]:
     """
     summary: Dict[tuple, dict] = {}
     for record in records:
+        if "name" not in record or "type" not in record:
+            continue  # damaged record (partial write); skip
         key = (record["name"], record["type"])
         row = summary.get(key)
         if row is None:
@@ -231,16 +255,18 @@ def summarize_metrics(records: Iterable[dict]) -> List[dict]:
                                   "type": record["type"], "cells": 0}
         row["cells"] += 1
         if record["type"] == "counter":
-            row["total"] = row.get("total", 0) + record["value"]
+            row["total"] = row.get("total", 0) + \
+                record.get("value", 0)
         elif record["type"] == "gauge":
-            value = record["value"]
+            value = record.get("value", 0)
             row["min"] = value if "min" not in row else \
                 min(row["min"], value)
             row["max"] = value if "max" not in row else \
                 max(row["max"], value)
         else:  # histogram
-            row["count"] = row.get("count", 0) + record["count"]
-            row["sum"] = row.get("sum", 0) + record["sum"]
+            row["count"] = row.get("count", 0) + \
+                record.get("count", 0)
+            row["sum"] = row.get("sum", 0) + record.get("sum", 0)
             for edge in ("min", "max"):
                 value = record.get(edge)
                 if value is None:
@@ -248,7 +274,60 @@ def summarize_metrics(records: Iterable[dict]) -> List[dict]:
                 fold = min if edge == "min" else max
                 row[edge] = value if row.get(edge) is None \
                     else fold(row[edge], value)
+            bounds = record.get("bounds")
+            counts = record.get("bucket_counts")
+            if bounds and counts and len(counts) == len(bounds) + 1:
+                bounds = tuple(bounds)
+                if row.get("bounds") in (None, bounds):
+                    row["bounds"] = bounds
+                    merged = row.get("bucket_counts")
+                    row["bucket_counts"] = counts if merged is None \
+                        else [a + b for a, b in zip(merged, counts)]
+    for row in summary.values():
+        if row["type"] == "histogram" and row.get("bucket_counts"):
+            for percentile in (50, 95, 99):
+                row[f"p{percentile}"] = estimate_percentile(
+                    row["bounds"], row["bucket_counts"], percentile,
+                    lo=row.get("min"), hi=row.get("max"))
+        row.pop("bounds", None)
+        row.pop("bucket_counts", None)
     return [summary[key] for key in sorted(summary)]
+
+
+def estimate_percentile(bounds, bucket_counts, percentile: float,
+                        lo: Optional[float] = None,
+                        hi: Optional[float] = None
+                        ) -> Optional[float]:
+    """Approximate a percentile from fixed histogram buckets.
+
+    Walks the cumulative bucket counts to the target rank and
+    interpolates linearly inside the containing bucket — the standard
+    estimate for pre-bucketed data (exact values are gone).  ``lo`` /
+    ``hi`` (the recorded min/max) clamp the first bucket's implicit
+    lower edge and the overflow bucket's upper edge.
+    """
+    total = sum(bucket_counts)
+    if total <= 0:
+        return None
+    target = percentile / 100.0 * total
+    cumulative = 0
+    for i, count in enumerate(bucket_counts):
+        if count == 0:
+            continue
+        lower = bounds[i - 1] if i > 0 else 0
+        upper = bounds[i] if i < len(bounds) else lower * 2
+        # No observation lies outside [lo, hi], whichever bucket it
+        # landed in — clamp the bucket edges to the recorded range.
+        if lo is not None:
+            lower = max(lower, lo)
+        if hi is not None:
+            upper = min(upper, hi)
+        upper = max(upper, lower)
+        if cumulative + count >= target:
+            fraction = (target - cumulative) / count
+            return lower + (upper - lower) * fraction
+        cumulative += count
+    return hi if hi is not None else float(bounds[-1])
 
 
 def format_metrics_summary(rows: List[dict]) -> str:
@@ -264,6 +343,11 @@ def format_metrics_summary(rows: List[dict]) -> str:
             mean = row["sum"] / row["count"] if row["count"] else 0.0
             value = (f"count={row['count']:,} sum={row['sum']:,} "
                      f"mean={mean:,.1f}")
+            quantiles = " ".join(
+                f"p{p}~{row[f'p{p}']:,.0f}" for p in (50, 95, 99)
+                if row.get(f"p{p}") is not None)
+            if quantiles:
+                value += " " + quantiles
         lines.append(f"{row['name']:32s} {row['type']:9s} "
                      f"{row['cells']:>5d}  {value}")
     return "\n".join(lines)

@@ -1,0 +1,464 @@
+"""Self-contained HTML observability reports from run manifests.
+
+``repro report`` turns one ledger manifest (plus the surrounding
+ledger history) into a single static HTML page — no JavaScript
+libraries, no external assets, stdlib only — embedding:
+
+* the run's provenance and resolved configuration;
+* Table I/II both as HTML tables (from the structured per-workload
+  numbers) and as the byte-exact rendered text;
+* overhead bar charts (SPA and IPA panels side by side — their
+  magnitudes differ by orders of magnitude, so each panel gets its
+  own scale rather than one unreadable shared axis);
+* headline metric counter tiles plus the full metrics summary;
+* the folded-stack flamegraph re-rendered as an inline icicle SVG
+  (Java frames blue, native frames orange — the paper's boundary,
+  visible at a glance; hover any frame for its cycle share);
+* a cross-run trend section (per-workload sparklines over the
+  ledger's history).
+
+Charts follow one fixed two-slot palette (blue = IPA/Java, orange =
+SPA/native), validated for contrast and color-vision-deficiency
+separation on both the light and dark surfaces; the page honors
+``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from repro.observability.ledger import trend_series
+
+#: Two-slot categorical palette (light, dark) — validated for CVD
+#: separation and >= 3:1 surface contrast in both modes.
+_BLUE = ("#2a78d6", "#3987e5")
+_ORANGE = ("#eb6834", "#d95926")
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px 32px 48px;
+  background: #f9f9f7; color: #0b0b0b;
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  --surface: #fcfcfb; --ink: #0b0b0b; --ink-2: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+  --blue: #2a78d6; --orange: #eb6834;
+}
+@media (prefers-color-scheme: dark) {
+  body {
+    background: #0d0d0d; color: #ffffff;
+    --surface: #1a1a19; --ink: #ffffff; --ink-2: #c3c2b7;
+    --muted: #898781; --grid: #2c2c2a;
+    --border: rgba(255,255,255,0.10);
+    --blue: #3987e5; --orange: #d95926;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 10px; color: var(--ink); }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+section {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 20px; margin: 0 0 16px;
+}
+table { border-collapse: collapse; font-variant-numeric: tabular-nums; }
+th, td { padding: 3px 12px 3px 0; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+th { color: var(--muted); font-weight: 500;
+     border-bottom: 1px solid var(--grid); }
+pre { overflow-x: auto; color: var(--ink-2); font-size: 12px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 10px 14px; min-width: 130px;
+}
+.tile .v { font-size: 20px; }
+.tile .k { color: var(--muted); font-size: 12px; }
+.panes { display: flex; flex-wrap: wrap; gap: 24px; }
+.legend { color: var(--ink-2); font-size: 12px; margin: 4px 0 8px; }
+.swatch { display: inline-block; width: 10px; height: 10px;
+          border-radius: 2px; margin: 0 4px 0 10px; }
+svg text { fill: var(--ink-2); font: 11px system-ui, sans-serif; }
+svg .muted { fill: var(--muted); }
+svg .frame-label { fill: #ffffff; }
+details summary { color: var(--muted); cursor: pointer; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+# -- header, config, tables ---------------------------------------------------
+
+
+def _header_section(manifest: Dict) -> str:
+    provenance = manifest.get("provenance", {})
+    sha = provenance.get("git_sha") or "unknown"
+    dirty = " (dirty)" if provenance.get("git_dirty") else ""
+    tiles = []
+    outcome = manifest.get("outcome", {})
+    for key, label in (("wall_seconds", "wall seconds"),
+                       ("instructions", "instructions"),
+                       ("instructions_per_second", "instr / host s")):
+        value = outcome.get(key)
+        if value is not None:
+            tiles.append(f'<div class="tile"><div class="v">'
+                         f'{_fmt(value)}</div>'
+                         f'<div class="k">{_esc(label)}</div></div>')
+    return (
+        f"<h1>repro run {_esc(manifest.get('run_id', '?'))}</h1>"
+        f'<p class="sub">{_esc(manifest.get("command", "?"))} · '
+        f"{_esc(provenance.get('timestamp_utc', '?'))} · "
+        f"{_esc(provenance.get('hostname', '?'))} · "
+        f"git {_esc(sha[:12])}{_esc(dirty)} · "
+        f"python {_esc(provenance.get('python', '?'))}</p>"
+        + (f'<div class="tiles">{"".join(tiles)}</div>' if tiles
+           else ""))
+
+
+def _config_section(manifest: Dict) -> str:
+    config = manifest.get("config", {})
+    if not config:
+        return ""
+    cells = "".join(
+        f"<tr><td>{_esc(key)}</td><td>{_esc(config[key])}</td></tr>"
+        for key in sorted(config))
+    return (f"<section><h2>Configuration</h2><table>"
+            f"<tr><th>option</th><th>value</th></tr>{cells}"
+            f"</table></section>")
+
+
+def _tables_section(manifest: Dict) -> str:
+    outcome = manifest.get("outcome", {})
+    parts = []
+    workloads = outcome.get("workloads") or {}
+    fields = sorted({field for cells in workloads.values()
+                     for field in cells})
+    if workloads and fields:
+        head = "".join(f"<th>{_esc(f.replace('_', ' '))}</th>"
+                       for f in fields)
+        body = []
+        for name in sorted(workloads):
+            cells = workloads[name]
+            row = "".join(
+                f"<td>{_fmt(cells[f]) if f in cells else '–'}</td>"
+                for f in fields)
+            body.append(f"<tr><td>{_esc(name)}</td>{row}</tr>")
+        parts.append(f"<table><tr><th>benchmark</th>{head}</tr>"
+                     f"{''.join(body)}</table>")
+    for name in sorted(outcome.get("tables") or {}):
+        parts.append(
+            f"<details><summary>rendered {_esc(name)} "
+            f"(byte-exact)</summary><pre>"
+            f"{_esc(outcome['tables'][name])}</pre></details>")
+    if not parts:
+        return ""
+    return f"<section><h2>Results</h2>{''.join(parts)}</section>"
+
+
+# -- overhead bar charts ------------------------------------------------------
+
+
+def _bar_panel(title: str, color_var: str,
+               rows: List[Tuple[str, float]], unit: str = "%") -> str:
+    """One single-series horizontal bar chart with direct labels."""
+    if not rows:
+        return ""
+    width, bar_h, gap, label_w = 520, 18, 6, 96
+    top = 22
+    peak = max((abs(v) for _, v in rows)) or 1.0
+    span = width - label_w - 110
+    height = top + len(rows) * (bar_h + gap)
+    parts = [f'<svg width="{width}" height="{height}" '
+             f'role="img" aria-label="{_esc(title)}">',
+             f'<text x="0" y="14">{_esc(title)}</text>']
+    for i, (name, value) in enumerate(rows):
+        y = top + i * (bar_h + gap)
+        w = max(1.0, abs(value) / peak * span)
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + 13}" '
+            f'text-anchor="end">{_esc(name)}</text>'
+            f'<rect x="{label_w}" y="{y}" width="{w:.1f}" '
+            f'height="{bar_h}" rx="3" fill="var({color_var})">'
+            f'<title>{_esc(name)}: {value:,.2f}{unit}</title></rect>'
+            f'<text x="{label_w + w + 6:.1f}" y="{y + 13}">'
+            f'{value:,.2f}{unit}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _overhead_section(manifest: Dict) -> str:
+    workloads = manifest.get("outcome", {}).get("workloads") or {}
+    spa = [(n, workloads[n]["overhead_spa_percent"])
+           for n in sorted(workloads)
+           if "overhead_spa_percent" in workloads[n]]
+    ipa = [(n, workloads[n]["overhead_ipa_percent"])
+           for n in sorted(workloads)
+           if "overhead_ipa_percent" in workloads[n]]
+    native = [(n, workloads[n]["percent_native"])
+              for n in sorted(workloads)
+              if "percent_native" in workloads[n]]
+    panes = []
+    if spa:
+        panes.append(_bar_panel("SPA overhead [%]", "--orange", spa))
+    if ipa:
+        panes.append(_bar_panel("IPA overhead [%]", "--blue", ipa))
+    if not panes and native:
+        panes.append(_bar_panel("time in native code [%]", "--orange",
+                                native))
+    if not panes:
+        return ""
+    note = ("<p class='legend'>Each panel has its own scale — SPA and "
+            "IPA overheads differ by orders of magnitude.</p>"
+            if spa and ipa else "")
+    return (f"<section><h2>Overhead</h2>{note}"
+            f'<div class="panes">{"".join(panes)}</div></section>')
+
+
+# -- metrics ------------------------------------------------------------------
+
+#: Headline counters promoted to stat tiles (when present).
+_HEADLINE_METRICS = (
+    "instructions_retired", "method_invocations",
+    "native_invocations", "jni_invocations", "classes_loaded",
+    "jit_compiled_methods",
+)
+
+
+def _metrics_section(manifest: Dict) -> str:
+    rows = manifest.get("outcome", {}).get("metrics") or []
+    if not rows:
+        return ""
+    by_name = {row["name"]: row for row in rows if "name" in row}
+    tiles = []
+    for name in _HEADLINE_METRICS:
+        row = by_name.get(name)
+        if row and "total" in row:
+            tiles.append(
+                f'<div class="tile"><div class="v">'
+                f'{_fmt(row["total"])}</div>'
+                f'<div class="k">{_esc(name.replace("_", " "))}'
+                f"</div></div>")
+    table_rows = []
+    for row in rows:
+        if row.get("type") == "counter":
+            value = _fmt(row.get("total", 0))
+        elif row.get("type") == "gauge":
+            value = (f"min={_fmt(row.get('min', 0))} "
+                     f"max={_fmt(row.get('max', 0))}")
+        else:
+            value = (f"count={_fmt(row.get('count', 0))} "
+                     f"sum={_fmt(row.get('sum', 0))}")
+        table_rows.append(
+            f"<tr><td>{_esc(row.get('name', '?'))}</td>"
+            f"<td>{_esc(row.get('type', '?'))}</td>"
+            f"<td>{value}</td></tr>")
+    return (
+        "<section><h2>Metrics</h2>"
+        + (f'<div class="tiles">{"".join(tiles)}</div>' if tiles
+           else "")
+        + "<details><summary>all instruments</summary><table>"
+          "<tr><th>metric</th><th>type</th><th>value</th></tr>"
+        + "".join(table_rows) + "</table></details></section>")
+
+
+# -- flamegraph icicle --------------------------------------------------------
+
+
+class _FrameNode:
+    __slots__ = ("name", "native", "self_weight", "children")
+
+    def __init__(self, name: str, native: bool = False):
+        self.name = name
+        self.native = native
+        self.self_weight = 0
+        self.children: Dict[str, "_FrameNode"] = {}
+
+    @property
+    def total(self) -> int:
+        return self.self_weight + sum(c.total
+                                      for c in self.children.values())
+
+
+def _parse_folded(text: str) -> _FrameNode:
+    """Rebuild the stack trie from ``thread;frame;... weight`` lines."""
+    root = _FrameNode("all")
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or " " not in line:
+            continue
+        stack, _, weight_text = line.rpartition(" ")
+        try:
+            weight = int(weight_text)
+        except ValueError:
+            continue
+        node = root
+        for frame in stack.split(";"):
+            native = frame.endswith("_[k]")
+            name = frame[:-4] if native else frame
+            child = node.children.get(name)
+            if child is None:
+                child = node.children[name] = _FrameNode(name, native)
+            child.native = child.native or native
+            node = child
+        node.self_weight += weight
+    return root
+
+
+def _flamegraph_svg(root: _FrameNode, width: int = 960,
+                    row_h: int = 17) -> str:
+    """Icicle layout: root on top, callees below, x ∝ cycles."""
+    total = root.total
+    if total <= 0:
+        return ""
+    boxes: List[Tuple[float, float, int, _FrameNode]] = []
+
+    def layout(node: _FrameNode, x: float, w: float,
+               depth: int) -> None:
+        boxes.append((x, w, depth, node))
+        cx = x
+        for name in sorted(node.children):
+            child = node.children[name]
+            cw = w * child.total / node.total if node.total else 0
+            if cw >= 1.0:  # sub-pixel frames are unresolvable anyway
+                layout(child, cx, cw, depth + 1)
+            cx += cw
+
+    layout(root, 0.0, float(width), 0)
+    depth_max = max(depth for _, _, depth, _ in boxes)
+    height = (depth_max + 1) * row_h + 4
+    parts = [f'<svg width="{width}" height="{height}" role="img" '
+             f'aria-label="flamegraph icicle">']
+    for x, w, depth, node in boxes:
+        y = depth * row_h
+        color = "var(--orange)" if node.native else "var(--blue)"
+        if depth == 0:
+            color = "var(--grid)"
+        share = node.total / total * 100.0
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y}" width="{max(w - 1, 0.5):.1f}" '
+            f'height="{row_h - 1}" rx="2" fill="{color}">'
+            f"<title>{_esc(node.name)}: {node.total:,} cycles "
+            f"({share:.1f}%)</title></rect>")
+        if w > 40:
+            label = node.name
+            if len(label) * 6.5 > w - 8:
+                label = label[: max(int((w - 8) / 6.5) - 1, 1)] + "…"
+            cls = "muted" if depth == 0 else "frame-label"
+            parts.append(f'<text class="{cls}" x="{x + 4:.1f}" '
+                         f'y="{y + 12}">{_esc(label)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _flamegraph_section(folded_text: Optional[str]) -> str:
+    if not folded_text:
+        return ""
+    svg = _flamegraph_svg(_parse_folded(folded_text))
+    if not svg:
+        return ""
+    return (
+        "<section><h2>Flamegraph</h2>"
+        '<p class="legend">inclusive simulated cycles, root at top'
+        '<span class="swatch" style="background:var(--blue)"></span>'
+        "Java frames"
+        '<span class="swatch" style="background:var(--orange)"></span>'
+        "native frames</p>" + svg + "</section>")
+
+
+# -- cross-run trends ---------------------------------------------------------
+
+
+def _sparkline_svg(values: List[float], width: int = 150,
+                   height: int = 34) -> str:
+    if len(values) < 2:
+        return '<span class="legend">n/a</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 4
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(values))
+    lx, ly = points.rsplit(" ", 1)[-1].split(",")
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{points}" fill="none" '
+        f'stroke="var(--blue)" stroke-width="2" '
+        f'stroke-linejoin="round" stroke-linecap="round"/>'
+        f'<circle cx="{lx}" cy="{ly}" r="3" fill="var(--blue)"/>'
+        f"</svg>")
+
+
+def _trend_section(history: Optional[List[Dict]]) -> str:
+    if not history or len(history) < 2:
+        return ""
+    series = trend_series(history)
+    rows = []
+    for (workload, field) in sorted(series):
+        points = series[(workload, field)]
+        if len(points) < 2:
+            continue
+        values = [v for _, v in points]
+        rows.append(
+            f"<tr><td>{_esc(workload)}</td>"
+            f"<td>{_esc(field.replace('_', ' '))}</td>"
+            f"<td>{_sparkline_svg(values)}</td>"
+            f"<td>{_fmt(values[-1])}</td>"
+            f"<td>{len(values)}</td></tr>")
+    if not rows:
+        return ""
+    return (
+        "<section><h2>Cross-run trends</h2>"
+        f'<p class="legend">{len(history)} ledger runs, oldest to '
+        "newest; the dot marks this ledger's latest value.</p>"
+        "<table><tr><th>benchmark</th><th>series</th><th></th>"
+        "<th>last</th><th>runs</th></tr>"
+        + "".join(rows) + "</table></section>")
+
+
+# -- assembly -----------------------------------------------------------------
+
+
+def render_report(manifest: Dict,
+                  history: Optional[List[Dict]] = None,
+                  flamegraph_text: Optional[str] = None) -> str:
+    """One self-contained HTML page for ``manifest``.
+
+    ``history`` is the full ledger (oldest first) for the trend
+    section; ``flamegraph_text`` is the folded-stack artifact's
+    contents when the run produced one.
+    """
+    sections = [
+        _header_section(manifest),
+        _config_section(manifest),
+        _tables_section(manifest),
+        _overhead_section(manifest),
+        _metrics_section(manifest),
+        _flamegraph_section(flamegraph_text),
+        _trend_section(history),
+    ]
+    title = _esc(f"repro run {manifest.get('run_id', '?')}")
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head>"
+        '<meta charset="utf-8">'
+        '<meta name="viewport" '
+        'content="width=device-width, initial-scale=1">'
+        f"<title>{title}</title><style>{_CSS}</style></head><body>"
+        + "".join(part for part in sections if part)
+        + "</body></html>\n")
+
+
+def write_report(path: str, html_text: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(html_text)

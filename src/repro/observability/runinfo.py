@@ -1,0 +1,80 @@
+"""Run provenance: who produced a measurement, where, and when.
+
+The paper's tables are only comparable because every number carries its
+experimental context (machine, JVM, agent configuration).  This module
+collects the reproduction's equivalent — git revision + dirty flag,
+hostname, platform, Python version, UTC timestamp — as one JSON-safe
+dictionary stamped into every run manifest (:mod:`~repro.observability.
+ledger`) and into ``repro bench`` measurement documents.
+
+Everything here is host-side bookkeeping gathered *outside* the
+simulation: collecting provenance never touches cycle accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+import uuid
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+
+def _git(args, cwd: Optional[str] = None) -> Optional[str]:
+    """Run one git query; ``None`` when git or the repo is absent."""
+    try:
+        proc = subprocess.run(
+            ["git"] + args, cwd=cwd, capture_output=True, text=True,
+            timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip()
+
+
+def git_info(cwd: Optional[str] = None) -> Dict:
+    """``{"git_sha": str | None, "git_dirty": bool | None}``.
+
+    ``git_sha`` is ``None`` outside a repository (or without a git
+    binary); ``git_dirty`` is ``True`` when tracked files have
+    uncommitted changes — the flag ``repro bench --compare`` and
+    ``repro runs diff`` use to warn about apples-to-oranges baselines.
+    """
+    sha = _git(["rev-parse", "HEAD"], cwd=cwd)
+    if sha is None:
+        return {"git_sha": None, "git_dirty": None}
+    status = _git(["status", "--porcelain", "--untracked-files=no"],
+                  cwd=cwd)
+    return {"git_sha": sha,
+            "git_dirty": None if status is None else bool(status)}
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC with a trailing ``Z`` (second resolution)."""
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def new_run_id() -> str:
+    """Sortable run identifier: UTC compact timestamp + random suffix.
+
+    Lexicographic order equals chronological order (down to one
+    second); the suffix keeps ids from colliding within a second.
+    """
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    return f"{stamp}-{uuid.uuid4().hex[:6]}"
+
+
+def collect_provenance(cwd: Optional[str] = None) -> Dict:
+    """Everything a manifest records about the producing host."""
+    info = {
+        "timestamp_utc": utc_timestamp(),
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "pid": os.getpid(),
+    }
+    info.update(git_info(cwd))
+    return info

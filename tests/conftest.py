@@ -3,4 +3,17 @@
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(autouse=True)
+def _ledger_in_tmpdir(tmp_path, monkeypatch):
+    """Point the default run ledger at a per-test tmpdir.
+
+    CLI invocations under test would otherwise append manifests to
+    the repository's own ``.repro-runs/``; tests that care about the
+    ledger pass an explicit ``--ledger-dir``.
+    """
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))

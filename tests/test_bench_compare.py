@@ -64,6 +64,48 @@ class TestCompareBench:
         assert read_bench(str(path)) == _doc(1234)
 
 
+class TestProvenance:
+    def test_run_bench_stamps_provenance(self):
+        """The measurement document carries host, time, and git state."""
+        from repro.workloads import get_workload
+        doc = bench_module.run_bench(
+            scale=1, workloads=[get_workload("db")])
+        assert doc["hostname"]
+        assert doc["timestamp_utc"].endswith("Z")
+        assert "git_sha" in doc and "git_dirty" in doc
+
+    def test_cross_host_comparison_warns(self):
+        base = dict(_doc(1000), hostname="hostA")
+        cur = dict(_doc(1000), hostname="hostB")
+        ok, lines = compare_bench(cur, base, 5.0)
+        assert ok  # a warning, never a gate
+        assert any("different hosts" in line for line in lines)
+
+    def test_same_host_no_warning(self):
+        base = dict(_doc(1000), hostname="hostA")
+        cur = dict(_doc(1000), hostname="hostA")
+        _, lines = compare_bench(cur, base, 5.0)
+        assert not any("WARNING" in line for line in lines)
+
+    def test_dirty_tree_warns_for_either_side(self):
+        base = dict(_doc(1000), git_dirty=True, git_sha="a" * 40)
+        cur = _doc(1000)
+        ok, lines = compare_bench(cur, base, 5.0)
+        assert ok
+        assert any("baseline" in line and "dirty" in line
+                   for line in lines)
+        ok, lines = compare_bench(dict(_doc(1000), git_dirty=True),
+                                  _doc(1000), 5.0)
+        assert any("current" in line and "dirty" in line
+                   for line in lines)
+
+    def test_docs_without_provenance_compare_cleanly(self):
+        # pre-provenance baselines (no hostname/git keys) still work
+        ok, lines = compare_bench(_doc(1000), _doc(1000), 5.0)
+        assert ok
+        assert not any("WARNING" in line for line in lines)
+
+
 class TestSuiteRateFallback:
     def test_sub_resolution_workload_gets_suite_rate(self, monkeypatch):
         """A workload finishing under timer resolution must report the
@@ -133,7 +175,7 @@ class TestCliCompare:
                                              fast_bench):
         assert main(["bench", "--output", "", "--compare",
                      str(tmp_path / "absent.json")]) == 2
-        assert "cannot read baseline" in capsys.readouterr().err
+        assert "cannot read bench baseline" in capsys.readouterr().err
 
     def test_tier_flag_reaches_run_bench(self, tmp_path, capsys,
                                          fast_bench):

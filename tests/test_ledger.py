@@ -1,0 +1,388 @@
+"""Run ledger, `repro runs` views, HTML reports, structured logging.
+
+The ledger's hard rule is pinned alongside the features: tables and
+cycle accounting are bit-identical with the ledger on or off, serially
+and under ``--jobs 4`` (the golden files are the reference rendering).
+"""
+
+import json
+import os
+import stat
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import LedgerError
+from repro.observability import logging as obs_logging
+from repro.observability.ledger import (
+    Ledger,
+    filter_manifests,
+    new_manifest,
+    render_sparkline,
+    resolve_ledger_dir,
+    trend_report,
+)
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _manifest(command="profile", run_id=None, workloads=None,
+              config=None):
+    manifest = new_manifest(command, config or {"workload": "jess",
+                                                "agent": "ipa"})
+    if run_id is not None:
+        manifest["run_id"] = run_id
+    if workloads is not None:
+        manifest["outcome"]["workloads"] = workloads
+    return manifest
+
+
+class TestLedgerRoundTrip:
+    def test_write_list_load(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "runs"))
+        manifest = _manifest(run_id="20260101T000000Z-aaaaaa")
+        path = ledger.write(manifest)
+        assert path is not None and os.path.exists(path)
+        assert ledger.run_ids() == ["20260101T000000Z-aaaaaa"]
+        loaded = ledger.load("20260101T000000Z-aaaaaa")
+        assert loaded == json.loads(json.dumps(manifest))
+
+    def test_load_by_unique_prefix(self, tmp_path):
+        ledger = Ledger(str(tmp_path))
+        ledger.write(_manifest(run_id="20260101T000000Z-aaaaaa"))
+        ledger.write(_manifest(run_id="20260102T000000Z-bbbbbb"))
+        assert ledger.load("20260102")["run_id"] == \
+            "20260102T000000Z-bbbbbb"
+
+    def test_ambiguous_prefix_raises(self, tmp_path):
+        ledger = Ledger(str(tmp_path))
+        ledger.write(_manifest(run_id="20260101T000000Z-aaaaaa"))
+        ledger.write(_manifest(run_id="20260101T000001Z-bbbbbb"))
+        with pytest.raises(LedgerError, match="ambiguous"):
+            ledger.load("20260101")
+
+    def test_missing_run_raises(self, tmp_path):
+        with pytest.raises(LedgerError, match="no run"):
+            Ledger(str(tmp_path)).load("nope")
+
+    def test_latest_and_chronological_order(self, tmp_path):
+        ledger = Ledger(str(tmp_path))
+        ledger.write(_manifest(run_id="20260102T000000Z-bbbbbb"))
+        ledger.write(_manifest(run_id="20260101T000000Z-aaaaaa"))
+        assert ledger.latest()["run_id"] == "20260102T000000Z-bbbbbb"
+
+    def test_latest_on_empty_ledger_raises(self, tmp_path):
+        with pytest.raises(LedgerError, match="empty"):
+            Ledger(str(tmp_path / "void")).latest()
+
+    def test_load_all_skips_corrupt_manifest(self, tmp_path):
+        ledger = Ledger(str(tmp_path))
+        ledger.write(_manifest(run_id="20260101T000000Z-aaaaaa"))
+        (tmp_path / "20260102T000000Z-cccccc.json").write_text(
+            '{"version": 1, "run_id": trunc')
+        manifests = ledger.load_all()
+        assert [m["run_id"] for m in manifests] == \
+            ["20260101T000000Z-aaaaaa"]
+
+    def test_unwritable_directory_returns_none(self, tmp_path):
+        if os.geteuid() == 0:
+            pytest.skip("root ignores directory permissions")
+        read_only = tmp_path / "frozen"
+        read_only.mkdir()
+        read_only.chmod(stat.S_IRUSR | stat.S_IXUSR)
+        try:
+            assert Ledger(str(read_only)).write(_manifest()) is None
+        finally:
+            read_only.chmod(stat.S_IRWXU)
+
+    def test_unwritable_file_as_directory(self, tmp_path):
+        blocker = tmp_path / "runs"
+        blocker.write_text("not a directory")
+        assert Ledger(str(blocker)).write(_manifest()) is None
+
+    def test_resolve_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", "/env/dir")
+        assert resolve_ledger_dir("/flag/dir") == "/flag/dir"
+        assert resolve_ledger_dir(None) == "/env/dir"
+        monkeypatch.delenv("REPRO_LEDGER_DIR")
+        assert resolve_ledger_dir(None) == ".repro-runs"
+
+
+class TestFiltersAndTrend:
+    def test_filter_by_command_agent_workload(self):
+        manifests = [
+            _manifest("profile", workloads={"jess": {}},
+                      config={"agent": "ipa"}),
+            _manifest("bench", workloads={"db": {}},
+                      config={"agent": "none", "tier": "interp"}),
+        ]
+        assert len(filter_manifests(manifests, command="bench")) == 1
+        assert len(filter_manifests(manifests, agent="ipa")) == 1
+        assert len(filter_manifests(manifests, workload="db")) == 1
+        assert len(filter_manifests(manifests, tier="interp")) == 1
+        assert len(filter_manifests(manifests, command="bench",
+                                    agent="ipa")) == 0
+
+    def test_trend_flags_instr_s_regression(self):
+        manifests = [
+            _manifest(run_id="a", workloads={
+                "jess": {"instructions_per_second": 1000}}),
+            _manifest(run_id="b", workloads={
+                "jess": {"instructions_per_second": 800}}),
+        ]
+        ok, lines = trend_report(manifests, 5.0)
+        assert not ok
+        assert any("REGRESSION jess.instructions_per_second" in line
+                   for line in lines)
+
+    def test_trend_overhead_is_smaller_better(self):
+        manifests = [
+            _manifest(run_id="a", workloads={
+                "jess": {"overhead_ipa_percent": 10.0}}),
+            _manifest(run_id="b", workloads={
+                "jess": {"overhead_ipa_percent": 20.0}}),
+        ]
+        ok, lines = trend_report(manifests, 5.0)
+        assert not ok
+        # ...and an improvement in the same field passes
+        ok, _ = trend_report(list(reversed(manifests)), 5.0)
+        assert ok
+
+    def test_trend_within_budget_is_ok(self):
+        manifests = [
+            _manifest(run_id="a", workloads={
+                "jess": {"instructions_per_second": 1000}}),
+            _manifest(run_id="b", workloads={
+                "jess": {"instructions_per_second": 990}}),
+        ]
+        ok, lines = trend_report(manifests, 5.0)
+        assert ok
+        assert any("OK" in line for line in lines)
+
+    def test_neutral_fields_never_gate(self):
+        manifests = [
+            _manifest(run_id="a",
+                      workloads={"jess": {"percent_native": 10.0}}),
+            _manifest(run_id="b",
+                      workloads={"jess": {"percent_native": 50.0}}),
+        ]
+        ok, _ = trend_report(manifests, 5.0)
+        assert ok
+
+    def test_sparkline_shape(self):
+        spark = render_sparkline([1.0, 2.0, 3.0, 4.0])
+        assert len(spark) == 4
+        assert spark[0] == "▁" and spark[-1] == "█"
+        assert render_sparkline([5.0, 5.0]) == "▁▁"
+        assert render_sparkline([]) == ""
+
+
+class TestRunsCli:
+    @pytest.fixture()
+    def recorded(self, tmp_path, capsys):
+        """Two real profile runs recorded into a fresh ledger.
+
+        Returns ``(ledger_dir, {agent_label: run_id})`` — the mapping,
+        not a listing order, because two runs started within the same
+        second differ only in the random run-id suffix.
+        """
+        ledger_dir = str(tmp_path / "runs")
+        assert main(["profile", "jess", "--agent", "ipa",
+                     "--ledger-dir", ledger_dir]) == 0
+        assert main(["profile", "jess", "--agent", "spa",
+                     "--ledger-dir", ledger_dir]) == 0
+        capsys.readouterr()
+        by_agent = {m["config"]["agent"]: m["run_id"]
+                    for m in Ledger(ledger_dir).load_all()}
+        assert set(by_agent) == {"ipa", "spa"}
+        return ledger_dir, by_agent
+
+    def test_profile_records_manifest(self, recorded):
+        ledger_dir, by_agent = recorded
+        manifest = Ledger(ledger_dir).load(by_agent["ipa"])
+        assert manifest["command"] == "profile"
+        assert manifest["config"]["workload"] == "jess"
+        assert manifest["config"]["agent"] == "ipa"
+        assert manifest["outcome"]["exit_status"] == 0
+        assert manifest["outcome"]["wall_seconds"] >= 0
+        assert manifest["outcome"]["instructions"] > 0
+        assert "timestamp_utc" in manifest["provenance"]
+
+    def test_runs_list(self, recorded, capsys):
+        ledger_dir, by_agent = recorded
+        assert main(["runs", "list",
+                     "--ledger-dir", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        for run_id in by_agent.values():
+            assert run_id in out
+
+    def test_runs_list_filters(self, recorded, capsys):
+        ledger_dir, by_agent = recorded
+        assert main(["runs", "list", "--agent", "spa",
+                     "--ledger-dir", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert by_agent["spa"] in out
+        assert by_agent["ipa"] not in out
+
+    def test_runs_show_by_prefix(self, recorded, capsys):
+        ledger_dir, by_agent = recorded
+        run_id = by_agent["ipa"]
+        assert main(["runs", "show", run_id[:-2],
+                     "--ledger-dir", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "workload = jess" in out
+
+    def test_runs_diff(self, recorded, capsys):
+        ledger_dir, by_agent = recorded
+        assert main(["runs", "diff", by_agent["ipa"],
+                     by_agent["spa"],
+                     "--ledger-dir", ledger_dir]) == 0
+        out = capsys.readouterr().out
+        assert "config agent: ipa -> spa" in out
+
+    def test_runs_trend_ok(self, recorded, capsys):
+        ledger_dir, _ = recorded
+        assert main(["runs", "trend", "--max-regression", "5",
+                     "--ledger-dir", ledger_dir]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_runs_trend_gates_injected_regression(self, tmp_path,
+                                                  capsys):
+        ledger = Ledger(str(tmp_path))
+        ledger.write(_manifest(run_id="20260101T000000Z-aaaaaa",
+                               workloads={"jess": {
+                                   "instructions_per_second": 1000}}))
+        ledger.write(_manifest(run_id="20260102T000000Z-bbbbbb",
+                               workloads={"jess": {
+                                   "instructions_per_second": 500}}))
+        assert main(["runs", "trend", "--max-regression", "5",
+                     "--ledger-dir", str(tmp_path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_unknown_run_id_exits_2(self, tmp_path, capsys):
+        assert main(["runs", "show", "nope",
+                     "--ledger-dir", str(tmp_path)]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_no_ledger_writes_nothing(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "runs"
+        assert main(["profile", "jess", "--agent", "none",
+                     "--no-ledger",
+                     "--ledger-dir", str(ledger_dir)]) == 0
+        assert not ledger_dir.exists()
+
+    def test_unwritable_ledger_warns_but_run_succeeds(self, tmp_path,
+                                                      capsys):
+        blocker = tmp_path / "runs"
+        blocker.write_text("occupied")  # open() inside will fail
+        assert main(["profile", "jess", "--agent", "none",
+                     "--ledger-dir", str(blocker)]) == 0
+        captured = capsys.readouterr()
+        assert "cycles" in captured.out  # the measurement completed
+        assert "ledger" in captured.err  # ...and the warning landed
+
+
+class TestTableParityAndReport:
+    """One real table2 run feeds three checks: golden parity with the
+    ledger on, manifest round-trip, and HTML report generation."""
+
+    @pytest.fixture(scope="class")
+    def table2_run(self, tmp_path_factory):
+        ledger_dir = str(tmp_path_factory.mktemp("ledger"))
+        import contextlib
+        import io
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            assert main(["table2", "--ledger-dir", ledger_dir]) == 0
+        return ledger_dir, out.getvalue()
+
+    def test_table2_with_ledger_matches_golden(self, table2_run):
+        _, out = table2_run
+        assert out == (RESULTS / "table2.txt").read_text()
+
+    def test_no_ledger_jobs4_matches_golden(self, capsys):
+        assert main(["table2", "--no-ledger", "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == \
+            (RESULTS / "table2.txt").read_text()
+
+    def test_manifest_embeds_rendered_table(self, table2_run):
+        ledger_dir, out = table2_run
+        manifest = Ledger(ledger_dir).latest()
+        assert manifest["command"] == "table2"
+        # stdout carries the table plus print()'s final newline
+        assert manifest["outcome"]["tables"]["table2"] + "\n" == out
+        workloads = manifest["outcome"]["workloads"]
+        assert "jess" in workloads and "compress" in workloads
+        assert "Geometric" not in workloads
+
+    def test_report_from_real_run(self, table2_run, tmp_path,
+                                  capsys):
+        ledger_dir, _ = table2_run
+        html_path = tmp_path / "report.html"
+        assert main(["report", "--latest",
+                     "--ledger-dir", ledger_dir,
+                     "--output", str(html_path)]) == 0
+        html = html_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<h2>Results</h2>" in html
+        assert "jess" in html and "compress" in html
+        assert "<svg" in html
+        assert "prefers-color-scheme: dark" in html
+
+    def test_report_empty_ledger_exits_2(self, tmp_path, capsys):
+        assert main(["report", "--latest",
+                     "--ledger-dir", str(tmp_path / "void")]) == 2
+        assert "empty" in capsys.readouterr().err
+
+
+class TestStructuredLogging:
+    @pytest.fixture(autouse=True)
+    def restore(self):
+        state = obs_logging.snapshot()
+        yield
+        obs_logging.configure(level=state[0], json_mode=state[1])
+
+    def test_key_value_line(self, capsys):
+        obs_logging.configure(level="debug", json_mode=False)
+        obs_logging.get_logger("test").info(
+            "hello world", workload="jess", n=3)
+        err = capsys.readouterr().err
+        assert 'level=info' in err
+        assert 'logger=test' in err
+        assert 'event="hello world"' in err
+        assert 'workload=jess' in err and 'n=3' in err
+
+    def test_level_threshold(self, capsys):
+        obs_logging.configure(level="warning", json_mode=False)
+        log = obs_logging.get_logger("test")
+        log.info("suppressed")
+        log.warning("visible")
+        err = capsys.readouterr().err
+        assert "suppressed" not in err
+        assert "visible" in err
+
+    def test_json_mode(self, capsys):
+        obs_logging.configure(level="info", json_mode=True)
+        obs_logging.get_logger("test").info("event name", k="v")
+        record = json.loads(capsys.readouterr().err.strip())
+        assert record["level"] == "info"
+        assert record["event"] == "event name"
+        assert record["k"] == "v"
+
+    def test_worker_prefix(self, capsys):
+        obs_logging.configure(level="info", json_mode=False,
+                              worker="w03")
+        obs_logging.get_logger("test").info("from a worker")
+        assert "worker=w03" in capsys.readouterr().err
+
+    def test_cli_log_level_flag_positions(self):
+        """--log-level parses both before and after the subcommand."""
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "list"])
+        assert args.log_level == "debug"
+        args = build_parser().parse_args(
+            ["profile", "jess", "--log-level", "debug"])
+        assert args.log_level == "debug"

@@ -109,6 +109,138 @@ class TestMetrics:
         assert by_name["ops"]["cells"] == 2
 
 
+class TestMetricsPercentiles:
+    def test_histogram_summary_estimates_percentiles(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("lat", v)
+        row = summarize_metrics(reg.as_records({}))[0]
+        # values 1..100 land in power-of-two buckets; the estimates
+        # only need to be in the right region, bounded by min/max
+        assert 1 <= row["p50"] <= 100
+        assert row["p50"] <= row["p95"] <= row["p99"] <= 100
+        assert "p50" in row and "p95" in row and "p99" in row
+
+    def test_percentiles_merge_across_cells(self):
+        a = MetricsRegistry()
+        a.observe("lat", 10)
+        b = MetricsRegistry()
+        b.observe("lat", 100_000)
+        row = summarize_metrics(a.as_records({}) + b.as_records({}))[0]
+        assert row["count"] == 2
+        assert 10 <= row["p50"] <= 100_000
+        assert row["p99"] <= 100_000  # clamped to the recorded max
+
+    def test_percentiles_clamped_to_recorded_range(self):
+        from repro.observability.metrics import estimate_percentile
+        # a single bucket holding all mass, with a tight real range
+        assert estimate_percentile((10, 20, 30), [0, 10, 0, 0], 50,
+                                   lo=12, hi=19) == pytest.approx(15.5)
+        assert estimate_percentile((10,), [0, 0], 50) is None
+
+    def test_single_observation(self):
+        reg = MetricsRegistry()
+        reg.observe("one", 42)
+        row = summarize_metrics(reg.as_records({}))[0]
+        assert row["p50"] == row["p95"] == row["p99"] == 42
+
+    def test_formatted_summary_shows_percentiles(self):
+        from repro.observability.metrics import format_metrics_summary
+        reg = MetricsRegistry()
+        for v in (5, 50, 500):
+            reg.observe("lat", v)
+        text = format_metrics_summary(summarize_metrics(
+            reg.as_records({})))
+        assert "p50~" in text and "p95~" in text and "p99~" in text
+
+    def test_records_without_histogram_shape_still_summarize(self):
+        # old-format records (no bounds/bucket_counts) must not crash
+        rows = summarize_metrics([
+            {"name": "lat", "type": "histogram", "count": 2,
+             "sum": 30, "min": 10, "max": 20}])
+        assert rows[0]["count"] == 2
+        assert "p50" not in rows[0]
+
+
+class TestMetricsJsonlRobustness:
+    def _read(self, tmp_path, text):
+        from repro.observability.metrics import read_metrics_jsonl
+        path = tmp_path / "metrics.jsonl"
+        path.write_text(text)
+        return read_metrics_jsonl(str(path))
+
+    def test_empty_file(self, tmp_path):
+        assert self._read(tmp_path, "") == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        records = self._read(
+            tmp_path, '\n{"name": "a", "type": "counter"}\n\n\n')
+        assert len(records) == 1
+
+    def test_truncated_final_line_dropped_silently(self, tmp_path,
+                                                   capsys):
+        records = self._read(
+            tmp_path,
+            '{"name": "a", "type": "counter", "value": 1}\n'
+            '{"name": "b", "type": "coun')
+        assert len(records) == 1
+        assert records[0]["name"] == "a"
+        assert capsys.readouterr().err == ""
+
+    def test_undecodable_midfile_line_warns_and_skips(self, tmp_path,
+                                                      capsys):
+        records = self._read(
+            tmp_path,
+            '{"name": "a", "type": "counter", "value": 1}\n'
+            'not json at all\n'
+            '{"name": "b", "type": "counter", "value": 2}\n')
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert "undecodable" in capsys.readouterr().err
+
+    def test_non_dict_lines_ignored(self, tmp_path):
+        assert self._read(tmp_path, '[1, 2]\n"text"\n3\n') == []
+
+    def test_damaged_records_skipped_by_summarize(self):
+        rows = summarize_metrics([
+            {"type": "counter", "value": 1},       # no name
+            {"name": "ok", "type": "counter", "value": 2},
+            {"name": "bare", "type": "counter"},   # no value
+        ])
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["ok"]["total"] == 2
+        assert by_name["bare"]["total"] == 0
+
+
+class TestFlamegraphEscaping:
+    class _Node:
+        def __init__(self, inclusive, native=False):
+            self.inclusive_cycles = inclusive
+            self.is_native = native
+            self.children = {}
+
+        def walk(self, chain=("<thread>",)):
+            yield chain, self
+            for name, child in self.children.items():
+                yield from child.walk(chain + (name,))
+
+    def test_structural_characters_sanitized(self):
+        from repro.observability import folded_lines
+        root = self._Node(100)
+        root.children["evil;frame\nname"] = self._Node(60,
+                                                      native=True)
+        root.children["plain.method"] = self._Node(40)
+        lines = folded_lines({"thread;one\r": root})
+        assert lines == [
+            "thread:one_;evil:frame_name_[k] 60",
+            "thread:one_;plain.method 40",
+        ]
+        # the folded format stays parseable: frame;frame weight
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0
+            assert "\n" not in stack
+
+
 class TestSink:
     def test_null_sink_disabled(self):
         assert not NULL_SINK.enabled
