@@ -30,6 +30,13 @@ tables are bit-identical with it on or off.
 selects the execution tier.  The template tier is the default and is
 accounting-invariant: every simulated number is bit-identical to the
 plain interpreter — only host throughput changes.
+
+``--cores N`` (same commands) selects the simulated core count.  The
+default, 1, is the paper's sequential single-CPU model and is
+bit-identical to the goldens; N > 1 runs the deterministic preemptive
+scheduler (see DESIGN.md §9).  ``--workloads`` restricts table1/table2
+to a subset of the suite, e.g. the concurrency family
+(``fj-kmeans``/``actors``/``reactors``).
 """
 
 from __future__ import annotations
@@ -88,7 +95,8 @@ def _vm_config_from(args) -> VMConfig:
     tier = getattr(args, "tier", "template")
     return VMConfig(
         jit_policy=JitPolicy(template_tier=(tier == "template")),
-        verify=getattr(args, "verify", "structural"))
+        verify=getattr(args, "verify", "structural"),
+        cores=getattr(args, "cores", 1))
 
 
 def _add_tier_argument(subparser) -> None:
@@ -97,6 +105,15 @@ def _add_tier_argument(subparser) -> None:
         help=("execution tier: 'template' (interpreter + specialized-"
               "Python second tier, default) or 'interp' (dispatch loop "
               "only); simulated output is identical either way"))
+
+
+def _add_cores_argument(subparser) -> None:
+    subparser.add_argument(
+        "--cores", type=_positive_int, default=1, metavar="N",
+        help=("simulated CPU cores (default: 1, the paper's "
+              "single-CPU sequential model; N > 1 runs the "
+              "deterministic preemptive scheduler with per-core "
+              "cycle clocks)"))
 
 
 def _add_verify_argument(subparser) -> None:
@@ -154,8 +171,26 @@ def _capture_metrics_summary(captures) -> Optional[list]:
     return summarize_metrics(records) if records else None
 
 
+def _table_workloads(args):
+    """Workloads for a table command: the full suite, or the
+    ``--workloads`` subset."""
+    names = getattr(args, "workloads", None)
+    if not names:
+        return full_suite(scale=args.scale)
+    return [get_workload(name, scale=args.scale) for name in names]
+
+
+def _report_thread_deaths(deaths) -> bool:
+    """Log uncaught-thread deaths (stderr); True when any occurred."""
+    for workload, lines in sorted((deaths or {}).items()):
+        for line in lines:
+            log.error("workload thread died", workload=workload,
+                      detail=line)
+    return bool(deaths)
+
+
 def _cmd_table1(args) -> int:
-    table = build_table1(full_suite(scale=args.scale),
+    table = build_table1(_table_workloads(args),
                          vm_config=_vm_config_from(args),
                          runs=args.runs, jobs=args.jobs,
                          observability=_observability_from(args))
@@ -179,12 +214,17 @@ def _cmd_table1(args) -> int:
                             for result in results.values()),
         "metrics": _capture_metrics_summary(table.captures),
         "artifacts": _artifacts_from(args),
+        "thread_deaths": table.thread_deaths or None,
     }
+    if _report_thread_deaths(table.thread_deaths):
+        log.error("table1 FAILED: workload thread(s) died with "
+                  "uncaught exceptions")
+        return 1
     return 0
 
 
 def _cmd_table2(args) -> int:
-    table = build_table2(full_suite(scale=args.scale),
+    table = build_table2(_table_workloads(args),
                          vm_config=_vm_config_from(args),
                          runs=args.runs, jobs=args.jobs,
                          observability=_observability_from(args),
@@ -206,7 +246,12 @@ def _cmd_table2(args) -> int:
                             for result in results.values()),
         "metrics": _capture_metrics_summary(table.captures),
         "artifacts": _artifacts_from(args),
+        "thread_deaths": table.thread_deaths or None,
     }
+    if _report_thread_deaths(table.thread_deaths):
+        log.error("table2 FAILED: workload thread(s) died with "
+                  "uncaught exceptions")
+        return 1
     if table.boundary is not None:
         # stderr, so the table on stdout stays byte-identical
         failed = False
@@ -230,7 +275,8 @@ def _cmd_bench(args) -> int:
         write_bench,
     )
 
-    doc = run_bench(scale=args.scale, tier=args.tier)
+    doc = run_bench(scale=args.scale, tier=args.tier,
+                    cores=getattr(args, "cores", 1))
     print(format_bench(doc))
     args.ledger_outcome = {
         "bench": doc,
@@ -313,6 +359,12 @@ def _cmd_profile(args) -> int:
     print(f"instructions:  {result.instructions:,}")
     print(f"gt native %:   "
           f"{result.ground_truth_native_fraction * 100:.2f}")
+    if result.core_clocks is not None:
+        clocks = ", ".join(f"{c:,}" for c in result.core_clocks)
+        print(f"core cycles:   [{clocks}]")
+    if result.thread_deaths:
+        for line in result.thread_deaths:
+            log.error("workload thread died", detail=line)
     if result.operations is not None:
         print(f"operations:    {result.operations:,}")
         print(f"ops/second:    {result.operations_per_second:,.0f}")
@@ -500,9 +552,9 @@ def _ledger_from(args) -> ledger_module.Ledger:
 def _config_for_manifest(args) -> dict:
     """The resolved configuration a manifest records."""
     config = {}
-    for key in ("workload", "scale", "runs", "jobs", "tier", "verify",
-                "boundary_check", "suite", "check_instrumentation",
-                "max_regression", "compare"):
+    for key in ("workload", "workloads", "scale", "runs", "jobs",
+                "tier", "verify", "cores", "boundary_check", "suite",
+                "check_instrumentation", "max_regression", "compare"):
         if hasattr(args, key):
             config[key] = getattr(args, key)
     agent = getattr(args, "agent", None)
@@ -661,6 +713,10 @@ def build_parser() -> argparse.ArgumentParser:
         pt.add_argument("--runs", type=_positive_int, default=1)
         pt.add_argument("--jobs", type=_positive_int, default=1,
                         help="worker processes for independent cells")
+        pt.add_argument("--workloads", nargs="+", default=None,
+                        metavar="NAME",
+                        help=("restrict the table to these workloads "
+                              "(default: the full suite)"))
         pt.add_argument("--trace", metavar="OUT.json", default=None,
                         help=("record per-cell traces; write merged "
                               "Chrome trace-event JSON (table output "
@@ -669,6 +725,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="write per-cell metrics records as JSONL")
         _add_tier_argument(pt)
+        _add_cores_argument(pt)
         _add_verify_argument(pt)
         _add_global_arguments(pt)
         if name == "table2":
@@ -690,6 +747,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help=("write folded stacks from the callchain CCT "
                           "(requires --agent callchain)"))
     _add_tier_argument(pp)
+    _add_cores_argument(pp)
     _add_verify_argument(pp)
     _add_global_arguments(pp)
     pp.set_defaults(func=_cmd_profile)
@@ -709,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="also export metrics records as JSONL")
     _add_tier_argument(ptr)
+    _add_cores_argument(ptr)
     _add_verify_argument(ptr)
     _add_global_arguments(ptr)
     ptr.set_defaults(func=_cmd_trace)
@@ -758,6 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help=("allowed suite-rate regression in percent "
                           "for --compare (default: 5.0)"))
     _add_tier_argument(pb)
+    _add_cores_argument(pb)
     _add_global_arguments(pb)
     pb.set_defaults(func=_cmd_bench)
 

@@ -104,7 +104,25 @@ class StackOverflowSimError(VMError):
 
 
 class DeadlockError(VMError):
-    """The scheduler found no runnable thread while threads remain alive."""
+    """The scheduler found no runnable thread while threads remain alive.
+
+    Carries the structured wait-for cycle so callers (tests, harness
+    reports) can name the threads and resources involved without
+    parsing message text.  ``cycle`` is a list of
+    ``(waiter, resource, holder)`` triples of thread/resource names:
+    *waiter* is blocked on *resource*, which is held (or will only be
+    released) by *holder*.
+    """
+
+    def __init__(self, message: str, cycle=None):
+        super().__init__(message)
+        self.cycle = [tuple(entry) for entry in (cycle or [])]
+
+    @staticmethod
+    def render_cycle(cycle) -> str:
+        """``A -[resource]-> B`` chain for messages."""
+        return ", ".join(f"{waiter} -[{resource}]-> {holder}"
+                         for waiter, resource, holder in cycle)
 
 
 class JavaException(VMError):

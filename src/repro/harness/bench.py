@@ -40,7 +40,7 @@ DEFAULT_BENCH_PATH = "BENCH_interpreter.json"
 
 
 def run_bench(scale: int = 1, workloads: Optional[List] = None,
-              tier: str = "template") -> Dict:
+              tier: str = "template", cores: int = 1) -> Dict:
     """Time the suite and return the measurement document."""
     from repro.workloads import jvm98_suite
 
@@ -56,7 +56,7 @@ def run_bench(scale: int = 1, workloads: Optional[List] = None,
         config = RunConfig(
             agent=AgentSpec.none(),
             vm_config=VMConfig(jit_policy=JitPolicy(
-                template_tier=(tier == "template"))))
+                template_tier=(tier == "template")), cores=cores))
         start = time.perf_counter()
         result = execute(workload, config)
         host_seconds = time.perf_counter() - start
@@ -86,6 +86,7 @@ def run_bench(scale: int = 1, workloads: Optional[List] = None,
         "benchmark": "jvm98/none-agent",
         "scale": scale,
         "tier": tier,
+        "cores": cores,
         "python": platform.python_version(),
         "hostname": platform.node(),
         "timestamp_utc": utc_timestamp(),

@@ -56,6 +56,10 @@ class Table1:
     #: ((workload × agent), workloads outermost) — ``None`` when the
     #: table was built without observability.
     captures: Optional[List[dict]] = None
+    #: ``workload -> [console lines]`` for threads that died with an
+    #: uncaught exception in any cell; empty on clean builds.  Table
+    #: commands use this to exit non-zero.
+    thread_deaths: Dict[str, List[str]] = None
 
     @property
     def rows(self) -> List[OverheadRow]:
@@ -202,8 +206,13 @@ def build_table1(workloads: List[Workload],
                 results[label] = result
             per_workload.append(results)
 
+    thread_deaths: Dict[str, List[str]] = {}
     for workload, results in zip(workloads, per_workload):
         raw[workload.name] = results
+        for result in results.values():
+            if result.thread_deaths:
+                thread_deaths.setdefault(workload.name, []).extend(
+                    result.thread_deaths)
         row = _row_from_results(workload, results["original"],
                                 results["spa"], results["ipa"])
         if workload.metric is MetricKind.TIME:
@@ -215,4 +224,5 @@ def build_table1(workloads: List[Workload],
                   raw,
                   throughput_geomean_row=_geomean_row(
                       throughput_rows, MetricKind.THROUGHPUT),
-                  captures=captures)
+                  captures=captures,
+                  thread_deaths=thread_deaths)

@@ -44,6 +44,12 @@ class RunResult:
     #: run — the dynamic side of the static-vs-dynamic native-boundary
     #: cross-check.  Plain strings, picklable.
     native_methods_invoked: List[str] = field(default_factory=list)
+    #: Console lines of threads that died with an uncaught exception
+    #: (empty on clean runs); table commands exit non-zero when set.
+    thread_deaths: List[str] = field(default_factory=list)
+    #: Per-core cycle clocks (``--cores N``, N > 1); ``None`` under the
+    #: sequential model.
+    core_clocks: Optional[List[int]] = None
     #: The live agent instance (CCT access for flamegraph export).
     #: Host-side only — stripped before crossing process boundaries.
     agent_object: Optional[object] = None
@@ -62,6 +68,7 @@ def _build_vm(workload: Workload, config: RunConfig) -> JavaVM:
         jit_policy=config.vm_config.jit_policy.copy(),
         jvmti_version=config.vm_config.jvmti_version,
         verify=config.vm_config.verify,
+        cores=config.vm_config.cores,
     )
     vm = JavaVM(vm_config)
     if config.observability is not None and \
@@ -144,6 +151,9 @@ def _run_once(workload: Workload, config: RunConfig) -> RunResult:
         console=list(vm.console),
         observability=observability,
         native_methods_invoked=sorted(vm.native_methods_invoked),
+        thread_deaths=list(vm.thread_deaths),
+        core_clocks=(list(vm.scheduler.core_clock)
+                     if vm.scheduler is not None else None),
         agent_object=vm.agents[0] if vm.agents else None,
     )
 
@@ -183,6 +193,20 @@ def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
     for reason, count in sorted(vm.jit.template_deopts.items()):
         metrics.inc(f"jit_template_deopt_{reason.replace(':', '_')}",
                     count)
+    if vm.thread_deaths:
+        # emitted only when nonzero so clean-run metric captures (and
+        # the goldens built from them) are unchanged
+        metrics.inc("uncaught_thread_exceptions", len(vm.thread_deaths))
+    scheduler = vm.scheduler
+    if scheduler is not None:
+        metrics.inc("scheduler_context_switches",
+                    scheduler.context_switches)
+        metrics.inc("scheduler_monitor_contentions",
+                    scheduler.monitor_contentions)
+        metrics.inc("scheduler_deadlocks_detected",
+                    scheduler.deadlocks_detected)
+        for core, clock in enumerate(scheduler.core_clock):
+            metrics.set_gauge(f"core_{core}_cycles", clock)
     metrics.set_gauge("cycles_total", vm.total_cycles)
     for tag, cycles in sorted(vm.ground_truth().items()):
         metrics.set_gauge(f"cycles_{tag}", cycles)

@@ -350,6 +350,24 @@ def _translate(method, vm, policy, exclude_ops):
         out(0, f"p += {cost}")
         out(0, "n += 1")
 
+    # preemptive scheduler (cores > 1): emit safepoint checks at
+    # backedges and call boundaries.  Gated at translation time — at
+    # cores=1 the emitted source carries no scheduler code at all.
+    sched_on = vm.scheduler is not None
+    if sched_on:
+        bind("SP", vm.scheduler)
+
+    def safepoint_backedge(target, rel):
+        """Quantum check at a taken backward branch (pending charges
+        still in ``p``, exactly the interpreter's check)."""
+        out(rel, "if thread.cycles_total + p >= thread.preempt_at:")
+        out(rel + 1, f"frame.pc = {target}")
+        out(rel + 1, "charge(p, CT)")
+        out(rel + 1, "p = 0")
+        out(rel + 1, "vm.instructions_retired += n")
+        out(rel + 1, "n = 0")
+        out(rel + 1, "SP.preempt(thread)")
+
     def emit_op(pc, op, d):
         """Emit one instruction; returns True when it falls through."""
         cost = costs[pc]
@@ -486,6 +504,8 @@ def _translate(method, vm, policy, exclude_ops):
         elif op == _GOTO:
             acc(pc)
             spill()
+            if sched_on and operands[pc] <= pc:
+                safepoint_backedge(operands[pc], rel=0)
             out(0, f"b = {bid[operands[pc]]}")
             out(0, "continue")
             return False
@@ -498,6 +518,8 @@ def _translate(method, vm, policy, exclude_ops):
             else:
                 cond = tmpl.format(a=f"s{d - 2}", b=f"s{d - 1}")
             out(0, f"if {cond}:")
+            if sched_on and operands[pc] <= pc:
+                safepoint_backedge(operands[pc], rel=1)
             out(1, f"b = {bid[operands[pc]]}")
             out(1, "continue")
         elif op == _GETFIELD:
@@ -685,20 +707,29 @@ def _translate(method, vm, policy, exclude_ops):
             out(1, "_o.monitor_owner = thread")
             out(1, "_o.monitor_count += 1")
             out(0, "else:")
-            out(1, 'raise DeadlockError(f"monitor of {_o!r} held by '
-                   '{_o.monitor_owner.name} while {thread.name} runs '
-                   '(sequential model)")')
+            if sched_on:
+                # contended: flush (the thread parks mid-opcode) and
+                # block until ownership is handed over
+                flush(pc, rel=1)
+                out(1, "SP.acquire_contended(thread, _o)")
+            else:
+                out(1, "raise interp._sequential_monitor_deadlock("
+                       "thread, _o)")
         elif op == _MONITOREXIT:
             acc(pc)
             spill()
             out(0, f"_o = s{d - 1}")
             out(0, "if _o is None:")
             throw(pc, _NPE, "'monitorexit'", rel=1)
-            out(0, "if _o.monitor_owner is not thread:")
+            out(0, "if _o.monitor_owner is not thread or "
+                   "_o.monitor_count <= 0:")
             throw(pc, _IMSE, "'not monitor owner'", rel=1)
             out(0, "_o.monitor_count -= 1")
             out(0, "if _o.monitor_count == 0:")
             out(1, "_o.monitor_owner = None")
+            if sched_on:
+                out(1, "if _o.monitor_waiters:")
+                out(2, "SP.release_monitor(thread, _o)")
         elif 0x93 <= op <= 0x95:  # RETURN / IRETURN / ARETURN
             acc(pc)
             spill()
@@ -730,6 +761,9 @@ def _translate(method, vm, policy, exclude_ops):
                 acc(pc)
                 spill()
             flush(pc)
+            if sched_on:
+                out(0, "if thread.cycles_total >= thread.preempt_at:")
+                out(1, "SP.preempt(thread)")
             args = ", ".join(f"s{i}" for i in range(d - np, d))
             out(0, f"_a = [{args}]")
             if op != _INVOKESTATIC:

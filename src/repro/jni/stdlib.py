@@ -279,7 +279,7 @@ def build_java_library() -> NativeLibrary:
         name = getattr(name_obj, "string_value", None) or \
             f"Thread-{this.object_id}"
         sim = vm.threads.create(name, java_object=this)
-        vm.threads.enqueue(sim)
+        vm.start_thread(sim)
         return None
 
     @lib.native_method("java.lang.Thread", "join")
@@ -287,7 +287,7 @@ def build_java_library() -> NativeLibrary:
         env.charge(220)
         sim = env.vm.threads.find_by_java_object(this)
         if sim is not None:
-            env.vm.ensure_thread_finished(sim)
+            env.vm.join_thread(sim)
         return None
 
     # -- java.io streams ------------------------------------------------------------------------------

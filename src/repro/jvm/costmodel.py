@@ -126,6 +126,22 @@ class CostModel:
     #: thread may stack before StackOverflowSimError.
     max_frames: int = 2000
 
+    #: Preemptive scheduler time slice in cycles (``--cores N``, N > 1
+    #: only — the sequential model never preempts).  Quanta expire at
+    #: safepoints (backedges and call boundaries), so actual slices run
+    #: slightly long; ~19 microseconds at 2.66 GHz.
+    scheduler_quantum: int = 50_000
+
+    #: Charged (VM tag) to a thread when the scheduler preempts it at
+    #: an expired quantum with other threads ready — state save/restore
+    #: plus cache disturbance.  Never charged at ``cores=1``.
+    context_switch_cycles: int = 900
+
+    #: Charged (VM tag) to a thread that blocks on a contended object
+    #: monitor — the inflate/park path.  Never charged at ``cores=1``
+    #: because the sequential model cannot observe contention.
+    monitor_contention_cycles: int = 400
+
     def interp_cost(self, cost_class: str) -> int:
         return self.interp_costs[cost_class]
 

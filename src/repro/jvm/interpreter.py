@@ -334,6 +334,9 @@ class Interpreter:
         frames = thread.frames
         charge = thread.charge
         tag_bytecode = ChargeTag.BYTECODE
+        # preemptive scheduler, or None under the sequential model;
+        # hoisted so safepoint checks are one local load
+        sched = vm.scheduler
 
         # opcode constants as fast locals (module globals cost a dict
         # lookup per comparison; locals are array slots)
@@ -507,18 +510,32 @@ class Interpreter:
                             taken = pop() is not b
                         if taken:
                             target = operands[pc]
-                            if target <= pc and not method.compiled:
-                                method.backedge_count += 1
-                                if (jit.enabled and method.backedge_count
-                                        >= jit.policy.backedge_threshold):
+                            if target <= pc:  # backedge: JIT + safepoint
+                                if not method.compiled:
+                                    method.backedge_count += 1
+                                    if (jit.enabled
+                                            and method.backedge_count >=
+                                            jit.policy.backedge_threshold):
+                                        if pending:
+                                            charge(pending, tag_bytecode)
+                                            pending = 0
+                                        if icount:
+                                            vm.instructions_retired += \
+                                                icount
+                                            icount = 0
+                                        jit.compile(thread, method)
+                                        costs = method.active_costs
+                                if sched is not None and \
+                                        thread.cycles_total + pending >= \
+                                        thread.preempt_at:
+                                    frame.pc = target
                                     if pending:
                                         charge(pending, tag_bytecode)
                                         pending = 0
                                     if icount:
                                         vm.instructions_retired += icount
                                         icount = 0
-                                    jit.compile(thread, method)
-                                    costs = method.active_costs
+                                    sched.preempt(thread)
                             pc = target
                         else:
                             pc += 1
@@ -609,6 +626,9 @@ class Interpreter:
                         if icount:
                             vm.instructions_retired += icount
                             icount = 0
+                        if sched is not None and \
+                                thread.cycles_total >= thread.preempt_at:
+                            sched.preempt(thread)
                         if q is None:
                             ref = method.owner.constant_pool.get_typed(
                                 operands[pc], CpMethodRef)
@@ -976,21 +996,34 @@ class Interpreter:
                                 obj.monitor_owner is thread:
                             obj.monitor_owner = thread
                             obj.monitor_count += 1
+                        elif sched is not None:
+                            # contended: block until the owner hands
+                            # the monitor over (charges are flushed —
+                            # the thread parks mid-opcode)
+                            frame.pc = pc
+                            if pending:
+                                charge(pending, tag_bytecode)
+                                pending = 0
+                            if icount:
+                                vm.instructions_retired += icount
+                                icount = 0
+                            sched.acquire_contended(thread, obj)
                         else:
-                            raise DeadlockError(
-                                f"monitor of {obj!r} held by "
-                                f"{obj.monitor_owner.name} while "
-                                f"{thread.name} runs (sequential model)")
+                            raise self._sequential_monitor_deadlock(
+                                thread, obj)
                         pc += 1
                     elif op == _MONITOREXIT:
                         obj = pop()
                         if obj is NULL:
                             raise _Throw(None, _NPE, "monitorexit")
-                        if obj.monitor_owner is not thread:
+                        if obj.monitor_owner is not thread or \
+                                obj.monitor_count <= 0:
                             raise _Throw(None, _IMSE, "not monitor owner")
                         obj.monitor_count -= 1
                         if obj.monitor_count == 0:
                             obj.monitor_owner = None
+                            if sched is not None and obj.monitor_waiters:
+                                sched.release_monitor(thread, obj)
                         pc += 1
                     elif op == NOP:
                         pc += 1
@@ -1009,6 +1042,20 @@ class Interpreter:
                 self._dispatch_exception(thread, frames, base, exc_obj)
                 # fall through to the outer loop, which reloads the
                 # handler frame's state (pc set by the dispatcher)
+
+    # -- monitor support --------------------------------------------------------------
+
+    def _sequential_monitor_deadlock(self, thread, obj) -> DeadlockError:
+        """Contended MONITORENTER under the sequential model: the owner
+        is suspended below us on the host stack and can only release
+        after we return — a guaranteed wait-for cycle."""
+        owner = obj.monitor_owner
+        cycle = [(thread.name, f"monitor of {obj!r}", owner.name),
+                 (owner.name, "host-stack resumption", thread.name)]
+        return DeadlockError(
+            f"deadlock: monitor of {obj!r} held by {owner.name} while "
+            f"{thread.name} runs (sequential model): "
+            + DeadlockError.render_cycle(cycle), cycle=cycle)
 
     # -- exception dispatch -----------------------------------------------------------
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import units
-from repro.errors import NoSuchMethodError, VMError
+from repro.errors import DeadlockError, NoSuchMethodError, VMError
 from repro.jit.compiler import JitCompiler
 from repro.jit.policy import JitPolicy
 from repro.jni.function_table import JNIEnv, JNIFunctionTable
@@ -32,6 +32,7 @@ from repro.jvm.classloader import ClassLoader
 from repro.jvm.costmodel import ChargeTag, CostModel
 from repro.jvm.heap import Heap
 from repro.jvm.interpreter import Interpreter, Unwind
+from repro.jvm.scheduler import CoreScheduler, SchedulerAbort
 from repro.jvm.threads import SimThread, ThreadManager, ThreadState
 from repro.jvmti.host import (
     JVMTI_VERSION_1_1,
@@ -59,6 +60,11 @@ class VMConfig:
     #: host and charges no simulated cycles, so results are identical
     #: across modes for classes that verify.
     verify: str = "structural"
+    #: Simulated CPU cores.  1 (the default) is the sequential
+    #: run-to-completion model matching the paper's single-CPU testbed;
+    #: N > 1 enables the preemptive :class:`~repro.jvm.scheduler.
+    #: CoreScheduler` with per-core cycle clocks.
+    cores: int = 1
 
 
 class JavaVM:
@@ -82,6 +88,11 @@ class JavaVM:
         self.native_registry = NativeRegistry(self)
         self.jni_table = JNIFunctionTable(self)
         self.interpreter = Interpreter(self)
+        #: Preemptive N-core scheduler; None under the sequential model
+        #: (cores=1), which every hot path checks cheaply.
+        self.scheduler: Optional[CoreScheduler] = (
+            CoreScheduler(self, self.config.cores)
+            if self.config.cores > 1 else None)
         self.pcl = PCL(self)
         self.console: List[str] = []
         self.agents: List = []
@@ -105,6 +116,10 @@ class JavaVM:
         #: on the hot path); the harness cross-checks this set against
         #: the static native-boundary analysis.
         self.native_methods_invoked: set = set()
+        #: One entry per thread that died with an uncaught exception:
+        #: the console line that reported it.  Surfaced through harness
+        #: metrics, the run ledger, and table exit codes.
+        self.thread_deaths: List[str] = []
         # simulated file system: name -> bytes (inputs) / bytearray (outputs)
         self.files: Dict[str, bytes] = {}
 
@@ -154,6 +169,10 @@ class JavaVM:
 
         tracer = self.obs.tracer
         tracer.register_thread(main_thread.thread_id, main_thread.name)
+        scheduler = self.scheduler
+        if scheduler is not None:
+            scheduler.attach_main(main_thread)
+            scheduler.register_trace_lanes()
 
         self.jvmti.dispatch_vm_init()
         tracer.instant("VM_INIT", "vm", main_thread.thread_id,
@@ -169,19 +188,40 @@ class JavaVM:
         # interface — so agents intercepting the JNI function table see
         # the initial native->Java transition of the main thread
         main_start = main_thread.cycles_total
-        try:
-            self.jni_env(main_thread).call_static_void_method(main_method)
-        except Unwind as unwind:
-            self._report_uncaught(main_thread, unwind.jobject)
-        self._finish_thread(main_thread)
-        tracer.complete(f"thread:{main_thread.name}", "thread",
-                        main_thread.thread_id, main_start,
-                        main_thread.cycles_total)
+        if scheduler is None:
+            try:
+                self.jni_env(main_thread).call_static_void_method(
+                    main_method)
+            except Unwind as unwind:
+                self._report_uncaught(main_thread, unwind.jobject)
+            self._finish_thread(main_thread)
+            tracer.complete(f"thread:{main_thread.name}", "thread",
+                            main_thread.thread_id, main_start,
+                            main_thread.cycles_total)
 
-        # drain threads that were started but never joined
-        while self.threads.has_queued:
-            thread = self.threads.dequeue()
-            self.run_thread(thread)
+            # drain threads that were started but never joined
+            while self.threads.has_queued:
+                thread = self.threads.dequeue()
+                self.run_thread(thread)
+        else:
+            try:
+                try:
+                    self.jni_env(main_thread).call_static_void_method(
+                        main_method)
+                except Unwind as unwind:
+                    self._report_uncaught(main_thread, unwind.jobject)
+                # wait for every started-but-never-joined thread
+                scheduler.drain(main_thread)
+            except SchedulerAbort:
+                pass
+            scheduler.shutdown()
+            error = scheduler.abort_error
+            if error is not None and not isinstance(error, SchedulerAbort):
+                raise error
+            self._finish_thread(main_thread)
+            tracer.complete(f"thread:{main_thread.name}", "thread",
+                            main_thread.thread_id, main_start,
+                            main_thread.cycles_total)
 
         self.threads.current = None
         self._dead = True
@@ -224,18 +264,70 @@ class JavaVM:
                         thread.cycles_total)
         self.threads.current = previous
 
+    def start_thread(self, thread: SimThread) -> None:
+        """``Thread.start``: hand the thread to the scheduler, or queue
+        it for sequential execution."""
+        if self.scheduler is not None:
+            self.scheduler.start_thread(thread)
+        else:
+            self.threads.enqueue(thread)
+
+    def join_thread(self, thread: SimThread) -> None:
+        """``Thread.join``: block (scheduler) or run the target to
+        completion now (sequential model)."""
+        if self.scheduler is not None:
+            self.scheduler.join(self.threads.current, thread)
+        else:
+            self.ensure_thread_finished(thread)
+
     def ensure_thread_finished(self, thread: SimThread) -> None:
         """``Thread.join`` semantics under the sequential model: run the
         joined thread to completion now if it has not run yet."""
+        current = self.threads.current
+        if thread is current:
+            cycle = [(thread.name, "join", thread.name)]
+            raise DeadlockError(
+                f"deadlock: {thread.name} joins itself: "
+                + DeadlockError.render_cycle(cycle), cycle=cycle)
         if thread.state is ThreadState.QUEUED:
             self.threads.dequeue(thread)
             self.run_thread(thread)
         elif thread.state is ThreadState.RUNNING:
-            raise VMError(
-                f"join on running thread {thread.name!r} would deadlock "
-                f"the sequential model")
+            # the target is suspended below us on the host stack; under
+            # the sequential model it can only resume after the current
+            # thread returns — a guaranteed wait-for cycle
+            waiter = current.name if current is not None else "?"
+            cycle = [(waiter, f"join {thread.name}", thread.name),
+                     (thread.name, "host-stack resumption", waiter)]
+            raise DeadlockError(
+                "deadlock: join on running thread under the sequential "
+                "model: " + DeadlockError.render_cycle(cycle),
+                cycle=cycle)
         # NEW (never started) and TERMINATED both return immediately,
         # matching java.lang.Thread.join.
+
+    def scheduled_thread_body(self, thread: SimThread) -> None:
+        """Body of one scheduler-dispatched worker thread (runs on its
+        own host thread; execution is serialized by the scheduler)."""
+        tracer = self.obs.tracer
+        tracer.register_thread(thread.thread_id, thread.name)
+        thread_start = thread.cycles_total
+        self.jvmti.dispatch_thread_start(thread)
+        run_method = None
+        if thread.java_object is not None:
+            run_method = thread.java_object.jclass.resolve_method(
+                "run", "()V")
+        if run_method is None:
+            raise VMError(f"thread {thread.name!r} has no run()V")
+        try:
+            self.jni_env(thread).call_void_method(
+                thread.java_object, run_method)
+        except Unwind as unwind:
+            self._report_uncaught(thread, unwind.jobject)
+        self.jvmti.dispatch_thread_end(thread)
+        tracer.complete(f"thread:{thread.name}", "thread",
+                        thread.thread_id, thread_start,
+                        thread.cycles_total)
 
     def _finish_thread(self, thread: SimThread) -> None:
         self.jvmti.dispatch_thread_end(thread)
@@ -248,9 +340,10 @@ class JavaVM:
         if msg_obj is not None and \
                 getattr(msg_obj, "string_value", None) is not None:
             message = f": {msg_obj.string_value}"
-        self.console.append(
-            f'Exception in thread "{thread.name}" '
-            f"{getattr(jobject, 'class_name', '<exception>')}{message}")
+        line = (f'Exception in thread "{thread.name}" '
+                f"{getattr(jobject, 'class_name', '<exception>')}{message}")
+        self.console.append(line)
+        self.thread_deaths.append(line)
 
     # -- class-initializer support (called by the loader) --------------------------------
 

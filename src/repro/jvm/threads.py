@@ -1,12 +1,17 @@
 """Simulated threads.
 
-The simulator runs threads **sequentially** on one virtual CPU: a
-started thread is queued and executed to completion either when the
-starter joins it or when the current thread finishes.  This is a valid
-serialization of the program (workloads are written so that any
-serialization is correct), keeps the machine fully deterministic, and
-matches the paper's single-CPU Pentium 4 testbed where total CPU time is
-the sum of per-thread times.
+By default (``cores=1``) the simulator runs threads **sequentially** on
+one virtual CPU: a started thread is queued and executed to completion
+either when the starter joins it or when the current thread finishes.
+This is a valid serialization of the program (workloads are written so
+that any serialization is correct), keeps the machine fully
+deterministic, and matches the paper's single-CPU Pentium 4 testbed
+where total CPU time is the sum of per-thread times.
+
+With ``cores=N`` (N > 1) the :mod:`repro.jvm.scheduler` runs the same
+threads preemptively on N simulated cores with per-core cycle clocks;
+the extra :class:`ThreadState` values (READY/BLOCKED/WAITING) belong to
+that mode.
 
 Each thread carries its own virtual cycle counter — exactly the
 per-thread hardware counter PCL virtualizes — plus the tagged
@@ -16,7 +21,8 @@ ground-truth breakdown used by the test suite.
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from repro.jvm.costmodel import ChargeTag
 from repro.errors import VMError
@@ -24,8 +30,15 @@ from repro.errors import VMError
 
 class ThreadState(enum.Enum):
     NEW = "new"
+    #: Started but not yet run (sequential model's run queue).
     QUEUED = "queued"
+    #: Runnable, waiting for a core (preemptive scheduler).
+    READY = "ready"
     RUNNING = "running"
+    #: Blocked acquiring a contended object monitor.
+    BLOCKED = "blocked"
+    #: Waiting on another thread (``Thread.join``) or the drain barrier.
+    WAITING = "waiting"
     TERMINATED = "terminated"
 
 
@@ -51,6 +64,17 @@ class SimThread:
             tag: 0 for tag in self._HPC_TAGS}
         #: Uncaught Java exception that terminated the thread, if any.
         self.uncaught_exception = None
+        #: Core the thread is (or was last) dispatched on; ``None``
+        #: under the sequential model.
+        self.core: Optional[int] = None
+        #: Cycle threshold at which the preemptive scheduler considers
+        #: a quantum expired (consulted at safepoints only; never under
+        #: the sequential model).
+        self.preempt_at = 0
+        #: What a BLOCKED/WAITING thread waits for:
+        #: ``("monitor", obj)`` / ``("join", thread)`` /
+        #: ``("drain", None)``; ``None`` when runnable.
+        self.waiting_on = None
         #: Host-side PC samplers (shared list owned by ThreadManager);
         #: empty in normal runs — see repro.agents.sampling.
         self._samplers = samplers if samplers is not None else []
@@ -82,7 +106,10 @@ class ThreadManager:
 
     def __init__(self):
         self._threads: List[SimThread] = []
-        self._queue: List[SimThread] = []
+        self._queue: Deque[SimThread] = deque()
+        #: ``id(java_object) -> SimThread`` so ``Thread.join`` does not
+        #: scan the registry per call (hot under N cores).
+        self._by_java_object: Dict[int, SimThread] = {}
         self._next_id = 1
         self.current: Optional[SimThread] = None
         #: Host-side PC samplers shared by every thread (see
@@ -94,6 +121,8 @@ class ThreadManager:
                            samplers=self.samplers)
         self._next_id += 1
         self._threads.append(thread)
+        if java_object is not None:
+            self._by_java_object[id(java_object)] = thread
         return thread
 
     def enqueue(self, thread: SimThread) -> None:
@@ -109,17 +138,15 @@ class ThreadManager:
                 ) -> Optional[SimThread]:
         """Pop ``thread`` (or the oldest queued thread) from the queue."""
         if thread is None:
-            return self._queue.pop(0) if self._queue else None
-        if thread in self._queue:
+            return self._queue.popleft() if self._queue else None
+        try:
             self._queue.remove(thread)
-            return thread
-        return None
+        except ValueError:
+            return None
+        return thread
 
     def find_by_java_object(self, java_object) -> Optional[SimThread]:
-        for thread in self._threads:
-            if thread.java_object is java_object:
-                return thread
-        return None
+        return self._by_java_object.get(id(java_object))
 
     @property
     def all_threads(self) -> List[SimThread]:
@@ -130,8 +157,9 @@ class ThreadManager:
         return bool(self._queue)
 
     def total_cycles(self) -> int:
-        """Sum of all per-thread counters (= virtual wall clock on the
-        single simulated CPU)."""
+        """Sum of all per-thread counters (= total CPU time across the
+        simulated cores; equal to the virtual wall clock when there is
+        a single CPU)."""
         return sum(t.cycles_total for t in self._threads)
 
     def total_by_tag(self) -> Dict[ChargeTag, int]:

@@ -56,7 +56,7 @@ class JObject:
     """
 
     __slots__ = ("jclass", "fields", "string_value", "object_id",
-                 "monitor_owner", "monitor_count")
+                 "monitor_owner", "monitor_count", "monitor_waiters")
 
     def __init__(self, jclass, fields: dict, object_id: int,
                  string_value: Optional[str] = None):
@@ -66,6 +66,9 @@ class JObject:
         self.object_id = object_id
         self.monitor_owner = None
         self.monitor_count = 0
+        # FIFO of SimThreads blocked on this monitor; lazily created by
+        # the preemptive scheduler (always None at cores=1)
+        self.monitor_waiters = None
 
     @property
     def class_name(self) -> str:
@@ -81,7 +84,7 @@ class JArray:
     """One heap array: element kind plus backing storage."""
 
     __slots__ = ("kind", "data", "object_id", "monitor_owner",
-                 "monitor_count")
+                 "monitor_count", "monitor_waiters")
 
     def __init__(self, kind: ArrayKind, length: int, object_id: int):
         if length < 0:
@@ -96,6 +99,7 @@ class JArray:
         self.object_id = object_id
         self.monitor_owner = None
         self.monitor_count = 0
+        self.monitor_waiters = None
 
     def __len__(self) -> int:
         return len(self.data)

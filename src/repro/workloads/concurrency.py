@@ -1,0 +1,642 @@
+"""Renaissance-style concurrency workload family.
+
+Three benchmarks exercise the preemptive N-core scheduler
+(``--cores N``) the way the Renaissance suite exercises a real JVM's
+concurrency machinery:
+
+``fj-kmeans``
+    Fork-join data parallelism: worker threads each classify a private
+    stream of points against K fixed centroids and merge partial sums
+    into one shared accumulator under a monitor.  The merge helper is
+    called *inside* the critical section, so at ``--cores N`` a worker
+    can be preempted while holding the lock and the other workers take
+    the contended-``MONITORENTER`` path.
+
+``actors``
+    Message passing over a complete binary tree of seven actor threads.
+    Each actor drains its inbox, hashes every message, and forwards the
+    hash to both children.  Every inbox has a single producer and the
+    driver starts each tree level only after joining the previous one,
+    so message order — and therefore every checksum — is independent
+    of the interleaving the scheduler picks.
+
+``reactors``
+    A linear event pipeline: stage 0 is seeded before any thread
+    starts, and each stage forwards transformed events downstream.  At
+    ``--cores 1`` the stages run to completion in start order; at
+    ``--cores N`` a stage that outruns its producer spin-waits, which
+    the quantum preemption at loop backedges keeps live and fair.
+
+All three follow the Renaissance warm-up protocol: each repetition
+spawns *fresh* thread objects (simulated threads are single-start),
+the warm-up repetitions exercise the JIT but are excluded from the
+reported operation count and checksum, and only the steady-state
+repetitions are measured.  Checksums are order-independent by
+construction (commutative merges, single-producer inboxes), so runs
+are bit-identical across core counts and tiers.  The host mirror
+replays every repetition and must agree exactly.
+
+The family is registered for ``--workloads``/``get_workload`` but is
+*not* part of :func:`repro.workloads.suite.full_suite`: the Table I/II
+goldens predate the scheduler and must stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads.base import (
+    MetricKind,
+    Workload,
+    WorkloadResultCheck,
+)
+from repro.workloads.suite import register
+
+WARMUP_REPS = 1
+STEADY_REPS = 2
+TOTAL_REPS = WARMUP_REPS + STEADY_REPS
+
+
+def _wrap32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v >= 1 << 31 else v
+
+
+def _lcg(seed: int):
+    state = seed
+
+    def rng() -> int:
+        nonlocal state
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        return state
+
+    return rng
+
+
+def _emit_console(m, slots: List[Tuple[str, int]]) -> None:
+    """Print ``key=value`` lines from integer locals (jbb idiom)."""
+    for key, slot in slots:
+        m.getstatic("java.lang.System", "out")
+        m.new("java.lang.StringBuilder").dup()
+        m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+        m.ldc(f"{key}=")
+        m.invokevirtual(
+            "java.lang.StringBuilder", "appendString",
+            "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+        m.iload(slot)
+        m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                        "(I)Ljava.lang.StringBuilder;")
+        m.invokevirtual("java.lang.StringBuilder", "toString",
+                        "()Ljava.lang.String;")
+        m.invokevirtual("java.io.PrintStream", "println",
+                        "(Ljava.lang.String;)V")
+
+
+class _ConcurrencyWorkload(Workload):
+    """Shared ops=/checksum= plumbing for the family."""
+
+    metric = MetricKind.THROUGHPUT
+
+    def operations(self, vm) -> int:
+        value = self.console_value(vm, "ops")
+        return int(value) if value is not None else 0
+
+    def _mirror(self) -> Tuple[int, int]:
+        raise NotImplementedError
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        expected_ops, expected_checksum = self._mirror()
+        ops = self.console_value(vm, "ops")
+        checksum = self.console_value(vm, "checksum")
+        if ops is None or checksum is None:
+            return WorkloadResultCheck(False, "missing console output")
+        if int(ops) != expected_ops:
+            return WorkloadResultCheck(
+                False, f"ops {ops} != {expected_ops}")
+        if int(checksum) != expected_checksum:
+            return WorkloadResultCheck(
+                False, f"checksum {checksum} != {expected_checksum}")
+        return WorkloadResultCheck(True)
+
+
+# ---------------------------------------------------------------------------
+# fj-kmeans: fork-join classification with a contended accumulator
+# ---------------------------------------------------------------------------
+
+KM_MAIN = "conc.kmeans.Main"
+KM_WORKER = "conc.kmeans.Worker"
+KM_ACC = "conc.kmeans.Accumulator"
+
+KM_WORKERS = 4
+KM_CENTROIDS = 8
+KM_POINTS_PER_SCALE = 96
+KM_VALUE_RANGE = KM_CENTROIDS * 16
+
+
+def _km_build_accumulator() -> ClassAssembler:
+    c = ClassAssembler(KM_ACC)
+    c.field("sums")
+    c.field("counts")
+    c.field("total", default=0)
+    with c.method("<init>", "()V") as m:
+        m.aload(0).ldc(KM_CENTROIDS).newarray(ArrayKind.INT)
+        m.putfield(KM_ACC, "sums")
+        m.aload(0).ldc(KM_CENTROIDS).newarray(ArrayKind.INT)
+        m.putfield(KM_ACC, "counts")
+        m.return_()
+    # merge() runs under the monitor; the nested call and its roll-up
+    # loop give the scheduler safepoints *inside* the critical section,
+    # so at cores > 1 a worker can be preempted while holding the lock
+    # and the other workers take the contended-MONITORENTER path
+    with c.method("add", "(II)V") as m:
+        m.aload(0).monitorenter()
+        m.aload(0).iload(1).iload(2)
+        m.invokevirtual(KM_ACC, "merge", "(II)V")
+        m.aload(0).monitorexit()
+        m.return_()
+    with c.method("merge", "(II)V") as m:
+        # locals: 3=k, 4=rollup
+        m.aload(0).getfield(KM_ACC, "sums").iload(1)
+        m.aload(0).getfield(KM_ACC, "sums").iload(1).iaload()
+        m.iload(2).iadd().iastore()
+        m.aload(0).getfield(KM_ACC, "counts").iload(1)
+        m.aload(0).getfield(KM_ACC, "counts").iload(1).iaload()
+        m.iconst(1).iadd().iastore()
+        # roll the cluster sums up into `total`: the serialized merges
+        # make the last writer see every update, so the final value is
+        # order-independent
+        m.iconst(0).istore(4)
+        m.iconst(0).istore(3)
+        m.label("rollup")
+        m.iload(3).ldc(KM_CENTROIDS).if_icmpge("rolled")
+        m.iload(4)
+        m.aload(0).getfield(KM_ACC, "sums").iload(3).iaload()
+        m.iadd().istore(4)
+        m.iinc(3, 1).goto("rollup")
+        m.label("rolled")
+        m.aload(0).iload(4).putfield(KM_ACC, "total")
+        m.return_()
+    return c
+
+
+def _km_build_worker(points: int) -> ClassAssembler:
+    c = ClassAssembler(KM_WORKER, super_name="java.lang.Thread")
+    c.field("wid", default=0)
+    c.field("acc")
+    c.field("rng")
+    with c.method("<init>", f"(IL{KM_ACC};)V") as m:
+        m.aload(0).iload(1).putfield(KM_WORKER, "wid")
+        m.aload(0).aload(2).putfield(KM_WORKER, "acc")
+        m.new("java.util.Random").dup()
+        m.iload(1).ldc(7919).imul().ldc(13).iadd()
+        m.invokespecial("java.util.Random", "<init>", "(I)V")
+        m.aload(0).swap().putfield(KM_WORKER, "rng")
+        m.return_()
+    with c.method("run", "()V") as m:
+        # locals: 1=point, 2=value, 3=best, 4=bestDist, 5=c, 6=d
+        m.iconst(0).istore(1)
+        m.label("points")
+        m.iload(1).ldc(points).if_icmpge("done")
+        m.aload(0).getfield(KM_WORKER, "rng")
+        m.ldc(KM_VALUE_RANGE)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.istore(2)
+        # argmin over the fixed centroids 8, 24, 40, ...
+        m.iconst(0).istore(3)
+        m.ldc(1 << 30).istore(4)
+        m.iconst(0).istore(5)
+        m.label("cloop")
+        m.iload(5).ldc(KM_CENTROIDS).if_icmpge("cdone")
+        m.iload(2)
+        m.iload(5).ldc(16).imul().ldc(8).iadd()
+        m.isub().istore(6)
+        m.iload(6).ifge("abs_ok")
+        m.iload(6).ineg().istore(6)
+        m.label("abs_ok")
+        m.iload(6).iload(4).if_icmpge("not_best")
+        m.iload(6).istore(4)
+        m.iload(5).istore(3)
+        m.label("not_best")
+        m.iinc(5, 1).goto("cloop")
+        m.label("cdone")
+        m.aload(0).getfield(KM_WORKER, "acc")
+        m.iload(3).iload(2)
+        m.invokevirtual(KM_ACC, "add", "(II)V")
+        m.iinc(1, 1).goto("points")
+        m.label("done")
+        m.return_()
+    return c
+
+
+def _km_build_main(points: int) -> ClassAssembler:
+    c = ClassAssembler(KM_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=acc, 1=ops, 2=checksum, 3=workers, 5=k
+        m.iconst(0).istore(1)
+        m.iconst(0).istore(2)
+        for rep in range(TOTAL_REPS):
+            steady = rep >= WARMUP_REPS
+            m.new(KM_ACC).dup()
+            m.invokespecial(KM_ACC, "<init>", "()V").astore(0)
+            m.iconst(KM_WORKERS).newarray(ArrayKind.REF).astore(3)
+            for w in range(KM_WORKERS):
+                m.aload(3).iconst(w)
+                m.new(KM_WORKER).dup().iconst(w).aload(0)
+                m.invokespecial(KM_WORKER, "<init>", f"(IL{KM_ACC};)V")
+                m.aastore()
+            for w in range(KM_WORKERS):
+                m.aload(3).iconst(w).aaload().checkcast(KM_WORKER)
+                m.invokevirtual(KM_WORKER, "start", "()V")
+            for w in range(KM_WORKERS):
+                m.aload(3).iconst(w).aaload().checkcast(KM_WORKER)
+                m.invokevirtual(KM_WORKER, "join", "()V")
+            if steady:
+                m.iconst(0).istore(5)
+                m.label(f"r{rep}_fold")
+                m.iload(5).ldc(KM_CENTROIDS).if_icmpge(f"r{rep}_done")
+                m.iload(2).ldc(31).imul()
+                m.aload(0).getfield(KM_ACC, "sums")
+                m.iload(5).iaload().iadd()
+                m.aload(0).getfield(KM_ACC, "counts")
+                m.iload(5).iaload().iadd()
+                m.istore(2)
+                m.iinc(5, 1).goto(f"r{rep}_fold")
+                m.label(f"r{rep}_done")
+                m.iload(2).ldc(31).imul()
+                m.aload(0).getfield(KM_ACC, "total").iadd()
+                m.istore(2)
+                m.iload(1).ldc(KM_WORKERS * points).iadd().istore(1)
+        _emit_console(m, [("ops", 1), ("checksum", 2)])
+        m.return_()
+    return c
+
+
+@register
+class FjKmeansWorkload(_ConcurrencyWorkload):
+    """Fork-join k-means classification with a shared accumulator."""
+
+    name = "fj-kmeans"
+    description = ("fork-join point classification; worker threads "
+                   "merge into a monitor-guarded accumulator")
+
+    main_class = KM_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.points = KM_POINTS_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_km_build_accumulator().build())
+        archive.put_class(_km_build_worker(self.points).build())
+        archive.put_class(_km_build_main(self.points).build())
+        return archive
+
+    def _mirror(self) -> Tuple[int, int]:
+        ops = 0
+        checksum = 0
+        for rep in range(TOTAL_REPS):
+            sums = [0] * KM_CENTROIDS
+            counts = [0] * KM_CENTROIDS
+            for wid in range(KM_WORKERS):
+                rng = _lcg(wid * 7919 + 13)
+                for _point in range(self.points):
+                    value = rng() % KM_VALUE_RANGE
+                    best, best_dist = 0, 1 << 30
+                    for k in range(KM_CENTROIDS):
+                        dist = abs(value - (k * 16 + 8))
+                        if dist < best_dist:
+                            best, best_dist = k, dist
+                    sums[best] = _wrap32(sums[best] + value)
+                    counts[best] += 1
+            if rep >= WARMUP_REPS:
+                for k in range(KM_CENTROIDS):
+                    checksum = _wrap32(
+                        checksum * 31 + sums[k] + counts[k])
+                checksum = _wrap32(checksum * 31 + _wrap32(sum(sums)))
+                ops += KM_WORKERS * self.points
+        return ops, checksum
+
+
+# ---------------------------------------------------------------------------
+# actors: message passing over a binary tree of threads
+# ---------------------------------------------------------------------------
+
+AC_MAIN = "conc.actors.Main"
+AC_ACTOR = "conc.actors.Actor"
+
+AC_COUNT = 7                       # complete binary tree, depth 3
+AC_LEVELS = ((0,), (1, 2), (3, 4, 5, 6))
+AC_MESSAGES_PER_SCALE = 12
+AC_SEED_RANGE = 1 << 16
+
+
+def _ac_build_actor() -> ClassAssembler:
+    c = ClassAssembler(AC_ACTOR, super_name="java.lang.Thread")
+    c.field("idx", default=0)
+    c.field("inbox")
+    c.field("inCount", default=0)
+    c.field("left")
+    c.field("right")
+    c.field("checksum", default=0)
+    with c.method("<init>", "(II)V") as m:
+        m.aload(0).iload(1).putfield(AC_ACTOR, "idx")
+        m.aload(0).iload(2).newarray(ArrayKind.INT)
+        m.putfield(AC_ACTOR, "inbox")
+        m.return_()
+    with c.method("push", "(I)V") as m:
+        m.aload(0).getfield(AC_ACTOR, "inbox")
+        m.aload(0).getfield(AC_ACTOR, "inCount")
+        m.iload(1).iastore()
+        m.aload(0).dup().getfield(AC_ACTOR, "inCount")
+        m.iconst(1).iadd().putfield(AC_ACTOR, "inCount")
+        m.return_()
+    with c.method("run", "()V") as m:
+        # locals: 1=i, 2=value, 3=hash
+        m.iconst(0).istore(1)
+        m.label("loop")
+        m.iload(1).aload(0).getfield(AC_ACTOR, "inCount")
+        m.if_icmpge("done")
+        m.aload(0).getfield(AC_ACTOR, "inbox")
+        m.iload(1).iaload().istore(2)
+        m.iload(2).ldc(31).imul()
+        m.aload(0).getfield(AC_ACTOR, "idx").ldc(7).imul().iadd()
+        m.iload(1).iadd().istore(3)
+        m.aload(0).dup().getfield(AC_ACTOR, "checksum")
+        m.ldc(31).imul().iload(3).iadd()
+        m.putfield(AC_ACTOR, "checksum")
+        m.aload(0).getfield(AC_ACTOR, "left").ifnull("leaf")
+        m.aload(0).getfield(AC_ACTOR, "left")
+        m.iload(3).invokevirtual(AC_ACTOR, "push", "(I)V")
+        m.aload(0).getfield(AC_ACTOR, "right")
+        m.iload(3).invokevirtual(AC_ACTOR, "push", "(I)V")
+        m.label("leaf")
+        m.iinc(1, 1).goto("loop")
+        m.label("done")
+        m.return_()
+    return c
+
+
+def _ac_build_main(messages: int) -> ClassAssembler:
+    c = ClassAssembler(AC_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 1=ops, 2=checksum, 3=actors, 4=rng, 5=i
+        m.iconst(0).istore(1)
+        m.iconst(0).istore(2)
+        for rep in range(TOTAL_REPS):
+            steady = rep >= WARMUP_REPS
+            m.iconst(AC_COUNT).newarray(ArrayKind.REF).astore(3)
+            for i in range(AC_COUNT):
+                m.aload(3).iconst(i)
+                m.new(AC_ACTOR).dup().iconst(i).ldc(messages)
+                m.invokespecial(AC_ACTOR, "<init>", "(II)V")
+                m.aastore()
+            for parent in range(AC_COUNT // 2):
+                for field_name, child in (("left", 2 * parent + 1),
+                                          ("right", 2 * parent + 2)):
+                    m.aload(3).iconst(parent).aaload()
+                    m.checkcast(AC_ACTOR)
+                    m.aload(3).iconst(child).aaload()
+                    m.checkcast(AC_ACTOR)
+                    m.putfield(AC_ACTOR, field_name)
+            m.new("java.util.Random").dup().ldc(rep * 1000003 + 42)
+            m.invokespecial("java.util.Random", "<init>", "(I)V")
+            m.astore(4)
+            m.iconst(0).istore(5)
+            m.label(f"r{rep}_seed")
+            m.iload(5).ldc(messages).if_icmpge(f"r{rep}_seeded")
+            m.aload(3).iconst(0).aaload().checkcast(AC_ACTOR)
+            m.aload(4).ldc(AC_SEED_RANGE)
+            m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+            m.invokevirtual(AC_ACTOR, "push", "(I)V")
+            m.iinc(5, 1).goto(f"r{rep}_seed")
+            m.label(f"r{rep}_seeded")
+            # start a tree level only once its producer level joined:
+            # every inbox is complete before its owner runs, so the
+            # protocol is feed-forward under both scheduler models
+            for level in AC_LEVELS:
+                for i in level:
+                    m.aload(3).iconst(i).aaload().checkcast(AC_ACTOR)
+                    m.invokevirtual(AC_ACTOR, "start", "()V")
+                for i in level:
+                    m.aload(3).iconst(i).aaload().checkcast(AC_ACTOR)
+                    m.invokevirtual(AC_ACTOR, "join", "()V")
+            if steady:
+                for i in range(AC_COUNT):
+                    m.iload(2).ldc(31).imul()
+                    m.aload(3).iconst(i).aaload().checkcast(AC_ACTOR)
+                    m.getfield(AC_ACTOR, "checksum").iadd()
+                    m.istore(2)
+                m.iload(1).ldc(AC_COUNT * messages).iadd().istore(1)
+        _emit_console(m, [("ops", 1), ("checksum", 2)])
+        m.return_()
+    return c
+
+
+@register
+class ActorsWorkload(_ConcurrencyWorkload):
+    """Binary-tree actor message passing."""
+
+    name = "actors"
+    description = ("seven actor threads in a binary tree hash and "
+                   "forward messages level by level")
+
+    main_class = AC_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.messages = AC_MESSAGES_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_ac_build_actor().build())
+        archive.put_class(_ac_build_main(self.messages).build())
+        return archive
+
+    def _mirror(self) -> Tuple[int, int]:
+        ops = 0
+        checksum = 0
+        for rep in range(TOTAL_REPS):
+            inboxes: List[List[int]] = [[] for _ in range(AC_COUNT)]
+            checksums = [0] * AC_COUNT
+            rng = _lcg(rep * 1000003 + 42)
+            for _msg in range(self.messages):
+                inboxes[0].append(rng() % AC_SEED_RANGE)
+            for i in range(AC_COUNT):
+                for slot, value in enumerate(inboxes[i]):
+                    hashed = _wrap32(value * 31 + i * 7 + slot)
+                    checksums[i] = _wrap32(checksums[i] * 31 + hashed)
+                    if 2 * i + 1 < AC_COUNT:
+                        inboxes[2 * i + 1].append(hashed)
+                        inboxes[2 * i + 2].append(hashed)
+            if rep >= WARMUP_REPS:
+                for i in range(AC_COUNT):
+                    checksum = _wrap32(checksum * 31 + checksums[i])
+                ops += AC_COUNT * self.messages
+        return ops, checksum
+
+
+# ---------------------------------------------------------------------------
+# reactors: a linear event pipeline with spin-wait backpressure
+# ---------------------------------------------------------------------------
+
+RE_MAIN = "conc.reactors.Main"
+RE_STAGE = "conc.reactors.Stage"
+
+RE_STAGES = 4
+RE_EVENTS_PER_SCALE = 16
+RE_SEED_RANGE = 1 << 16
+
+
+def _re_build_stage() -> ClassAssembler:
+    c = ClassAssembler(RE_STAGE, super_name="java.lang.Thread")
+    c.field("sid", default=0)
+    c.field("inbox")
+    c.field("inCount", default=0)
+    c.field("expected", default=0)
+    c.field("next")
+    c.field("checksum", default=0)
+    with c.method("<init>", "(II)V") as m:
+        m.aload(0).iload(1).putfield(RE_STAGE, "sid")
+        m.aload(0).iload(2).newarray(ArrayKind.INT)
+        m.putfield(RE_STAGE, "inbox")
+        m.aload(0).iload(2).putfield(RE_STAGE, "expected")
+        m.return_()
+    with c.method("push", "(I)V") as m:
+        m.aload(0).getfield(RE_STAGE, "inbox")
+        m.aload(0).getfield(RE_STAGE, "inCount")
+        m.iload(1).iastore()
+        m.aload(0).dup().getfield(RE_STAGE, "inCount")
+        m.iconst(1).iadd().putfield(RE_STAGE, "inCount")
+        m.return_()
+    with c.method("run", "()V") as m:
+        # locals: 1=i, 2=value, 3=hash.  The spin loop's backward goto
+        # is a safepoint, so at cores > 1 a stage that outruns its
+        # producer is preempted each quantum until input arrives; at
+        # cores = 1 stages run in start order and never spin.
+        m.iconst(0).istore(1)
+        m.label("loop")
+        m.iload(1).aload(0).getfield(RE_STAGE, "expected")
+        m.if_icmpge("done")
+        m.label("spin")
+        m.aload(0).getfield(RE_STAGE, "inCount")
+        m.iload(1).if_icmpgt("have")
+        m.goto("spin")
+        m.label("have")
+        m.aload(0).getfield(RE_STAGE, "inbox")
+        m.iload(1).iaload().istore(2)
+        m.iload(2).ldc(17).imul()
+        m.aload(0).getfield(RE_STAGE, "sid").ldc(5).imul().iadd()
+        m.iload(1).iadd().istore(3)
+        m.aload(0).dup().getfield(RE_STAGE, "checksum")
+        m.ldc(31).imul().iload(3).iadd()
+        m.putfield(RE_STAGE, "checksum")
+        m.aload(0).getfield(RE_STAGE, "next").ifnull("sink")
+        m.aload(0).getfield(RE_STAGE, "next")
+        m.iload(3).invokevirtual(RE_STAGE, "push", "(I)V")
+        m.label("sink")
+        m.iinc(1, 1).goto("loop")
+        m.label("done")
+        m.return_()
+    return c
+
+
+def _re_build_main(events: int) -> ClassAssembler:
+    c = ClassAssembler(RE_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 1=ops, 2=checksum, 3=stages, 4=rng, 5=i
+        m.iconst(0).istore(1)
+        m.iconst(0).istore(2)
+        for rep in range(TOTAL_REPS):
+            steady = rep >= WARMUP_REPS
+            m.iconst(RE_STAGES).newarray(ArrayKind.REF).astore(3)
+            for s in range(RE_STAGES):
+                m.aload(3).iconst(s)
+                m.new(RE_STAGE).dup().iconst(s).ldc(events)
+                m.invokespecial(RE_STAGE, "<init>", "(II)V")
+                m.aastore()
+            for s in range(RE_STAGES - 1):
+                m.aload(3).iconst(s).aaload().checkcast(RE_STAGE)
+                m.aload(3).iconst(s + 1).aaload().checkcast(RE_STAGE)
+                m.putfield(RE_STAGE, "next")
+            m.new("java.util.Random").dup().ldc(rep * 65537 + 29)
+            m.invokespecial("java.util.Random", "<init>", "(I)V")
+            m.astore(4)
+            # seed stage 0 completely before any stage starts
+            m.iconst(0).istore(5)
+            m.label(f"r{rep}_seed")
+            m.iload(5).ldc(events).if_icmpge(f"r{rep}_seeded")
+            m.aload(3).iconst(0).aaload().checkcast(RE_STAGE)
+            m.aload(4).ldc(RE_SEED_RANGE)
+            m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+            m.invokevirtual(RE_STAGE, "push", "(I)V")
+            m.iinc(5, 1).goto(f"r{rep}_seed")
+            m.label(f"r{rep}_seeded")
+            for s in range(RE_STAGES):
+                m.aload(3).iconst(s).aaload().checkcast(RE_STAGE)
+                m.invokevirtual(RE_STAGE, "start", "()V")
+            for s in range(RE_STAGES):
+                m.aload(3).iconst(s).aaload().checkcast(RE_STAGE)
+                m.invokevirtual(RE_STAGE, "join", "()V")
+            if steady:
+                for s in range(RE_STAGES):
+                    m.iload(2).ldc(31).imul()
+                    m.aload(3).iconst(s).aaload().checkcast(RE_STAGE)
+                    m.getfield(RE_STAGE, "checksum").iadd()
+                    m.istore(2)
+                m.iload(1).ldc(RE_STAGES * events).iadd().istore(1)
+        _emit_console(m, [("ops", 1), ("checksum", 2)])
+        m.return_()
+    return c
+
+
+@register
+class ReactorsWorkload(_ConcurrencyWorkload):
+    """Linear reactor pipeline with spin-wait backpressure."""
+
+    name = "reactors"
+    description = ("four pipeline stages forward hashed events; "
+                   "consumers spin-wait on their producer")
+
+    main_class = RE_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.events = RE_EVENTS_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_re_build_stage().build())
+        archive.put_class(_re_build_main(self.events).build())
+        return archive
+
+    def _mirror(self) -> Tuple[int, int]:
+        ops = 0
+        checksum = 0
+        for rep in range(TOTAL_REPS):
+            inboxes: List[List[int]] = [[] for _ in range(RE_STAGES)]
+            checksums = [0] * RE_STAGES
+            rng = _lcg(rep * 65537 + 29)
+            for _event in range(self.events):
+                inboxes[0].append(rng() % RE_SEED_RANGE)
+            for sid in range(RE_STAGES):
+                for slot, value in enumerate(inboxes[sid]):
+                    hashed = _wrap32(value * 17 + sid * 5 + slot)
+                    checksums[sid] = _wrap32(
+                        checksums[sid] * 31 + hashed)
+                    if sid + 1 < RE_STAGES:
+                        inboxes[sid + 1].append(hashed)
+            if rep >= WARMUP_REPS:
+                for sid in range(RE_STAGES):
+                    checksum = _wrap32(checksum * 31 + checksums[sid])
+                ops += RE_STAGES * self.events
+        return ops, checksum
+
+
+def concurrency_suite(scale: int = 1) -> List[Workload]:
+    """The three concurrency workloads, in registry order."""
+    return [FjKmeansWorkload(scale), ActorsWorkload(scale),
+            ReactorsWorkload(scale)]

@@ -1,0 +1,105 @@
+"""The concurrency workload family (fj-kmeans, actors, reactors).
+
+Each workload must validate against its host mirror at every core
+count under both execution tiers, stay deterministic across repeat
+runs, and keep out of :func:`full_suite` so the Table I/II goldens
+are untouched by the scheduler work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.jit.policy import JitPolicy
+from repro.jvm.machine import VMConfig
+from repro.workloads import (
+    concurrency_suite,
+    full_suite,
+    get_workload,
+)
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+FAMILY = ("fj-kmeans", "actors", "reactors")
+
+
+def _run(name, cores, template=True, runs=1):
+    config = RunConfig(
+        agent=AgentSpec.none(), runs=runs,
+        vm_config=VMConfig(jit_policy=JitPolicy(
+            template_tier=template), cores=cores))
+    return execute(get_workload(name), config)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", FAMILY)
+    @pytest.mark.parametrize("cores", [1, 4])
+    @pytest.mark.parametrize("template", [False, True],
+                             ids=["interp", "template"])
+    def test_mirror_agrees(self, name, cores, template):
+        result = _run(name, cores, template)
+        assert result.validation_ok, result.validation_detail
+        assert result.operations > 0
+        if cores == 1:
+            assert result.core_clocks is None
+        else:
+            busy = [c for c in result.core_clocks if c > 0]
+            assert len(busy) >= 2, result.core_clocks
+
+    @pytest.mark.parametrize("name", FAMILY)
+    def test_cores_do_not_change_the_answer(self, name):
+        serial = _run(name, cores=1)
+        scheduled = _run(name, cores=4)
+        # scheduling costs cycles, never correctness: identical
+        # console output (ops and checksum) at every core count
+        assert scheduled.console == serial.console
+
+    @pytest.mark.parametrize("name", FAMILY)
+    def test_scheduled_runs_are_deterministic(self, name):
+        first = _run(name, cores=4)
+        second = _run(name, cores=4)
+        assert first.cycles == second.cycles
+        assert first.core_clocks == second.core_clocks
+        assert first.console == second.console
+
+    def test_fj_kmeans_contends_on_the_accumulator(self):
+        from repro.harness.runner import _build_vm
+        workload = get_workload("fj-kmeans")
+        config = RunConfig(agent=AgentSpec.none(),
+                           vm_config=VMConfig(cores=4))
+        vm = _build_vm(workload, config)
+        vm.launch(workload.main_class)
+        assert vm.scheduler.monitor_contentions > 0
+        assert vm.scheduler.context_switches > 0
+
+
+class TestSuitePlacement:
+    def test_family_is_registered(self):
+        names = [w.name for w in concurrency_suite()]
+        assert names == list(FAMILY)
+
+    def test_family_not_in_full_suite(self):
+        # the goldens predate the scheduler; the family must never
+        # slip into the default table suites
+        suite_names = {w.name for w in full_suite()}
+        assert suite_names.isdisjoint(FAMILY)
+
+
+class TestGoldenParityAtCoresOne:
+    """--cores 1 is the legacy sequential model, bit for bit."""
+
+    def test_table1_cores1_jobs4_matches_golden(self, capsys):
+        assert main(["table1", "--cores", "1", "--jobs", "4",
+                     "--no-ledger"]) == 0
+        out = capsys.readouterr().out
+        assert out == (RESULTS / "table1.txt").read_text()
+
+    def test_table2_cli_accepts_cores(self, capsys):
+        assert main(["table2", "--workloads", "actors", "--cores",
+                     "2", "--no-ledger"]) == 0
+        out = capsys.readouterr().out
+        assert "actors" in out
