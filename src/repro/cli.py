@@ -14,6 +14,8 @@
     repro bench --compare BASE.json # gate on host-throughput regression
     repro runs list|show|diff|trend # query the run ledger
     repro report [RUN_ID|--latest]  # self-contained HTML report
+    repro serve [--socket|--port]   # warm-VM pool behind a socket
+    repro loadgen [--rps N] [...]   # open/closed-loop load generator
 
 Observability never perturbs measurement: ``--trace``/``--metrics-out``
 on ``table1``/``table2`` produce byte-identical tables (the trace and
@@ -42,11 +44,12 @@ to a subset of the suite, e.g. the concurrency family
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from typing import List, Optional
 
-from repro.errors import LedgerError
+from repro.errors import LedgerError, ServiceError
 from repro.harness.config import AgentSpec, RunConfig
 from repro.harness.overhead import build_table1
 from repro.harness.report import render_table1, render_table2
@@ -73,7 +76,7 @@ AGENT_NAMES = ("callchain", "ipa", "ipa-dynamic", "ipa-nocomp", "none",
 
 #: Subcommands whose invocations are recorded in the run ledger.
 LEDGER_COMMANDS = ("table1", "table2", "profile", "trace", "bench",
-                   "analyze")
+                   "analyze", "serve", "loadgen")
 
 
 def _cmd_list(_args) -> int:
@@ -173,11 +176,24 @@ def _capture_metrics_summary(captures) -> Optional[list]:
 
 def _table_workloads(args):
     """Workloads for a table command: the full suite, or the
-    ``--workloads`` subset."""
+    ``--workloads`` subset.  Unknown names raise
+    :class:`~repro.errors.WorkloadError` naming the valid families —
+    callers turn that into a clean exit-2 usage error."""
     names = getattr(args, "workloads", None)
     if not names:
         return full_suite(scale=args.scale)
     return [get_workload(name, scale=args.scale) for name in names]
+
+
+def _check_workload_names(names) -> Optional[str]:
+    """None when every name is a registered workload; otherwise the
+    usage-error message listing the valid families."""
+    valid = workload_names()
+    unknown = [name for name in (names or []) if name not in valid]
+    if not unknown:
+        return None
+    return (f"unknown workload(s) {', '.join(sorted(unknown))}; "
+            f"valid families: {', '.join(sorted(valid))}")
 
 
 def _report_thread_deaths(deaths) -> bool:
@@ -190,6 +206,10 @@ def _report_thread_deaths(deaths) -> bool:
 
 
 def _cmd_table1(args) -> int:
+    problem = _check_workload_names(getattr(args, "workloads", None))
+    if problem:
+        log.error(problem)
+        return 2
     table = build_table1(_table_workloads(args),
                          vm_config=_vm_config_from(args),
                          runs=args.runs, jobs=args.jobs,
@@ -224,6 +244,10 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_table2(args) -> int:
+    problem = _check_workload_names(getattr(args, "workloads", None))
+    if problem:
+        log.error(problem)
+        return 2
     table = build_table2(_table_workloads(args),
                          vm_config=_vm_config_from(args),
                          runs=args.runs, jobs=args.jobs,
@@ -320,6 +344,30 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0 (rps, duration, timeout)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (queue limit; 0 = unbounded)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0, got {value}")
     return value
 
 
@@ -541,6 +589,107 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+# -- service mode: `repro serve` and `repro loadgen` --------------------------
+
+
+def _cmd_loadgen(args) -> int:
+    """Drive the warm-VM pool with open- or closed-loop load."""
+    from repro.observability.metrics import MetricsRegistry
+    from repro.service.loadgen import (
+        MANIFEST_REQUEST_CAP,
+        LoadgenConfig,
+        format_loadgen,
+        run_loadgen,
+    )
+
+    problem = _check_workload_names(args.workloads)
+    if problem:
+        log.error(problem)
+        return 2
+    config = LoadgenConfig(
+        workloads=list(args.workloads),
+        duration=args.duration,
+        rps=args.rps,
+        concurrency=args.concurrency,
+        scale=args.scale,
+        seed=args.seed,
+        tier=args.tier,
+        verify=args.verify,
+        cores=args.cores,
+        workers=args.workers,
+        # unbounded by default: admission is then wall-clock-free, so
+        # the set of simulated outcomes is reproducible (DESIGN.md §10)
+        queue_limit=(args.queue_limit
+                     if args.queue_limit is not None else 0),
+        timeout_seconds=args.timeout,
+        cold_baseline=args.cold_start_baseline,
+    )
+    registry = MetricsRegistry()
+    doc = run_loadgen(config, metrics=registry)
+    print(format_loadgen(doc))
+    manifest_doc = dict(doc)
+    manifest_doc["per_request"] = \
+        doc.get("per_request", [])[:MANIFEST_REQUEST_CAP]
+    args.ledger_outcome = {
+        "loadgen": manifest_doc,
+        "metrics": summarize_metrics(
+            registry.as_records(labels={"source": "loadgen"})),
+        "requests_completed": doc["requests"]["completed"],
+        "artifacts": _artifacts_from(args),
+    }
+    if doc.get("interrupted"):
+        args.ledger_interrupted = True
+        return 130
+    return 1 if doc["requests"]["failed"] else 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the warm-VM pool behind a local socket until interrupted."""
+    from repro.observability.metrics import MetricsRegistry
+    from repro.service.pool import ServiceConfig
+    from repro.service.server import ServeConfig, run_server
+
+    problem = _check_workload_names(args.preheat)
+    if problem:
+        log.error(problem)
+        return 2
+    if not args.socket and args.port is None:
+        log.error("serve needs --socket PATH or --port N")
+        return 2
+    config = ServeConfig(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        preheat=list(args.preheat or []),
+        scale=args.scale,
+        service=ServiceConfig(
+            workers=args.workers,
+            queue_limit=(args.queue_limit
+                         if args.queue_limit is not None else 64),
+            timeout_seconds=args.timeout,
+            tier=args.tier,
+            verify=args.verify,
+            cores=args.cores,
+        ),
+    )
+    registry = MetricsRegistry()
+    try:
+        state = run_server(config, metrics=registry)
+    except ServiceError as exc:
+        log.error("cannot serve", error=str(exc))
+        return 2
+    args.ledger_outcome = {
+        "serve": {"endpoint": config.endpoint(),
+                  "stats": state.get("stats")},
+        "metrics": summarize_metrics(
+            registry.as_records(labels={"source": "serve"})),
+        "artifacts": _artifacts_from(args),
+    }
+    if state.get("interrupted"):
+        args.ledger_interrupted = True
+    return 0
+
+
 # -- run ledger: `repro runs` and `repro report` ------------------------------
 
 
@@ -554,7 +703,10 @@ def _config_for_manifest(args) -> dict:
     config = {}
     for key in ("workload", "workloads", "scale", "runs", "jobs",
                 "tier", "verify", "cores", "boundary_check", "suite",
-                "check_instrumentation", "max_regression", "compare"):
+                "check_instrumentation", "max_regression", "compare",
+                "rps", "duration", "concurrency", "seed", "workers",
+                "queue_limit", "timeout", "cold_start_baseline",
+                "socket", "host", "port", "preheat"):
         if hasattr(args, key):
             config[key] = getattr(args, key)
     agent = getattr(args, "agent", None)
@@ -573,6 +725,10 @@ def _record_run(args, argv, status: int, wall_seconds: float) -> None:
     """
     manifest = ledger_module.new_manifest(
         args.command, _config_for_manifest(args), argv)
+    if getattr(args, "ledger_interrupted", False):
+        # partial-but-valid: the run was cut short by SIGINT/SIGTERM,
+        # but whatever outcome the command assembled is still recorded
+        manifest["interrupted"] = True
     outcome = dict(getattr(args, "ledger_outcome", None) or {})
     outcome["exit_status"] = status
     outcome["wall_seconds"] = round(wall_seconds, 4)
@@ -865,6 +1021,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_global_arguments(pr)
     pr.set_defaults(func=_cmd_runs)
 
+    def add_service_arguments(subparser) -> None:
+        subparser.add_argument(
+            "--workers", type=_positive_int, default=2, metavar="N",
+            help="pool workers, each with its own warm VMs "
+                 "(default: 2)")
+        subparser.add_argument(
+            "--queue-limit", type=_non_negative_int, default=None,
+            metavar="N",
+            help="bounded-queue admission limit; requests beyond it "
+                 "are rejected 429-style (0 = unbounded)")
+        subparser.add_argument(
+            "--timeout", type=_positive_float, default=None,
+            metavar="SECONDS",
+            help="per-request timeout; an expired request returns a "
+                 "504-style outcome and its worker is replaced if "
+                 "stuck (default: none)")
+        subparser.add_argument("--scale", type=_positive_int,
+                               default=1)
+        _add_tier_argument(subparser)
+        _add_cores_argument(subparser)
+        _add_verify_argument(subparser)
+
+    pserve = sub.add_parser(
+        "serve",
+        help=("run the warm-VM pool behind a local unix socket or "
+              "TCP port (JSON-lines protocol)"))
+    pserve.add_argument("--socket", metavar="PATH", default=None,
+                        help="unix socket path to listen on")
+    pserve.add_argument("--port", type=_positive_int, default=None,
+                        metavar="N", help="TCP port to listen on")
+    pserve.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind address (default: 127.0.0.1)")
+    pserve.add_argument("--preheat", nargs="+", default=[],
+                        metavar="NAME",
+                        help="pre-warm these workloads in every "
+                             "worker before accepting traffic")
+    add_service_arguments(pserve)
+    _add_global_arguments(pserve)
+    pserve.set_defaults(func=_cmd_serve)
+
+    plg = sub.add_parser(
+        "loadgen",
+        help=("drive the warm-VM pool with open-loop (--rps) or "
+              "closed-loop load; report latency percentiles, "
+              "achieved vs offered RPS, and rejection counters"))
+    plg.add_argument("--rps", type=_positive_float, default=None,
+                     metavar="N",
+                     help="open-loop offered rate (omit for a "
+                          "closed loop at --concurrency)")
+    plg.add_argument("--concurrency", type=_positive_int, default=4,
+                     metavar="C",
+                     help="closed-loop loopers (default: 4; ignored "
+                          "with --rps)")
+    plg.add_argument("--duration", type=_positive_float, default=5.0,
+                     metavar="SECONDS",
+                     help="experiment length (default: 5)")
+    plg.add_argument("--workloads", nargs="+", default=["db"],
+                     metavar="NAME",
+                     help="request mix, chosen per request by the "
+                          "seeded RNG (default: db)")
+    plg.add_argument("--seed", type=int, default=0,
+                     help="schedule/mix RNG seed (default: 0)")
+    plg.add_argument("--cold-start-baseline", action="store_true",
+                     help="replay the same schedule against a cold "
+                          "pool and report the comparison")
+    add_service_arguments(plg)
+    _add_global_arguments(plg)
+    plg.set_defaults(func=_cmd_loadgen)
+
     pre = sub.add_parser(
         "report",
         help="render a self-contained HTML report for a ledger run")
@@ -883,17 +1108,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sigterm_to_interrupt(_signum, _frame) -> None:
+    """SIGTERM handler for long-running commands: route through the
+    KeyboardInterrupt path so a partial-but-valid ledger manifest is
+    flushed instead of dying with a truncated entry."""
+    raise KeyboardInterrupt
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     obs_logging.configure(
         level=getattr(args, "log_level", "info"),
         json_mode=getattr(args, "log_json", False))
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM,
+                                         _sigterm_to_interrupt)
+    except ValueError:
+        pass  # not the main thread (embedding); SIGTERM stays default
     started = time.perf_counter()
     try:
         status = args.func(args)
     except BrokenPipeError:
         # stdout consumer (e.g. `| head`) went away; exit quietly
         return 0
+    except KeyboardInterrupt:
+        # serve/loadgen handle interrupts themselves; this catches the
+        # rest (multi-rep tables, bench) so the ledger still gets a
+        # manifest marked interrupted instead of a truncated entry
+        status = 130
+        args.ledger_interrupted = True
+        log.warning("interrupted; flushing partial run manifest")
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
     if args.command in LEDGER_COMMANDS and \
             not getattr(args, "no_ledger", False):
         _record_run(args, argv if argv is not None else sys.argv[1:],

@@ -161,3 +161,25 @@ class HarnessError(ReproError):
 
 class LedgerError(ReproError):
     """A run-ledger lookup failed (unknown or ambiguous run id)."""
+
+
+class ServiceError(ReproError):
+    """The warm-VM service subsystem was misused or misconfigured."""
+
+
+class AdmissionError(ServiceError):
+    """The service queue refused a request (bounded-queue admission).
+
+    The 429-style structured rejection of the request path: carries the
+    observed queue depth and the configured limit so callers (the load
+    generator, socket clients) can report or back off without parsing
+    message text.
+    """
+
+    status = 429
+
+    def __init__(self, message: str, queue_depth: int = 0,
+                 queue_limit: int = 0):
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.queue_limit = queue_limit

@@ -116,7 +116,8 @@ def format_bench(doc: Dict) -> str:
     """Human-readable rendering of a measurement document."""
     lines = [
         f"benchmark: {doc['benchmark']} (scale {doc['scale']}, "
-        f"tier {doc.get('tier', 'interp')}, python {doc['python']})",
+        f"tier {doc.get('tier', 'interp')}, "
+        f"cores {doc.get('cores', 1)}, python {doc['python']})",
         f"{'workload':<12} {'host s':>9} {'instructions':>14} "
         f"{'instr/s':>12}",
     ]
@@ -173,6 +174,20 @@ def compare_bench(current: Dict, baseline: Dict,
         if b > 0:
             lines.append(f"  {name:<12} {b:>12,} -> {c:>12,} "
                          f"({(c - b) / b * 100.0:+.1f}%)")
+    # Configuration sanity: a tier or core-count mismatch means the
+    # two runs measured different engines — flag it loudly.
+    base_tier = baseline.get("tier", "interp")
+    cur_tier = current.get("tier", "interp")
+    if base_tier != cur_tier:
+        lines.append(f"WARNING: tier mismatch (baseline {base_tier}, "
+                     f"current {cur_tier}); rates compare different "
+                     f"execution tiers")
+    base_cores = baseline.get("cores", 1)
+    cur_cores = current.get("cores", 1)
+    if base_cores != cur_cores:
+        lines.append(f"WARNING: core-count mismatch (baseline "
+                     f"{base_cores}, current {cur_cores}); scheduler "
+                     f"overhead differs between the runs")
     # Provenance sanity: cross-host or dirty-tree comparisons are
     # allowed but flagged — the numbers may not be commensurable.
     base_host = baseline.get("hostname")

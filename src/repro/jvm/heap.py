@@ -64,3 +64,21 @@ class Heap:
     @property
     def intern_table_size(self) -> int:
         return len(self._intern_table)
+
+    def reset(self) -> None:
+        """Forget per-run allocations; keep the intern table.
+
+        Used by the warm-VM service between requests.  The heap is pure
+        bookkeeping (objects live as long as something references them),
+        so resetting **in place** is what matters: template-tier code
+        binds this very ``Heap`` instance into its generated closures,
+        and interned strings are bound by identity at ``LDC`` sites —
+        both must survive a reset.  Allocation counters restart, so a
+        warm request observes the same allocation statistics as the
+        first; ``object_id``s restart too (they are debug labels, never
+        identity).
+        """
+        self._next_id = 1
+        self.objects_allocated = 0
+        self.arrays_allocated = 0
+        self.strings_allocated = 0

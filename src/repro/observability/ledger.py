@@ -1,7 +1,8 @@
 """The run ledger: an append-only directory of run manifests.
 
 Every measuring CLI invocation (``table1``/``table2``/``profile``/
-``trace``/``bench``/``analyze``) writes one **run manifest** — run id,
+``trace``/``bench``/``analyze``/``serve``/``loadgen``) writes one
+**run manifest** — run id,
 provenance (:mod:`~repro.observability.runinfo`), the fully resolved
 configuration, and the outcome (rendered tables, per-workload numbers,
 wall time, instructions per host second, metrics snapshot, artifact
@@ -268,7 +269,17 @@ def diff_manifests(a: Dict, b: Dict) -> List[str]:
 
     config_a = a.get("config", {})
     config_b = b.get("config", {})
+    # tier and cores change what a run *measures*, so they are always
+    # shown — even unchanged — to make comparability explicit
+    for key in ("tier", "cores"):
+        va, vb = config_a.get(key), config_b.get(key)
+        if va == vb:
+            lines.append(f"config {key}: {va} (same)")
+        else:
+            lines.append(f"config {key}: {va} -> {vb}")
     for key in sorted(set(config_a) | set(config_b)):
+        if key in ("tier", "cores"):
+            continue
         va, vb = config_a.get(key), config_b.get(key)
         if va != vb:
             lines.append(f"config {key}: {va} -> {vb}")
@@ -311,6 +322,17 @@ def _counter_totals(manifest: Dict) -> Dict[str, float]:
 # -- `repro runs trend` -------------------------------------------------------
 
 
+def has_workload_cells(manifest: Dict) -> bool:
+    """Does this manifest contribute at least one numeric
+    per-workload cell to a trend series?  ``analyze``, ``loadgen``
+    and ``serve`` runs record other outcome shapes and do not."""
+    workloads = manifest.get("outcome", {}).get("workloads") or {}
+    return any(
+        isinstance(cells.get(field), (int, float))
+        for cells in workloads.values()
+        for field, _ in WORKLOAD_FIELDS)
+
+
 def trend_series(manifests: List[Dict]
                  ) -> Dict[Tuple[str, str], List[Tuple[str, float]]]:
     """``{(workload, field): [(run_id, value), ...]}`` oldest first.
@@ -348,8 +370,21 @@ def trend_report(manifests: List[Dict],
     """
     direction = dict(WORKLOAD_FIELDS)
     wanted = set(fields) if fields is not None else None
-    series = trend_series(manifests)
+    # run kinds without per-workload cells (analyze, loadgen, serve)
+    # are skipped with a note instead of contributing empty series
+    skipped: Dict[str, int] = {}
+    charted = []
+    for manifest in manifests:
+        if has_workload_cells(manifest):
+            charted.append(manifest)
+        else:
+            command = manifest.get("command", "?")
+            skipped[command] = skipped.get(command, 0) + 1
+    series = trend_series(charted)
     lines: List[str] = []
+    for command in sorted(skipped):
+        lines.append(f"note: skipped {skipped[command]} {command} "
+                     f"run(s) with no per-workload cells")
     regressed: List[str] = []
     for (workload, field) in sorted(series):
         if wanted is not None and field not in wanted:
@@ -372,7 +407,7 @@ def trend_report(manifests: List[Dict],
                 f"{values[-1]:,.2f} ({change:+.1f}%, budget "
                 f"{max_regression_percent:.1f}%) between runs "
                 f"{points[-2][0]} and {points[-1][0]}")
-    if not lines:
+    if not series:
         lines.append("no per-workload series in the ledger yet")
     if regressed:
         lines.extend(regressed)

@@ -10,6 +10,9 @@ libraries, no external assets, stdlib only — embedding:
 * overhead bar charts (SPA and IPA panels side by side — their
   magnitudes differ by orders of magnitude, so each panel gets its
   own scale rather than one unreadable shared axis);
+* for ``loadgen`` runs, a latency histogram, a throughput-over-time
+  panel (offered vs completed per second), and the warm-pool vs
+  cold-start comparison when the baseline experiment ran;
 * headline metric counter tiles plus the full metrics summary;
 * the folded-stack flamegraph re-rendered as an inline icicle SVG
   (Java frames blue, native frames orange — the paper's boundary,
@@ -222,6 +225,144 @@ def _overhead_section(manifest: Dict) -> str:
             if spa and ipa else "")
     return (f"<section><h2>Overhead</h2>{note}"
             f'<div class="panes">{"".join(panes)}</div></section>')
+
+
+# -- loadgen ------------------------------------------------------------------
+
+
+def _column_panel(title: str,
+                  columns: List[Tuple[str, List[Tuple[str, float]]]],
+                  labels: List[str]) -> str:
+    """Vertical grouped bars: ``columns`` is ``[(series_color_var,
+    [(name, value), ...]), ...]`` — every series the same length as
+    ``labels``."""
+    if not labels or not columns:
+        return ""
+    groups = len(labels)
+    bar_w, group_gap, left, top, bottom = 14, 10, 8, 22, 18
+    chart_h = 110
+    series_n = len(columns)
+    group_w = series_n * bar_w + group_gap
+    width = left + groups * group_w + 8
+    height = top + chart_h + bottom
+    peak = max((value for _, rows in columns
+                for _, value in rows), default=0) or 1.0
+    parts = [f'<svg width="{width}" height="{height}" role="img" '
+             f'aria-label="{_esc(title)}">',
+             f'<text x="0" y="14">{_esc(title)}</text>']
+    for g in range(groups):
+        gx = left + g * group_w
+        for s, (color_var, rows) in enumerate(columns):
+            name, value = rows[g]
+            h = value / peak * chart_h
+            y = top + chart_h - h
+            parts.append(
+                f'<rect x="{gx + s * bar_w:.1f}" y="{y:.1f}" '
+                f'width="{bar_w - 2}" height="{max(h, 0.5):.1f}" '
+                f'rx="2" fill="var({color_var})">'
+                f'<title>{_esc(name)}: {value:,.0f}</title></rect>')
+        label = labels[g]
+        if groups <= 24 or g % 2 == 0:
+            parts.append(
+                f'<text class="muted" x="{gx + series_n * bar_w / 2}" '
+                f'y="{top + chart_h + 13}" text-anchor="middle">'
+                f'{_esc(label)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _loadgen_latency_panel(doc: Dict) -> str:
+    histogram = doc.get("latency_histogram") or {}
+    bounds = histogram.get("bounds_ms") or []
+    counts = histogram.get("counts") or []
+    if not bounds or len(counts) != len(bounds) + 1:
+        return ""
+    labels = [f"≤{b:g}" for b in bounds] + [f">{bounds[-1]:g}"]
+    rows = list(zip([f"{lab} ms" for lab in labels], counts))
+    # trim empty buckets at both ends so the occupied range is legible
+    first = next((i for i, (_, c) in enumerate(rows) if c), None)
+    if first is None:
+        return ""
+    last = max(i for i, (_, c) in enumerate(rows) if c)
+    rows = rows[first:last + 1]
+    labels = labels[first:last + 1]
+    return _column_panel("request latency [ms]",
+                         [("--blue", [(n, float(c)) for n, c in rows])],
+                         labels)
+
+
+def _loadgen_timeline_panel(doc: Dict) -> str:
+    timeline = doc.get("timeline") or []
+    if not timeline:
+        return ""
+    labels = [str(row.get("second", i))
+              for i, row in enumerate(timeline)]
+    offered = [(f"second {row.get('second', i)}: offered",
+                float(row.get("offered", 0)))
+               for i, row in enumerate(timeline)]
+    completed = [(f"second {row.get('second', i)}: completed",
+                  float(row.get("completed", 0)))
+                 for i, row in enumerate(timeline)]
+    return _column_panel("throughput over time [req/s]",
+                         [("--orange", offered), ("--blue", completed)],
+                         labels)
+
+
+def _loadgen_section(manifest: Dict) -> str:
+    doc = manifest.get("outcome", {}).get("loadgen")
+    if not doc:
+        return ""
+    latency = doc.get("latency_ms") or {}
+    requests = doc.get("requests") or {}
+    tiles = []
+    for value, label in (
+            (doc.get("offered_rps"), "offered rps"),
+            (doc.get("achieved_rps"), "achieved rps"),
+            (doc.get("saturation_rps"), "saturation rps"),
+            (latency.get("p50"), "p50 ms"),
+            (latency.get("p95"), "p95 ms"),
+            (latency.get("p99"), "p99 ms"),
+            (requests.get("rejected"), "rejected"),
+            (requests.get("timeout"), "timed out")):
+        if value is not None:
+            tiles.append(f'<div class="tile"><div class="v">'
+                         f'{_fmt(value)}</div>'
+                         f'<div class="k">{_esc(label)}</div></div>')
+    panes = [panel for panel in (_loadgen_latency_panel(doc),
+                                 _loadgen_timeline_panel(doc)) if panel]
+    parts = [f'<div class="tiles">{"".join(tiles)}</div>']
+    if panes:
+        parts.append(
+            '<p class="legend">'
+            '<span class="swatch" style="background:var(--orange)">'
+            "</span>offered"
+            '<span class="swatch" style="background:var(--blue)">'
+            "</span>completed</p>"
+            f'<div class="panes">{"".join(panes)}</div>')
+    cold = doc.get("cold_baseline")
+    if cold:
+        cold_latency = cold.get("latency_ms") or {}
+        rows = []
+        for key in ("p50", "p95", "p99", "max", "mean"):
+            warm_v = latency.get(key)
+            cold_v = cold_latency.get(key)
+            if warm_v is None or cold_v is None:
+                continue
+            rows.append(f"<tr><td>{_esc(key)} ms</td>"
+                        f"<td>{_fmt(warm_v)}</td>"
+                        f"<td>{_fmt(cold_v)}</td></tr>")
+        rows.append(f"<tr><td>achieved rps</td>"
+                    f"<td>{_fmt(doc.get('achieved_rps', 0))}</td>"
+                    f"<td>{_fmt(cold.get('achieved_rps', 0))}</td>"
+                    f"</tr>")
+        parts.append(
+            "<h2>Warm pool vs cold-start baseline</h2>"
+            "<table><tr><th>measure</th><th>warm pool</th>"
+            "<th>cold start</th></tr>" + "".join(rows) + "</table>")
+    interrupted = (" (interrupted — partial run)"
+                   if doc.get("interrupted") else "")
+    return (f"<section><h2>Load generation{_esc(interrupted)}</h2>"
+            + "".join(parts) + "</section>")
 
 
 # -- metrics ------------------------------------------------------------------
@@ -443,6 +584,7 @@ def render_report(manifest: Dict,
         _header_section(manifest),
         _config_section(manifest),
         _tables_section(manifest),
+        _loadgen_section(manifest),
         _overhead_section(manifest),
         _metrics_section(manifest),
         _flamegraph_section(flamegraph_text),

@@ -1,0 +1,37 @@
+"""Service mode: a persistent pool of pre-warmed VMs behind an
+asyncio request queue.
+
+The batch harness builds a fresh :class:`~repro.jvm.machine.JavaVM`
+per run; this package keeps VMs alive across requests so class
+loading, verification, and template-tier compilation are paid once
+(the tiered-execution startup question — see DESIGN.md §10):
+
+* :mod:`repro.service.warm` — one warm VM: eager class loading,
+  statics snapshot/restore, per-request in-place reset;
+* :mod:`repro.service.pool` — the asyncio :class:`VMPool`: bounded
+  admission, per-request timeout, crashed-worker replacement;
+* :mod:`repro.service.loadgen` — open-/closed-loop load generator
+  with latency/throughput reporting (``repro loadgen``);
+* :mod:`repro.service.server` — the JSON-lines socket front end
+  (``repro serve``).
+"""
+
+from repro.errors import AdmissionError, ServiceError
+from repro.service.pool import (
+    RequestOutcome,
+    ServiceConfig,
+    VMPool,
+    WorkloadRequest,
+)
+from repro.service.warm import WarmVM, run_cold
+
+__all__ = [
+    "AdmissionError",
+    "RequestOutcome",
+    "ServiceConfig",
+    "ServiceError",
+    "VMPool",
+    "WarmVM",
+    "WorkloadRequest",
+    "run_cold",
+]

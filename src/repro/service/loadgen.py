@@ -1,0 +1,369 @@
+"""Open- and closed-loop load generation against the warm-VM pool.
+
+**Open loop** (``--rps N``): request *i* of a precomputed schedule is
+released at ``t0 + i/rps``, independent of completions — the
+arrival process the paper's server-class workloads face in practice.
+The schedule (request count, per-request workload choice) is a pure
+function of ``(rps, duration, workloads, seed)``, so the *simulated*
+outcome of every request — cycle cost, instructions, console
+checksum — is reproducible across repeats; only host-side latency
+varies.  A bounded queue or timeout can make the *admitted subset*
+wall-clock-dependent (documented determinism caveat; both default
+off for loadgen).
+
+**Closed loop** (no ``--rps``): C loopers issue back-to-back requests
+until the deadline — the measured completion rate *is* the pool's
+saturation throughput.  The per-looper request sequence is seeded,
+but the request *count* depends on host speed (second caveat).
+
+The report carries p50/p95/p99/max latency, achieved vs offered RPS,
+queue and rejection counters, a latency histogram, a per-second
+throughput timeline (both rendered in the HTML report), and a digest
+over all simulated outcomes — the compact reproducibility witness.
+A ``--cold-start-baseline`` run replays the same schedule against a
+cold pool and attaches the warm-vs-cold comparison.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field, replace
+from random import Random
+from typing import Dict, List, Optional
+
+from repro.errors import AdmissionError, ServiceError
+from repro.observability import logging as obs_logging
+from repro.observability.metrics import MetricsRegistry
+from repro.service.pool import ServiceConfig, VMPool, WorkloadRequest
+
+log = obs_logging.get_logger("loadgen")
+
+#: Log-scaled latency-histogram bucket bounds, milliseconds.
+LATENCY_BUCKETS_MS = tuple(2 ** p for p in range(-1, 15))
+
+#: Per-request rows embedded in the ledger manifest are capped (the
+#: digest still covers every request).
+MANIFEST_REQUEST_CAP = 200
+
+
+@dataclass
+class LoadgenConfig:
+    """One load-generation experiment."""
+
+    workloads: List[str] = field(default_factory=lambda: ["db"])
+    duration: float = 5.0
+    rps: Optional[float] = None      # None = closed loop
+    concurrency: int = 4             # loopers (closed loop only)
+    scale: int = 1
+    seed: int = 0
+    tier: str = "template"
+    verify: str = "structural"
+    cores: int = 1
+    workers: int = 2
+    queue_limit: int = 0             # 0 = unbounded (deterministic)
+    timeout_seconds: Optional[float] = None
+    warm: bool = True
+    cold_baseline: bool = False
+
+    def service_config(self) -> ServiceConfig:
+        return ServiceConfig(
+            workers=self.workers, queue_limit=self.queue_limit,
+            timeout_seconds=self.timeout_seconds, tier=self.tier,
+            verify=self.verify, cores=self.cores, warm=self.warm)
+
+
+def build_schedule(config: LoadgenConfig) -> List[Dict]:
+    """The open-loop arrival schedule: deterministic in the seed."""
+    if config.rps is None:
+        raise ServiceError("closed-loop runs have no fixed schedule")
+    count = max(1, round(config.rps * config.duration))
+    rng = Random(config.seed)
+    return [{"id": i, "at": i / config.rps,
+             "workload": config.workloads[
+                 rng.randrange(len(config.workloads))]}
+            for i in range(count)]
+
+
+async def _drive_open_loop(pool: VMPool, config: LoadgenConfig,
+                           records: List[Dict]) -> None:
+    schedule = build_schedule(config)
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+
+    async def one(entry: Dict) -> None:
+        delay = entry["at"] - (loop.time() - t0)
+        if delay > 0:
+            await asyncio.sleep(delay)
+        await _issue(pool, entry["id"], entry["workload"],
+                     config.scale, loop.time() - t0, records)
+
+    await asyncio.gather(*(one(entry) for entry in schedule))
+
+
+async def _drive_closed_loop(pool: VMPool, config: LoadgenConfig,
+                             records: List[Dict]) -> None:
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    counter = {"next": 0}
+
+    async def looper(index: int) -> None:
+        rng = Random((config.seed << 8) | index)
+        while loop.time() - t0 < config.duration:
+            request_id = counter["next"]
+            counter["next"] += 1
+            name = config.workloads[
+                rng.randrange(len(config.workloads))]
+            await _issue(pool, request_id, name, config.scale,
+                         loop.time() - t0, records)
+
+    await asyncio.gather(*(looper(i)
+                           for i in range(config.concurrency)))
+
+
+async def _issue(pool: VMPool, request_id: int, workload: str,
+                 scale: int, offset: float,
+                 records: List[Dict]) -> None:
+    try:
+        outcome = await pool.submit(WorkloadRequest(
+            workload, scale=scale, request_id=request_id))
+    except AdmissionError as exc:
+        records.append({"id": request_id, "workload": workload,
+                        "at": round(offset, 4), "status": 429,
+                        "ok": False,
+                        "error": str(exc),
+                        "queue_depth": exc.queue_depth})
+        return
+    row = outcome.to_json()
+    row["id"] = request_id
+    row["at"] = round(offset, 4)
+    row["done_at"] = round(offset + outcome.latency_seconds, 4)
+    records.append(row)
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank-with-interpolation percentile over raw samples."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = fraction * (len(sorted_values) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = rank - lower
+    return (sorted_values[lower] * (1 - weight)
+            + sorted_values[upper] * weight)
+
+
+def _latency_stats(latencies_ms: List[float]) -> Dict:
+    ordered = sorted(latencies_ms)
+    if not ordered:
+        return {"count": 0}
+    return {
+        "count": len(ordered),
+        "mean": round(sum(ordered) / len(ordered), 3),
+        "p50": round(_percentile(ordered, 0.50), 3),
+        "p95": round(_percentile(ordered, 0.95), 3),
+        "p99": round(_percentile(ordered, 0.99), 3),
+        "max": round(ordered[-1], 3),
+    }
+
+
+def _latency_histogram(latencies_ms: List[float]) -> Dict:
+    counts = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+    for value in latencies_ms:
+        for i, bound in enumerate(LATENCY_BUCKETS_MS):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    return {"bounds_ms": list(LATENCY_BUCKETS_MS), "counts": counts}
+
+
+def _timeline(records: List[Dict], duration: float) -> List[Dict]:
+    """Offered and completed requests per whole second."""
+    seconds = max(1, int(duration) + 1)
+    offered = [0] * seconds
+    completed = [0] * seconds
+    for row in records:
+        at = int(row.get("at", 0))
+        if 0 <= at < seconds:
+            offered[at] += 1
+        if row.get("status") == 200:
+            done = int(row.get("done_at", row.get("at", 0)))
+            if done >= seconds:
+                done = seconds - 1
+            completed[done] += 1
+    return [{"second": s, "offered": offered[s],
+             "completed": completed[s]} for s in range(seconds)]
+
+
+def outcome_digest(records: List[Dict]) -> str:
+    """Digest over every completed request's *simulated* outcome
+    (request id, workload, cycle cost, console checksum) — identical
+    across repeats of the same seeded run, whatever the wall clock
+    did."""
+    lines = [f"{row['id']} {row['workload']} {row.get('cycles', 0)} "
+             f"{row.get('checksum', '')}"
+             for row in sorted(records, key=lambda r: r["id"])
+             if row.get("status") == 200]
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def summarize(config: LoadgenConfig, records: List[Dict],
+              wall_seconds: float, pool_stats: Dict,
+              interrupted: bool = False) -> Dict:
+    completed = [r for r in records if r.get("status") == 200]
+    latencies = [r["latency_ms"] for r in completed]
+    statuses: Dict[str, int] = {}
+    for row in records:
+        key = str(row.get("status"))
+        statuses[key] = statuses.get(key, 0) + 1
+    offered_rps = (config.rps if config.rps is not None
+                   else round(len(records) / wall_seconds, 2)
+                   if wall_seconds > 0 else 0)
+    achieved = round(len(completed) / wall_seconds, 2) \
+        if wall_seconds > 0 else 0.0
+    doc = {
+        "mode": "open" if config.rps is not None else "closed",
+        "workloads": list(config.workloads),
+        "seed": config.seed,
+        "duration_seconds": config.duration,
+        "wall_seconds": round(wall_seconds, 3),
+        "offered_rps": offered_rps,
+        "achieved_rps": achieved,
+        "requests": {
+            "issued": len(records),
+            "completed": len(completed),
+            "failed": statuses.get("500", 0) + statuses.get("400", 0),
+            "rejected": statuses.get("429", 0),
+            "timeout": statuses.get("504", 0),
+        },
+        "warm": {
+            "warm_requests": sum(1 for r in completed if r.get("warm")),
+            "cold_requests": sum(1 for r in completed
+                                 if not r.get("warm")),
+        },
+        "queue": {
+            "limit": config.queue_limit,
+            "peak_depth": pool_stats.get("service_queue_depth_peak", 0),
+        },
+        "latency_ms": _latency_stats(latencies),
+        "latency_histogram": _latency_histogram(latencies),
+        "timeline": _timeline(records, max(config.duration,
+                                           wall_seconds)),
+        "outcome_digest": outcome_digest(records),
+        "cycles_total": sum(r.get("cycles", 0) for r in completed),
+    }
+    if config.rps is None:
+        doc["saturation_rps"] = achieved
+    doc["interrupted"] = bool(interrupted)
+    return doc
+
+
+async def _run_async(config: LoadgenConfig,
+                     metrics: MetricsRegistry) -> Dict:
+    pool = VMPool(config.service_config(), metrics=metrics)
+    await pool.start()
+    records: List[Dict] = []
+    interrupted = False
+    started = time.perf_counter()
+    try:
+        if config.warm:
+            warmed = await pool.preheat(config.workloads,
+                                        scale=config.scale)
+            log.info("pool preheated", vms=warmed,
+                     workers=config.workers)
+        started = time.perf_counter()
+        if config.rps is not None:
+            await _drive_open_loop(pool, config, records)
+        else:
+            await _drive_closed_loop(pool, config, records)
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        interrupted = True
+        log.warning("load generation interrupted; summarizing the "
+                    "requests completed so far", issued=len(records))
+    finally:
+        wall = time.perf_counter() - started
+        stats = pool.stats()
+        await pool.stop()
+    doc = summarize(config, records, wall, stats,
+                    interrupted=interrupted)
+    doc["per_request"] = sorted(records, key=lambda r: r["id"])
+    return doc
+
+
+def run_loadgen(config: LoadgenConfig,
+                metrics: Optional[MetricsRegistry] = None) -> Dict:
+    """Run one load-generation experiment; returns the report doc.
+
+    With ``cold_baseline`` set, the same schedule is replayed against
+    a cold pool (every request builds a fresh VM) and the comparison
+    is attached under ``"cold_baseline"``.
+    """
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    try:
+        doc = asyncio.run(_run_async(config, metrics))
+    except KeyboardInterrupt:
+        # interrupt landed outside the driver's own handler (e.g.
+        # during pool start); report an empty-but-valid interrupted doc
+        doc = summarize(config, [], 0.0, {}, interrupted=True)
+        doc["per_request"] = []
+        return doc
+    if config.cold_baseline and not doc.get("interrupted"):
+        cold_config = replace(config, cold_baseline=False, warm=False)
+        cold = asyncio.run(_run_async(cold_config, MetricsRegistry()))
+        doc["cold_baseline"] = {
+            "latency_ms": cold["latency_ms"],
+            "achieved_rps": cold["achieved_rps"],
+            "requests": cold["requests"],
+            "outcome_digest": cold["outcome_digest"],
+        }
+    return doc
+
+
+def format_loadgen(doc: Dict) -> str:
+    """Terminal rendering of a loadgen report."""
+    requests = doc["requests"]
+    latency = doc["latency_ms"]
+    lines = [
+        f"mode:          {doc['mode']} loop "
+        f"({', '.join(doc['workloads'])}, seed {doc['seed']})",
+        f"offered:       {doc['offered_rps']} rps for "
+        f"{doc['duration_seconds']}s",
+        f"achieved:      {doc['achieved_rps']} rps "
+        f"({requests['completed']}/{requests['issued']} completed, "
+        f"{requests['rejected']} rejected, "
+        f"{requests['timeout']} timed out, "
+        f"{requests['failed']} failed)",
+        f"warm/cold:     {doc['warm']['warm_requests']}/"
+        f"{doc['warm']['cold_requests']}",
+        f"queue:         peak depth {doc['queue']['peak_depth']}"
+        + (f" (limit {doc['queue']['limit']})"
+           if doc['queue']['limit'] else " (unbounded)"),
+    ]
+    if latency.get("count"):
+        lines.append(
+            f"latency ms:    p50={latency['p50']} p95={latency['p95']} "
+            f"p99={latency['p99']} max={latency['max']} "
+            f"mean={latency['mean']}")
+    if "saturation_rps" in doc:
+        lines.append(f"saturation:    {doc['saturation_rps']} rps")
+    lines.append(f"digest:        {doc['outcome_digest']} "
+                 f"(simulated outcomes; stable across repeats)")
+    cold = doc.get("cold_baseline")
+    if cold:
+        cold_latency = cold["latency_ms"]
+        if cold_latency.get("count"):
+            lines.append(
+                f"cold baseline: p50={cold_latency['p50']} "
+                f"p95={cold_latency['p95']} "
+                f"max={cold_latency['max']} ms at "
+                f"{cold['achieved_rps']} rps "
+                f"(digest {cold['outcome_digest']})")
+    if doc.get("interrupted"):
+        lines.append("INTERRUPTED: partial results above")
+    return "\n".join(lines)

@@ -1,0 +1,405 @@
+"""The warm-VM pool: asyncio request queue + worker replacement.
+
+``VMPool`` owns N workers.  Each worker is an asyncio task holding a
+dedicated single-thread executor (warm VMs have host-thread affinity
+for the lifetime of a request) and a cache of :class:`WarmVM`
+instances keyed by request configuration.  Requests flow through one
+shared queue:
+
+* **admission** — the queue is bounded; a submit against a full queue
+  raises a structured 429-style
+  :class:`~repro.errors.AdmissionError` immediately (callers never
+  block on an overloaded pool) and is counted in the metrics registry;
+* **timeout** — a submit with a deadline returns a 504-style outcome
+  when it expires.  A request still queued is simply skipped; a
+  request already running cannot be interrupted (host threads), so
+  its worker is retired — a replacement worker is spawned at once and
+  the old one exits when (if) the stuck run returns;
+* **crash isolation** — a host-level exception escaping request
+  execution yields a 500-style outcome for that request only; the
+  worker's VMs are considered poisoned, the worker is replaced, and
+  subsequent requests succeed on the replacement.
+
+Warm execution requires ``cores == 1`` (see
+:mod:`repro.service.warm`); multi-core requests transparently take the
+cold path.  All counters flow through an injected
+:class:`~repro.observability.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import AdmissionError, ServiceError, WorkloadError
+from repro.observability import logging as obs_logging
+from repro.observability.metrics import MetricsRegistry
+from repro.service.warm import WarmVM, run_cold
+from repro.workloads import workload_names
+
+log = obs_logging.get_logger("service")
+
+
+@dataclass
+class ServiceConfig:
+    """Pool-level configuration."""
+
+    workers: int = 2
+    queue_limit: int = 64            # 0 = unbounded
+    timeout_seconds: Optional[float] = None
+    tier: str = "template"
+    verify: str = "structural"
+    cores: int = 1
+    #: Serve requests from warm VMs (False = every request cold — the
+    #: ``--cold-start-baseline`` mode).
+    warm: bool = True
+    #: Honor ``WorkloadRequest.fault`` (tests and chaos smoke only).
+    allow_fault_injection: bool = False
+
+
+@dataclass
+class WorkloadRequest:
+    """One unit of work submitted to the pool."""
+
+    workload: str
+    scale: int = 1
+    request_id: int = 0
+    #: Fault injection (``"host-error"`` raises inside the worker);
+    #: ignored unless the pool allows it.
+    fault: Optional[str] = None
+
+
+@dataclass
+class RequestOutcome:
+    """What the pool returns for every admitted request."""
+
+    request_id: int
+    workload: str
+    ok: bool
+    status: int                      # 200 | 400 | 500 | 504
+    error: str = ""
+    warm: bool = False
+    cycles: int = 0
+    instructions: int = 0
+    operations: Optional[int] = None
+    checksum: str = ""
+    classes_loaded: int = 0
+    methods_verified: int = 0
+    templates_translated: int = 0
+    queue_seconds: float = 0.0
+    run_seconds: float = 0.0
+    latency_seconds: float = 0.0
+    worker: str = ""
+
+    def to_json(self) -> Dict:
+        doc = {key: getattr(self, key) for key in (
+            "request_id", "workload", "ok", "status", "warm",
+            "cycles", "instructions", "operations", "checksum",
+            "classes_loaded", "methods_verified",
+            "templates_translated", "worker")}
+        if self.error:
+            doc["error"] = self.error
+        doc["latency_ms"] = round(self.latency_seconds * 1000.0, 3)
+        return doc
+
+
+class _Ticket:
+    """A queued request plus its delivery future."""
+
+    __slots__ = ("request", "future", "enqueued_at", "started",
+                 "timed_out", "worker")
+
+    def __init__(self, request: WorkloadRequest, future):
+        self.request = request
+        self.future = future
+        self.enqueued_at = time.perf_counter()
+        self.started = False
+        self.timed_out = False
+        self.worker: Optional[_Worker] = None
+
+
+class _Worker:
+    """One pool worker: an asyncio task + a single-thread executor +
+    a cache of warm VMs."""
+
+    def __init__(self, pool: "VMPool", worker_id: int):
+        self.pool = pool
+        self.name = f"w{worker_id:02d}"
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"vmpool-{self.name}")
+        self.vms: Dict[tuple, WarmVM] = {}
+        self.retired = False
+        self.task: Optional[asyncio.Task] = None
+
+    def start(self) -> None:
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"vmpool-worker-{self.name}")
+
+    async def _run(self) -> None:
+        pool = self.pool
+        while not self.retired:
+            ticket = await pool._queue.get()
+            if ticket is None:          # shutdown sentinel
+                break
+            if ticket.timed_out or ticket.future.cancelled():
+                continue                # expired while queued
+            ticket.started = True
+            ticket.worker = self
+            queue_seconds = time.perf_counter() - ticket.enqueued_at
+            pool.metrics.observe("service_queue_wait_us",
+                                 int(queue_seconds * 1e6))
+            try:
+                outcome = await asyncio.get_running_loop() \
+                    .run_in_executor(self.executor, self._execute,
+                                     ticket.request)
+                crashed = False
+            except Exception as exc:    # noqa: BLE001 — crash isolation
+                outcome = RequestOutcome(
+                    request_id=ticket.request.request_id,
+                    workload=ticket.request.workload,
+                    ok=False, status=500,
+                    error=f"{type(exc).__name__}: {exc}",
+                    worker=self.name)
+                crashed = True
+            outcome.queue_seconds = queue_seconds
+            outcome.latency_seconds = (time.perf_counter()
+                                       - ticket.enqueued_at)
+            pool._finish(ticket, outcome)
+            if crashed:
+                pool._replace(self, reason="crash")
+                break
+            if self.retired:            # retired mid-run by a timeout
+                break
+        self.executor.shutdown(wait=False)
+
+    def _execute(self, request: WorkloadRequest) -> RequestOutcome:
+        """Runs on the worker's own host thread."""
+        pool = self.pool
+        config = pool.config
+        if request.fault and config.allow_fault_injection:
+            raise RuntimeError(
+                f"injected fault {request.fault!r} "
+                f"(request {request.request_id})")
+        started = time.perf_counter()
+        try:
+            if config.warm and config.cores == 1:
+                key = (request.workload, request.scale)
+                warm_vm = self.vms.get(key)
+                if warm_vm is None:
+                    warm_vm = WarmVM(
+                        request.workload, scale=request.scale,
+                        tier=config.tier,
+                        verify=config.verify).warmup()
+                    self.vms[key] = warm_vm
+                    pool.metrics.inc("service_vms_warmed")
+                raw = warm_vm.run()
+            else:
+                raw = run_cold(request.workload, scale=request.scale,
+                               tier=config.tier, verify=config.verify,
+                               cores=config.cores)
+        except WorkloadError as exc:
+            return RequestOutcome(
+                request_id=request.request_id,
+                workload=request.workload, ok=False, status=400,
+                error=str(exc), worker=self.name)
+        return RequestOutcome(
+            request_id=request.request_id,
+            workload=raw["workload"],
+            ok=raw["ok"],
+            status=200 if raw["ok"] else 500,
+            error="" if raw["ok"] else raw["detail"],
+            warm=raw["warm"],
+            cycles=raw["cycles"],
+            instructions=raw["instructions"],
+            operations=raw["operations"],
+            checksum=raw["checksum"],
+            classes_loaded=raw["classes_loaded"],
+            methods_verified=raw["methods_verified"],
+            templates_translated=raw["templates_translated"],
+            run_seconds=time.perf_counter() - started,
+            worker=self.name)
+
+
+class VMPool:
+    """The service front door: admission, dispatch, replacement."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        self.config = config or ServiceConfig()
+        if self.config.workers < 1:
+            raise ServiceError("pool needs at least one worker")
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: Dict[str, _Worker] = {}
+        self._next_worker_id = 0
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "VMPool":
+        if self._started:
+            raise ServiceError("pool already started")
+        self._started = True
+        self._queue = asyncio.Queue()
+        for _ in range(self.config.workers):
+            self._spawn()
+        return self
+
+    async def stop(self) -> None:
+        """Drain nothing, just stop: sentinel every live worker and
+        wait for their tasks."""
+        if not self._started:
+            return
+        workers = list(self._workers.values())
+        for _ in workers:
+            self._queue.put_nowait(None)
+        for worker in workers:
+            worker.retired = True
+        await asyncio.gather(
+            *(worker.task for worker in workers if worker.task),
+            return_exceptions=True)
+        self._started = False
+
+    async def preheat(self, workloads, scale: int = 1) -> int:
+        """Warm every worker's VM for each named workload before
+        taking traffic (so steady-state latency is measured, not
+        warm-up).  No-op in cold mode.  Returns VMs warmed."""
+        if not self.config.warm or self.config.cores != 1:
+            return 0
+        loop = asyncio.get_running_loop()
+        before = self.metrics.counter("service_vms_warmed").value
+
+        def warm_worker(worker: _Worker) -> None:
+            for name in workloads:
+                key = (name, scale)
+                if key not in worker.vms:
+                    worker.vms[key] = WarmVM(
+                        name, scale=scale, tier=self.config.tier,
+                        verify=self.config.verify).warmup()
+                    self.metrics.inc("service_vms_warmed")
+
+        await asyncio.gather(*(
+            loop.run_in_executor(worker.executor, warm_worker, worker)
+            for worker in self._workers.values()))
+        return self.metrics.counter("service_vms_warmed").value - before
+
+    # -- request path ---------------------------------------------------------
+
+    async def submit(self, request: WorkloadRequest) -> RequestOutcome:
+        """Admit, execute, and return one request's outcome.
+
+        Raises :class:`AdmissionError` when the queue is full; every
+        other failure mode is reported in the returned outcome.
+        """
+        if not self._started:
+            raise ServiceError("pool is not running")
+        if request.workload not in workload_names():
+            self.metrics.inc("service_requests_failed")
+            return RequestOutcome(
+                request_id=request.request_id,
+                workload=request.workload, ok=False, status=400,
+                error=(f"unknown workload {request.workload!r}; "
+                       f"valid: {', '.join(sorted(workload_names()))}"))
+        depth = self._queue.qsize()
+        limit = self.config.queue_limit
+        if limit and depth >= limit:
+            self.metrics.inc("service_requests_rejected")
+            raise AdmissionError(
+                f"queue full ({depth}/{limit}); request "
+                f"{request.request_id} rejected", queue_depth=depth,
+                queue_limit=limit)
+        self.metrics.inc("service_requests_admitted")
+        self.metrics.observe("service_queue_depth", depth)
+        peak = self.metrics.gauge("service_queue_depth_peak")
+        if depth > peak.value:
+            peak.set(depth)
+
+        future = asyncio.get_running_loop().create_future()
+        ticket = _Ticket(request, future)
+        self._queue.put_nowait(ticket)
+        try:
+            outcome = await asyncio.wait_for(
+                future, self.config.timeout_seconds)
+        except asyncio.TimeoutError:
+            self.metrics.inc("service_requests_timeout")
+            ticket.timed_out = True
+            if ticket.started and ticket.worker is not None:
+                # the run cannot be interrupted: retire its worker and
+                # restore capacity immediately
+                self._replace(ticket.worker, reason="timeout")
+            return RequestOutcome(
+                request_id=request.request_id,
+                workload=request.workload, ok=False, status=504,
+                error=(f"request {request.request_id} timed out after "
+                       f"{self.config.timeout_seconds}s"),
+                latency_seconds=(time.perf_counter()
+                                 - ticket.enqueued_at))
+        self._record(outcome)
+        return outcome
+
+    # -- internals ------------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self, self._next_worker_id)
+        self._next_worker_id += 1
+        self._workers[worker.name] = worker
+        worker.start()
+        return worker
+
+    def _replace(self, worker: _Worker, reason: str) -> None:
+        """Retire ``worker`` (its warm VMs are presumed poisoned) and
+        spawn a fresh one so pool capacity is preserved."""
+        if worker.retired:
+            return
+        worker.retired = True
+        self._workers.pop(worker.name, None)
+        if reason == "crash":
+            self.metrics.inc("service_worker_crashes")
+        self.metrics.inc("service_workers_replaced")
+        replacement = self._spawn()
+        log.warning("worker replaced", old=worker.name,
+                    new=replacement.name, reason=reason)
+
+    def _finish(self, ticket: _Ticket, outcome: RequestOutcome) -> None:
+        if not ticket.future.done():
+            ticket.future.set_result(outcome)
+        # a timed-out request's caller is gone; account for the
+        # late completion here instead
+        elif ticket.timed_out:
+            self._record(outcome, late=True)
+
+    def _record(self, outcome: RequestOutcome, late: bool = False) -> None:
+        metrics = self.metrics
+        if late:
+            metrics.inc("service_requests_late_completions")
+        if outcome.ok:
+            metrics.inc("service_requests_completed")
+        else:
+            metrics.inc("service_requests_failed")
+        metrics.inc("service_requests_warm" if outcome.warm
+                    else "service_requests_cold")
+        metrics.observe("service_latency_us",
+                        int(outcome.latency_seconds * 1e6))
+        metrics.inc("service_classes_loaded", outcome.classes_loaded)
+        metrics.inc("service_methods_verified",
+                    outcome.methods_verified)
+        metrics.inc("service_templates_translated",
+                    outcome.templates_translated)
+        metrics.inc("service_cycles_total", outcome.cycles)
+
+    def stats(self) -> Dict:
+        """Counter snapshot for the stats endpoint / ledger."""
+        rows = {}
+        for record in self.metrics.as_records():
+            if record["type"] == "counter":
+                rows[record["name"]] = record["value"]
+            elif record["type"] == "gauge":
+                rows[record["name"]] = record["value"]
+        rows["workers"] = len(self._workers)
+        rows["queue_depth"] = (self._queue.qsize()
+                               if self._queue is not None else 0)
+        return rows

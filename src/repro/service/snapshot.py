@@ -1,0 +1,82 @@
+"""Deep copy of class statics for per-request isolation.
+
+A warm VM shares immutable class metadata across requests but must not
+leak *mutable state* from one request into the next.  The only mutable
+class-level state in the simulator is the per-class ``statics`` dict
+(plus whatever object graph it references), populated by ``<clinit>``
+and mutated freely by running code.  :func:`snapshot_statics` captures
+a pristine deep copy right after eager loading (post-``<clinit>``,
+pre-main); :func:`restore_statics` writes it back before each request.
+
+Two identity rules matter (both are load-bearing for the template
+tier, which binds objects into generated closures):
+
+* the per-class ``statics`` **dict object** is bound at GETSTATIC/
+  PUTSTATIC sites — restore mutates it in place (``clear``/``update``),
+  never replaces it;
+* interned ``java.lang.String`` objects are bound at LDC sites — they
+  are immutable payloads, so the copier returns them as-is, preserving
+  identity with the heap's intern table.
+
+Aliasing inside the snapshot is preserved with a shared memo (two
+statics referencing the same object still do after a restore), and the
+memo also terminates cyclic object graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.jvm.values import JArray, JObject
+
+#: ``{class_name: {field_name: value}}`` — values are private copies.
+StaticsSnapshot = Dict[str, Dict[str, object]]
+
+
+def _copy_value(value, memo: dict):
+    if isinstance(value, JObject):
+        if value.string_value is not None:
+            # strings are immutable payloads; interned ones are bound
+            # by identity in templates and the intern table
+            return value
+        key = id(value)
+        clone = memo.get(key)
+        if clone is None:
+            clone = JObject(value.jclass, {}, value.object_id)
+            memo[key] = clone  # before recursing: terminates cycles
+            clone.fields = {name: _copy_value(field, memo)
+                            for name, field in value.fields.items()}
+        return clone
+    if isinstance(value, JArray):
+        key = id(value)
+        clone = memo.get(key)
+        if clone is None:
+            clone = JArray(value.kind, 0, value.object_id)
+            memo[key] = clone
+            clone.data = [_copy_value(item, memo)
+                          for item in value.data]
+        return clone
+    return value  # ints, floats, None, host-side odds and ends
+
+
+def snapshot_statics(loader) -> StaticsSnapshot:
+    """Deep-copy every loaded class's statics (one shared memo, so
+    cross-class aliasing survives the round trip)."""
+    memo: dict = {}
+    return {cls.name: {name: _copy_value(value, memo)
+                       for name, value in cls.statics.items()}
+            for cls in loader.loaded_classes()}
+
+
+def restore_statics(loader, snapshot: StaticsSnapshot) -> None:
+    """Reset every snapshotted class's statics **in place** from fresh
+    copies (the snapshot itself is never handed to running code)."""
+    memo: dict = {}
+    for cls in loader.loaded_classes():
+        saved = snapshot.get(cls.name)
+        if saved is None:
+            continue
+        statics = cls.statics
+        statics.clear()
+        statics.update({name: _copy_value(value, memo)
+                        for name, value in saved.items()})

@@ -99,6 +99,25 @@ class TestProvenance:
         assert any("current" in line and "dirty" in line
                    for line in lines)
 
+    def test_tier_mismatch_warns(self):
+        ok, lines = compare_bench(_doc(1000, tier="interp"),
+                                  _doc(1000, tier="template"), 5.0)
+        assert ok  # a warning, never a gate
+        assert any("tier mismatch" in line for line in lines)
+
+    def test_cores_mismatch_warns(self):
+        base = dict(_doc(1000), cores=1)
+        cur = dict(_doc(1000), cores=4)
+        ok, lines = compare_bench(cur, base, 5.0)
+        assert ok
+        assert any("core-count mismatch" in line for line in lines)
+
+    def test_matching_tier_and_cores_stay_silent(self):
+        base = dict(_doc(1000), cores=2)
+        cur = dict(_doc(1000), cores=2)
+        _, lines = compare_bench(cur, base, 5.0)
+        assert not any("mismatch" in line for line in lines)
+
     def test_docs_without_provenance_compare_cleanly(self):
         # pre-provenance baselines (no hostname/git keys) still work
         ok, lines = compare_bench(_doc(1000), _doc(1000), 5.0)

@@ -17,6 +17,7 @@ from repro.errors import LedgerError
 from repro.observability import logging as obs_logging
 from repro.observability.ledger import (
     Ledger,
+    diff_manifests,
     filter_manifests,
     new_manifest,
     render_sparkline,
@@ -169,6 +170,50 @@ class TestFiltersAndTrend:
         ]
         ok, _ = trend_report(manifests, 5.0)
         assert ok
+
+    def test_trend_skips_runs_without_per_workload_cells(self):
+        """analyze/loadgen/serve manifests have no numeric cells;
+        trend must note the skip instead of charting empty series."""
+        manifests = [
+            _manifest("loadgen", run_id="a"),
+            _manifest("analyze", run_id="b"),
+            _manifest("analyze", run_id="c"),
+            _manifest("profile", run_id="d", workloads={
+                "jess": {"instructions_per_second": 1000}}),
+        ]
+        ok, lines = trend_report(manifests, 5.0)
+        assert ok
+        assert any("skipped 1 loadgen run(s)" in line
+                   for line in lines)
+        assert any("skipped 2 analyze run(s)" in line
+                   for line in lines)
+        # the charted series only reflect the contributing run
+        assert any("jess.instructions_per_second" in line
+                   and "n=1" in line for line in lines)
+
+    def test_trend_all_runs_skipped_still_reports(self):
+        ok, lines = trend_report([_manifest("loadgen", run_id="a")])
+        assert ok
+        assert any("skipped 1 loadgen" in line for line in lines)
+        assert any("no per-workload series" in line for line in lines)
+
+    def test_diff_always_surfaces_tier_and_cores(self):
+        a = _manifest(config={"tier": "template", "cores": 1,
+                              "agent": "ipa"})
+        b = _manifest(config={"tier": "template", "cores": 1,
+                              "agent": "spa"})
+        lines = diff_manifests(a, b)
+        assert "config tier: template (same)" in lines
+        assert "config cores: 1 (same)" in lines
+        assert "config agent: ipa -> spa" in lines
+        changed = diff_manifests(
+            a, _manifest(config={"tier": "interp", "cores": 4,
+                                 "agent": "ipa"}))
+        assert "config tier: template -> interp" in changed
+        assert "config cores: 1 -> 4" in changed
+        # and never both forms for the same key
+        assert not any("tier" in line and "(same)" in line
+                       for line in changed)
 
     def test_sparkline_shape(self):
         spark = render_sparkline([1.0, 2.0, 3.0, 4.0])
