@@ -97,7 +97,9 @@ def _vm_config_from(args) -> VMConfig:
     """
     tier = getattr(args, "tier", "template")
     return VMConfig(
-        jit_policy=JitPolicy(template_tier=(tier == "template")),
+        jit_policy=JitPolicy(
+            template_tier=(tier == "template"),
+            osr=(getattr(args, "osr", "on") == "on")),
         verify=getattr(args, "verify", "structural"),
         cores=getattr(args, "cores", 1))
 
@@ -108,6 +110,12 @@ def _add_tier_argument(subparser) -> None:
         help=("execution tier: 'template' (interpreter + specialized-"
               "Python second tier, default) or 'interp' (dispatch loop "
               "only); simulated output is identical either way"))
+    subparser.add_argument(
+        "--osr", choices=("on", "off"), default="on",
+        help=("on-stack replacement at interpreter loop backedges "
+              "(default: on; only meaningful with --tier template); "
+              "simulated output is identical either way — the switch "
+              "exists for host-throughput A/B runs"))
 
 
 def _add_cores_argument(subparser) -> None:
@@ -300,7 +308,9 @@ def _cmd_bench(args) -> int:
     )
 
     doc = run_bench(scale=args.scale, tier=args.tier,
-                    cores=getattr(args, "cores", 1))
+                    cores=getattr(args, "cores", 1),
+                    osr=(getattr(args, "osr", "on") == "on"),
+                    suite=getattr(args, "suite", "jvm98"))
     print(format_bench(doc))
     args.ledger_outcome = {
         "bench": doc,
@@ -963,6 +973,11 @@ def build_parser() -> argparse.ArgumentParser:
     pb = sub.add_parser(
         "bench", help="time the JVM98 suite; record host performance")
     pb.add_argument("--scale", type=_positive_int, default=1)
+    pb.add_argument("--suite", choices=("jvm98", "full", "all"),
+                    default="jvm98",
+                    help=("workload set: 'jvm98' (the paper's seven, "
+                          "default), 'full' (plus jbb2005), or 'all' "
+                          "(plus the concurrency family)"))
     pb.add_argument("--output", default="BENCH_interpreter.json",
                     help="JSON file to write ('' to skip writing)")
     pb.add_argument("--compare", metavar="BASELINE.json", default=None,

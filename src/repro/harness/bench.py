@@ -40,12 +40,27 @@ DEFAULT_BENCH_PATH = "BENCH_interpreter.json"
 
 
 def run_bench(scale: int = 1, workloads: Optional[List] = None,
-              tier: str = "template", cores: int = 1) -> Dict:
-    """Time the suite and return the measurement document."""
-    from repro.workloads import jvm98_suite
+              tier: str = "template", cores: int = 1,
+              osr: bool = True, suite: str = "jvm98") -> Dict:
+    """Time the suite and return the measurement document.
+
+    ``suite`` picks the workload set when ``workloads`` is not given:
+    ``jvm98`` (the paper's seven, the comparable default), ``full``
+    (plus jbb2005), or ``all`` (plus the concurrency family).
+    """
+    from repro.workloads import (
+        concurrency_suite,
+        full_suite,
+        jvm98_suite,
+    )
 
     if workloads is None:
-        workloads = jvm98_suite(scale)
+        if suite == "all":
+            workloads = full_suite(scale) + concurrency_suite(scale)
+        elif suite == "full":
+            workloads = full_suite(scale)
+        else:
+            workloads = jvm98_suite(scale)
     runtime_archive()  # build the runtime outside the timed region
 
     rows = []
@@ -56,7 +71,8 @@ def run_bench(scale: int = 1, workloads: Optional[List] = None,
         config = RunConfig(
             agent=AgentSpec.none(),
             vm_config=VMConfig(jit_policy=JitPolicy(
-                template_tier=(tier == "template")), cores=cores))
+                template_tier=(tier == "template"),
+                osr=osr), cores=cores))
         start = time.perf_counter()
         result = execute(workload, config)
         host_seconds = time.perf_counter() - start
@@ -85,6 +101,7 @@ def run_bench(scale: int = 1, workloads: Optional[List] = None,
     doc = {
         "benchmark": "jvm98/none-agent",
         "scale": scale,
+        "suite": suite,
         "tier": tier,
         "cores": cores,
         "python": platform.python_version(),
@@ -165,15 +182,42 @@ def compare_bench(current: Dict, baseline: Dict,
     change = (cur_rate - base_rate) / base_rate * 100.0
     verb = "faster" if change >= 0 else "slower"
     lines.append(f"change:   {change:+.1f}% ({verb})")
-    for name, row in current.get("per_workload", {}).items():
-        base_row = baseline.get("per_workload", {}).get(name)
-        if not base_row:
+    # Per-workload deltas over the *union* of workload names, so a
+    # workload family present in only one document (e.g. concurrency
+    # workloads added after the baseline was recorded) shows up as a
+    # gap rather than vanishing from the report.
+    cur_rows = current.get("per_workload", {})
+    base_rows = baseline.get("per_workload", {})
+    names = list(cur_rows) + [n for n in base_rows if n not in cur_rows]
+    only_current = []
+    only_baseline = []
+    for name in names:
+        row = cur_rows.get(name)
+        base_row = base_rows.get(name)
+        if row is None:
+            only_baseline.append(name)
+            continue
+        if base_row is None:
+            only_current.append(name)
+            c = row.get("instructions_per_second") or 0
+            lines.append(f"  {name:<12} {'(absent)':>12} -> {c:>12,}")
             continue
         b = base_row.get("instructions_per_second") or 0
         c = row.get("instructions_per_second") or 0
         if b > 0:
             lines.append(f"  {name:<12} {b:>12,} -> {c:>12,} "
                          f"({(c - b) / b * 100.0:+.1f}%)")
+    for name in only_baseline:
+        b = base_rows[name].get("instructions_per_second") or 0
+        lines.append(f"  {name:<12} {b:>12,} -> {'(absent)':>12}")
+    if only_current or only_baseline:
+        lines.append(
+            "WARNING: workload sets differ"
+            + (f"; only in current: {', '.join(sorted(only_current))}"
+               if only_current else "")
+            + (f"; only in baseline: {', '.join(sorted(only_baseline))}"
+               if only_baseline else "")
+            + " — suite rates aggregate different workload mixes")
     # Configuration sanity: a tier or core-count mismatch means the
     # two runs measured different engines — flag it loudly.
     base_tier = baseline.get("tier", "interp")

@@ -174,6 +174,11 @@ def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
     metrics.inc("jni_invocations", vm.jni_invocations)
     metrics.inc("inline_cache_hits", vm.ic_hits)
     metrics.inc("inline_cache_misses", vm.ic_misses)
+    metrics.inc("pic_hits", vm.pic_hits)
+    metrics.inc("pic_misses", vm.ic_misses)
+    metrics.inc("pic_megamorphic", vm.pic_megamorphic)
+    metrics.inc("pic_mono_to_poly", vm.pic_mono_to_poly)
+    metrics.inc("pic_poly_to_mega", vm.pic_poly_to_mega)
     metrics.inc("classes_loaded", vm.loader.classes_loaded)
     metrics.inc("verifier_methods_verified", vm.methods_verified)
     metrics.inc("jvmti_events_dispatched",
@@ -193,6 +198,40 @@ def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
     for reason, count in sorted(vm.jit.template_deopts.items()):
         metrics.inc(f"jit_template_deopt_{reason.replace(':', '_')}",
                     count)
+    metrics.inc("jit_osr_entries", vm.jit.osr_entries)
+    for pattern, count in sorted(vm.jit.fusion_sites.items()):
+        metrics.inc(f"jit_fusion_sites_{pattern}", count)
+    # per-method tier state for the hottest compiled methods: enough
+    # to reconstruct "which tier ran this, how it got in, and how
+    # often it fell out" without a per-method metrics explosion
+    hottest = sorted(vm.jit.methods_compiled,
+                     key=lambda m: -m.invocation_count)[:10]
+    for m in hottest:
+        slug = (m.qualified_name.split("(")[0]
+                .replace(".", "_").replace("$", "_"))
+        metrics.set_gauge(f"hot_method_{slug}_invocations",
+                          m.invocation_count)
+        metrics.set_gauge(f"hot_method_{slug}_osr_entries",
+                          m.osr_entry_count)
+        metrics.set_gauge(f"hot_method_{slug}_deopts",
+                          m.template_deopt_count)
+        metrics.set_gauge(f"hot_method_{slug}_tier",
+                          1 if m.template is not None else 0)
+        # deepest invokevirtual PIC in the method: 0 = no seeded site,
+        # 1 = monomorphic, k = polymorphic, -1 = a site went megamorphic
+        depth = 0
+        mega = False
+        for ins in m.info.code or ():
+            q = ins.quick
+            if type(q) is list and len(q) == 8:
+                if q[6] is False:
+                    mega = True
+                elif q[6]:
+                    depth = max(depth, 1 + len(q[6]))
+                elif q[4] is not None:
+                    depth = max(depth, 1)
+        metrics.set_gauge(f"hot_method_{slug}_pic_depth",
+                          -1 if mega else depth)
     if vm.thread_deaths:
         # emitted only when nonzero so clean-run metric captures (and
         # the goldens built from them) are unchanged

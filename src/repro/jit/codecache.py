@@ -40,6 +40,10 @@ class TemplateCodeCache:
     def install(self, method, func, source: str) -> None:
         """Attach ``func`` as ``method``'s template."""
         method.template = func
+        # the translator publishes the loop-header entry points it
+        # generated as a function attribute (loop pc -> block id); an
+        # empty/absent map means the template cannot be OSR-entered
+        method.osr_map = getattr(func, "osr_map", None) or None
         self._entries[method] = CacheEntry(method.qualified_name, source)
         self.installed += 1
 
@@ -48,6 +52,7 @@ class TemplateCodeCache:
         if method.template is None:
             return
         method.template = None
+        method.osr_map = None
         entry = self._entries.get(method)
         if entry is not None:
             entry.active = False

@@ -28,6 +28,11 @@ class JitCompiler:
         # template tier (second execution tier) state
         self.code_cache = TemplateCodeCache()
         self.template_entries = 0
+        #: on-stack replacements: live interpreter frames transferred
+        #: into a template at a loop-header backedge
+        self.osr_entries = 0
+        #: fused superinstruction pattern -> number of emitted sites
+        self.fusion_sites: Dict[str, int] = {}
         #: translator bail-out reason -> count (no silent fallback)
         self.template_bailouts: Dict[str, int] = {}
         #: runtime deopt reason -> count
@@ -71,6 +76,9 @@ class JitCompiler:
             self.template_bailouts[reason] = \
                 self.template_bailouts.get(reason, 0) + 1
             return
+        for pattern in getattr(func, "fused_patterns", ()):
+            self.fusion_sites[pattern] = \
+                self.fusion_sites.get(pattern, 0) + 1
         self.code_cache.install(method, func, source)
 
     def note_deopt(self, method, reason: str) -> None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass
@@ -35,9 +35,23 @@ class JitPolicy:
     #: Methods longer than this many instructions are not translated
     #: (bail-out reason ``too_long``) — bounds generated-source size.
     template_code_limit: int = 2000
+    #: On-stack replacement: transfer a live interpreter frame into the
+    #: method's template at a hot loop backedge instead of waiting for
+    #: the next invocation.  Host-speed only — cycle accounting is
+    #: bit-identical with OSR off.
+    osr: bool = True
+    #: Polymorphic inline cache depth for invokevirtual sites: up to
+    #: this many (class, method) pairs are cached per site before the
+    #: site goes megamorphic (plain vtable lookup).  Depth 1 is the old
+    #: monomorphic cache.
+    pic_depth: int = 4
+    #: Superinstruction fusion: combine hot adjacent opcode pairs into
+    #: single handlers in generated template source.
+    fusion: bool = True
+    #: Maximum number of fused pairs per translated method.
+    fusion_pairs: int = 8
 
     def copy(self) -> "JitPolicy":
-        return JitPolicy(self.enabled, self.invoke_threshold,
-                         self.backedge_threshold, self.template_tier,
-                         self.template_deopt_disable_threshold,
-                         self.template_code_limit)
+        # dataclasses.replace copies every field by name; a field added
+        # above can no longer be silently dropped here.
+        return replace(self)

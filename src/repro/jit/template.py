@@ -58,6 +58,7 @@ from repro.bytecode.opcodes import ArrayKind, Op, SPECS
 from repro.classfile.constant_pool import CpMethodRef
 from repro.classfile.members import arg_slot_count, returns_value
 from repro.errors import DeadlockError, NoSuchFieldError
+from repro.jit.fusion import plan_fusion
 from repro.jvm.costmodel import ChargeTag
 from repro.jvm.interpreter import Unwind
 from repro.jvm.values import JArray, wrap_int32
@@ -251,13 +252,37 @@ def _translate(method, vm, policy, exclude_ops):
 
     # -- block structure: targets of reachable branches start blocks
     targets = set()
+    back_targets = set()  # loop headers: targets of backward branches
     for pc in range(n_ins):
         if depth_at[pc] >= 0 and not deopt_only[pc] \
                 and 0x50 <= ops[pc] <= 0x60:
-            targets.add(operands[pc])
+            target = operands[pc]
+            targets.add(target)
+            if target <= pc:
+                back_targets.add(target)
     leaders = sorted({0} | targets)
     bid = {pc: i for i, pc in enumerate(leaders)}
-    multi = len(leaders) > 1
+    # any branch target forces the dispatch-loop form — including a
+    # lone target at pc 0 (a single-block loop), which the straight-line
+    # form cannot express (`continue` needs the loop)
+    multi = len(leaders) > 1 or bool(targets)
+
+    # -- OSR entry points: every loop header gets an entry stub that
+    # rebuilds the flattened stack slots from the live interpreter
+    # frame and starts execution at the header's block (deopt frame
+    # reconstruction run in reverse).  {header pc: stack depth} — the
+    # interpreter matches the live frame's depth against this map
+    # before entering.
+    osr_map = {t: depth_at[t] for t in back_targets if depth_at[t] >= 0} \
+        if (policy is None or policy.osr) else {}
+
+    # -- superinstruction fusion: pick hot adjacent windows to emit as
+    # combined handlers (selection lives in repro.jit.fusion; the
+    # emitters are in emit_fused below)
+    fusion_plan = plan_fusion(
+        ops, operands, code, depth_at, deopt_only, targets,
+        policy.fusion_pairs if policy is not None and policy.fusion
+        else (8 if policy is None else 0))
 
     # -- source emission
     bindings = {
@@ -266,6 +291,7 @@ def _translate(method, vm, policy, exclude_ops):
         "heap": vm.heap,
         "loader": vm.loader,
         "jit": vm.jit,
+        "jvmti": vm.jvmti,
         "method": method,
         "JArray": JArray,
         "wrap_int32": wrap_int32,
@@ -285,7 +311,7 @@ def _translate(method, vm, policy, exclude_ops):
         bindings[name] = value
 
     lines = [
-        "def template(interp, thread, frame):",
+        "def template(interp, thread, frame, osr_pc=-1):",
         "    charge = thread.charge",
         "    l = frame.locals",
         "    frames = thread.frames",
@@ -294,6 +320,21 @@ def _translate(method, vm, policy, exclude_ops):
     ]
     if multi:
         lines.append("    b = 0")
+        if osr_map:
+            # OSR entry stubs: rebuild s0..s{d-1} from the live frame's
+            # operand stack and jump to the loop header's block.  Entry
+            # is free on the simulated clock, exactly like a normal
+            # template entry (the interpreter flushed at the backedge).
+            lines.append("    if osr_pc != -1:")
+            lines.append("        _st = frame.stack")
+            kw = "if"
+            for t in sorted(osr_map):
+                lines.append(f"        {kw} osr_pc == {t}:")
+                for i in range(depth_at[t]):
+                    lines.append(f"            s{i} = _st[{i}]")
+                lines.append(f"            b = {bid[t]}")
+                kw = "elif"
+            lines.append("        frame.stack = []")
         lines.append("    while 1:")
     op_indent = "            " if multi else "    "
 
@@ -734,7 +775,10 @@ def _translate(method, vm, policy, exclude_ops):
             acc(pc)
             spill()
             flush(pc, set_pc=False)
-            out(0, "interp._exit_method_event(thread, method, False)")
+            # the flag is re-checked at run time (agents can toggle
+            # events mid-run); inlining it just skips a call when off
+            out(0, "if jvmti.method_exit_enabled:")
+            out(1, "interp._exit_method_event(thread, method, False)")
             if op == _RETURN:
                 out(0, "return RET_VOID")
             else:
@@ -778,14 +822,9 @@ def _translate(method, vm, policy, exclude_ops):
                 out(1, f"_m = {qref}[5]")
                 out(1, "vm.ic_hits += 1")
                 out(0, "else:")
-                out(1, "vm.ic_misses += 1")
-                out(1, f"_m = {qref}[0]")
-                out(1, f"_t = _rc.resolve_method({ref.method_name!r}, "
-                       f"{ref.descriptor!r})")
-                out(1, "if _t is not None:")
-                out(2, "_m = _t")
-                out(1, f"{qref}[4] = _rc")
-                out(1, f"{qref}[5] = _m")
+                # PIC slow path: shared with the interpreter so cache
+                # state and counters evolve identically across tiers
+                out(1, f"_m = interp._pic_miss({qref}, _rc)")
             else:
                 out(0, f"_m = {qref}[0]")
             out(0, "if _m.is_native:")
@@ -795,19 +834,118 @@ def _translate(method, vm, policy, exclude_ops):
             out(2, "return (2, _u.jobject)")
             out(0, "else:")
             out(1, "interp._enter_bytecode_method(thread, _m, _a)")
-            out(1, "try:")
-            out(2, "_res = interp._run(thread, len(frames) - 1)")
-            out(1, "except Unwind as _u:")
-            out(2, "return (2, _u.jobject)")
+            # template-to-template direct call: a fresh frame always
+            # satisfies the tier-dispatch guard (pc 0, empty stack, not
+            # deopted), so when the callee has a template we call it
+            # here and skip _run's dispatch prologue entirely — the
+            # dominant host cost of hot leaf calls.  Deopt and thrown
+            # outcomes fall back to the interpreter via
+            # _template_call_finish, which replays _run's own handling.
+            out(1, "_t = _m.template")
+            out(1, "if _t is not None:")
+            out(2, "jit.template_entries += 1")
+            out(2, "_out = _t(interp, thread, frames[-1])")
+            out(2, "if _out[0] == 0:")
+            out(3, "frames.pop()")
+            out(3, "_res = _out[2]")
+            out(2, "else:")
+            out(3, "try:")
+            out(4, "_res = interp._template_call_finish("
+                   "thread, _out, len(frames) - 1)")
+            out(3, "except Unwind as _u:")
+            out(4, "return (2, _u.jobject)")
+            out(1, "else:")
+            out(2, "try:")
+            out(3, "_res = interp._run(thread, len(frames) - 1)")
+            out(2, "except Unwind as _u:")
+            out(3, "return (2, _u.jobject)")
             if rv:
                 out(0, f"s{d - np} = _res")
         else:  # pragma: no cover - _SUPPORTED is exhaustive over Op
             raise _Bail(f"unsupported_op:0x{op:02x}")
         return True
 
+    def _load_expr(pc):
+        """The value a fusible load pushes, as a plain expression."""
+        op = ops[pc]
+        if op == _ILOAD or op == _ALOAD:
+            return f"l[{operands[pc]}]"
+        if op == _ICONST:
+            return repr(operands[pc])
+        return "None"  # ACONST_NULL
+
+    def emit_fused(site, d):
+        """Emit one fused superinstruction window.
+
+        Accounting: every instruction in the window is ``acc``-ed, so
+        the segment constant carries the sum of their cycle costs — the
+        window is one indivisible charge, identical in total to the
+        unfused emission.  Throws and branches report the pc of the
+        *consuming* instruction (the window's last), exactly where the
+        interpreter would be when that instruction executes.  Always
+        falls through (a fused branch falls through when not taken).
+        """
+        pc = site.pc
+        last = pc + site.length - 1
+        for k in range(pc, last + 1):
+            acc(k)
+        pattern = site.pattern
+        if pattern == "load_load_arith":
+            pyop = _BIN_POLY[ops[last]]
+            out(0, f"_a = {_load_expr(pc)}")
+            out(0, f"_b = {_load_expr(pc + 1)}")
+            out(0, "if type(_b) is int and type(_a) is int:")
+            out(1, f"_r = _a {pyop} _b")
+            out(1, _WRAP[0])
+            out(1, _WRAP[1])
+            out(1, f"s{d} = _r")
+            out(0, "else:")
+            out(1, f"s{d} = _a {pyop} _b")
+        elif pattern == "load_arith":
+            pyop = _BIN_POLY[ops[last]]
+            out(0, f"_a = s{d - 1}")
+            out(0, f"_b = {_load_expr(pc)}")
+            out(0, "if type(_b) is int and type(_a) is int:")
+            out(1, f"_r = _a {pyop} _b")
+            out(1, _WRAP[0])
+            out(1, _WRAP[1])
+            out(1, f"s{d - 1} = _r")
+            out(0, "else:")
+            out(1, f"s{d - 1} = _a {pyop} _b")
+        elif pattern == "load_store":
+            out(0, f"l[{operands[last]}] = {_load_expr(pc)}")
+        elif pattern == "aload_getfield":
+            q = code[last].quick
+            spill()
+            out(0, f"_o = l[{operands[pc]}]")
+            out(0, "if _o is None:")
+            throw(last, _NPE, repr(f"getfield {q}"), rel=1)
+            out(0, "try:")
+            out(1, f"s{d} = _o.fields[{q!r}]")
+            out(0, "except (KeyError, AttributeError):")
+            out(1, 'raise NoSuchFieldError(f"{_o!r} has no field '
+                   f'{q}")')
+        else:  # load_branch
+            spill()
+            tmpl, pops = _COND[ops[last]]
+            if pops == 1:
+                cond = tmpl.format(a=_load_expr(pc))
+            else:
+                cond = tmpl.format(a=f"s{d - 1}", b=_load_expr(pc))
+            target = operands[last]
+            out(0, f"if {cond}:")
+            if sched_on and target <= last:
+                safepoint_backedge(target, rel=1)
+            out(1, f"b = {bid[target]}")
+            out(1, "continue")
+        return True
+
     fallthrough = False
     first_arm = True
+    skip_until = 0
     for pc in range(n_ins):
+        if pc < skip_until:
+            continue  # consumed by a fused window
         if depth_at[pc] < 0:
             continue  # unreachable from entry: never emitted
         if multi and pc in bid:
@@ -820,7 +958,12 @@ def _translate(method, vm, policy, exclude_ops):
             first_arm = False
         elif pc != 0 and not fallthrough:
             raise _Bail("emit_inconsistent")
-        fallthrough = emit_op(pc, ops[pc], depth_at[pc])
+        site = fusion_plan.get(pc)
+        if site is not None:
+            fallthrough = emit_fused(site, depth_at[pc])
+            skip_until = pc + site.length
+        else:
+            fallthrough = emit_op(pc, ops[pc], depth_at[pc])
     if fallthrough:
         raise _Bail("fall_off_end")
 
@@ -829,4 +972,11 @@ def _translate(method, vm, policy, exclude_ops):
                        "exec")
     namespace = dict(bindings)
     exec(code_obj, namespace)
-    return namespace["template"], source
+    func = namespace["template"]
+    # published for the code cache (OSR eligibility) and the compiler's
+    # fusion statistics; translate()'s return shape is unchanged so
+    # monkeypatching tests keep working
+    func.osr_map = osr_map
+    func.fused_patterns = tuple(fusion_plan[pc].pattern
+                                for pc in sorted(fusion_plan))
+    return func, source

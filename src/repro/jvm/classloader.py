@@ -39,11 +39,15 @@ class LoadedMethod:
     __slots__ = ("info", "owner", "interp_cost_list", "compiled_cost_list",
                  "active_costs", "invocation_count", "backedge_count",
                  "compiled", "native_impl", "native_resolved",
-                 "ops", "operands", "template", "template_deopt_count")
+                 "ops", "operands", "template", "template_deopt_count",
+                 "osr_map", "osr_entry_count", "is_native")
 
     def __init__(self, info, owner, cost_model):
         self.info = info
         self.owner = owner
+        # flattened from the two-property chain (info.flags test): the
+        # interpreter and every template consult this on each INVOKE
+        self.is_native = info.is_native
         if info.code is not None:
             self.interp_cost_list = tuple(
                 cost_model.interp_cost(SPECS[ins.op].cost_class)
@@ -72,10 +76,11 @@ class LoadedMethod:
         # often it has deoptimized (the policy disable threshold)
         self.template = None
         self.template_deopt_count = 0
-
-    @property
-    def is_native(self) -> bool:
-        return self.info.is_native
+        # OSR: loop-header pc -> entry-stub block id in the template
+        # (installed with the template), and how many live frames have
+        # entered mid-method through those stubs
+        self.osr_map = None
+        self.osr_entry_count = 0
 
     @property
     def qualified_name(self) -> str:

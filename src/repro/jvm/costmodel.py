@@ -29,6 +29,12 @@ class ChargeTag(enum.Enum):
     AGENT = "agent"         # profiling-agent work (events, counters, TLS)
     VM = "vm"               # VM services: JIT compilation, class loading
 
+    # Members are singletons and compare by identity, so identity
+    # hashing is equivalent to Enum's value-string hash — and C-level
+    # fast.  SimThread.charge indexes cycles_by_tag on every simulated
+    # charge; this takes the two hash computations off that path.
+    __hash__ = object.__hash__
+
 
 #: Cost classes used by :data:`repro.bytecode.opcodes.SPECS`.
 _INTERP_COSTS: Dict[str, int] = {

@@ -28,9 +28,11 @@ bit-identical.**  Concretely:
   ``NEW``/``LDC``/``CHECKCAST``/``INSTANCEOF`` site resolves through the
   constant pool, class loader, and method tables, then parks the result
   on the instruction (``Instruction.quick``); later executions reuse it.
-  ``INVOKEVIRTUAL`` additionally keeps a monomorphic inline cache keyed
-  by receiver class, falling back to the class's method table on a miss.
-  Classes are immutable after link, so no invalidation is ever needed.
+  ``INVOKEVIRTUAL`` additionally keeps a polymorphic inline cache keyed
+  by receiver class (identity fast path on the first entry, up to
+  ``JitPolicy.pic_depth`` entries, megamorphic fallback to the class's
+  memoized method table — see :meth:`Interpreter._pic_miss`).  Classes
+  are immutable after link, so no invalidation is ever needed.
 * Resolution work (pool lookups, ``loader.load`` of already-loaded
   classes, method-table walks) charges **zero** simulated cycles in the
   cost model, so skipping it on cache hits cannot change any simulated
@@ -239,8 +241,11 @@ class Interpreter:
                 f"simulated stack overflow in {method.qualified_name}")
         method.invocation_count += 1
         jit = vm.jit
-        if (jit.enabled and not method.compiled
-                and method.invocation_count >= jit.policy.invoke_threshold):
+        # cheapest test first: hot methods are compiled, which skips
+        # the jit.enabled property call on the dominant path
+        if (not method.compiled
+                and method.invocation_count >= jit.policy.invoke_threshold
+                and jit.enabled):
             jit.compile(thread, method)
         if vm.jvmti.method_entry_enabled:
             vm.jvmti.dispatch_method_entry(thread, method)
@@ -324,6 +329,81 @@ class Interpreter:
             self._vm.instructions_retired += icount
         return (2, exc_obj)
 
+    def _template_call_finish(self, thread, outcome, base: int):
+        """Finish a template-to-template direct call that did not
+        return normally.
+
+        ``base`` is the callee frame's index.  Deopt (``outcome[0] ==
+        1``): the reconstructed frame reinterprets under :meth:`_run`.
+        Exception (``outcome[0] == 2``): dispatch from the callee — a
+        handler inside it resumes interpreting there; an escaping
+        exception raises :class:`Unwind` for the calling template's
+        handler arm.  Either way :meth:`_run` carries the activation to
+        its return, exactly as if the call had gone through it from the
+        start."""
+        if outcome[0] == 2:
+            self._dispatch_exception(thread, thread.frames, base,
+                                     outcome[1])
+        return self._run(thread, base)
+
+    # -- invokevirtual polymorphic inline cache -----------------------------------
+
+    def _pic_miss(self, q, receiver_class):
+        """Slow path of the invokevirtual PIC (both tiers share it).
+
+        The caller already failed the first-entry identity test
+        (``receiver_class is q[4]``) — the monomorphic fast path stays a
+        single comparison.  ``q[6]``/``q[7]`` extend the cache to
+        :attr:`~repro.jit.policy.JitPolicy.pic_depth` entries:
+
+        * ``q[6] is None`` — monomorphic (or unseeded): only ``q[4]``/
+          ``q[5]`` are populated;
+        * ``q[6]`` is a list — polymorphic: up to ``pic_depth - 1``
+          overflow (class, method) pairs in ``q[6]``/``q[7]``;
+        * ``q[6] is False`` — megamorphic: the cache gave up and every
+          dispatch walks the receiver class's (memoized) method table.
+
+        All resolution here is host-only work charging zero simulated
+        cycles, exactly like the monomorphic miss path it replaces, so
+        cycle accounting is bit-identical across cache states.
+        """
+        vm = self._vm
+        rest = q[6]
+        if rest:
+            methods = q[7]
+            for i, cls in enumerate(rest):
+                if cls is receiver_class:
+                    vm.pic_hits += 1
+                    return methods[i]
+        vm.ic_misses += 1
+        dispatched = receiver_class.resolve_method(q[2], q[3])
+        resolved = dispatched if dispatched is not None else q[0]
+        if rest is False:  # megamorphic: caching abandoned for good
+            vm.pic_megamorphic += 1
+            return resolved
+        if q[4] is None:  # first execution: seed the monomorphic entry
+            q[4] = receiver_class
+            q[5] = resolved
+            return resolved
+        extra = vm.jit.policy.pic_depth - 1
+        if rest is None:
+            if extra > 0:
+                q[6] = [receiver_class]
+                q[7] = [resolved]
+                vm.pic_mono_to_poly += 1
+            else:  # pic_depth == 1: the old monomorphic cache, which
+                # goes straight to megamorphic on a second class
+                q[6] = False
+                vm.pic_poly_to_mega += 1
+        elif len(rest) < extra:
+            rest.append(receiver_class)
+            q[7].append(resolved)
+        else:  # all pic_depth entries taken: go megamorphic
+            q[6] = False
+            q[7] = None
+            vm.pic_poly_to_mega += 1
+        return resolved
+
     # -- the interpreter loop --------------------------------------------------------
 
     def _run(self, thread, base: int):  # noqa: C901 - the dispatch loop
@@ -337,6 +417,8 @@ class Interpreter:
         # preemptive scheduler, or None under the sequential model;
         # hoisted so safepoint checks are one local load
         sched = vm.scheduler
+        # on-stack replacement gate, hoisted for the backedge hot path
+        osr_on = jit.enabled and jit.policy.osr
 
         # opcode constants as fast locals (module globals cost a dict
         # lookup per comparison; locals are array slots)
@@ -536,6 +618,57 @@ class Interpreter:
                                         vm.instructions_retired += icount
                                         icount = 0
                                     sched.preempt(thread)
+                                # on-stack replacement: a template with
+                                # an entry stub for this loop header
+                                # takes over the live frame mid-method.
+                                # The flush splits one pending charge in
+                                # two; totals and safepoint decisions
+                                # (cycles_total + pending at instruction
+                                # positions) are unchanged, so goldens
+                                # stay bit-identical.
+                                # A deopted frame may re-enter: deopts
+                                # heal (the interpreter quickens the
+                                # cold site before the next backedge),
+                                # and a template that keeps deopting is
+                                # invalidated at the disable threshold,
+                                # which clears osr_map and ends the
+                                # cycle — ping-pong is bounded.
+                                osr_map = method.osr_map
+                                if osr_map is not None and osr_on \
+                                        and osr_map.get(target) == \
+                                        len(stack):
+                                    frame.pc = target
+                                    if pending:
+                                        charge(pending, tag_bytecode)
+                                        pending = 0
+                                    if icount:
+                                        vm.instructions_retired += icount
+                                        icount = 0
+                                    method.osr_entry_count += 1
+                                    jit.osr_entries += 1
+                                    outcome = method.template(
+                                        self, thread, frame, target)
+                                    k = outcome[0]
+                                    if k == 0:
+                                        # templated activation returned
+                                        # (accounting flushed,
+                                        # MethodExit fired)
+                                        frames.pop()
+                                        if len(frames) == base:
+                                            return outcome[2]
+                                        caller = frames[-1]
+                                        caller.pc += 1
+                                        if outcome[1]:
+                                            caller.stack.append(
+                                                outcome[2])
+                                    elif k == 2:
+                                        self._dispatch_exception(
+                                            thread, frames, base,
+                                            outcome[1])
+                                    # k == 1 (deopt): the frame was
+                                    # reconstructed and marked deopted;
+                                    # the outer loop reinterprets it
+                                    break
                             pc = target
                         else:
                             pc += 1
@@ -650,10 +783,13 @@ class Interpreter:
                                     f"static invoke of instance "
                                     f"{resolved.qualified_name}")
                             # [resolved, arg slots, name, descriptor,
-                            #  IC receiver class, IC dispatched method]
+                            #  PIC entry-0 class, PIC entry-0 method,
+                            #  PIC overflow classes, PIC overflow
+                            #  methods] — see _pic_miss for the cache
+                            # state machine on slots 6/7
                             q = [resolved, resolved.info.arg_slots,
                                  ref.method_name, ref.descriptor,
-                                 None, None]
+                                 None, None, None, None]
                             ins.quick = q
                         resolved = q[0]
                         n_args = q[1]
@@ -677,15 +813,9 @@ class Interpreter:
                                 if receiver_class is q[4]:
                                     resolved = q[5]
                                     vm.ic_hits += 1
-                                else:  # IC miss: resolve and re-seed
-                                    vm.ic_misses += 1
-                                    dispatched = \
-                                        receiver_class.resolve_method(
-                                            q[2], q[3])
-                                    if dispatched is not None:
-                                        resolved = dispatched
-                                    q[4] = receiver_class
-                                    q[5] = resolved
+                                else:  # PIC slow path (shared helper)
+                                    resolved = self._pic_miss(
+                                        q, receiver_class)
                         if resolved.is_native:
                             try:
                                 result = self._invoke_native(

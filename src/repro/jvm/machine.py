@@ -110,6 +110,14 @@ class JavaVM:
         self.jni_invocations = 0
         self.ic_hits = 0
         self.ic_misses = 0
+        # polymorphic inline caches: hits served by a non-first PIC
+        # entry, dispatches through megamorphic sites, and the two
+        # state transitions (mono->poly on second receiver class,
+        # poly->mega past JitPolicy.pic_depth)
+        self.pic_hits = 0
+        self.pic_megamorphic = 0
+        self.pic_mono_to_poly = 0
+        self.pic_poly_to_mega = 0
         self.methods_verified = 0
         #: Qualified names of native methods actually resolved by this
         #: VM (filled once per method at first invocation — zero cost

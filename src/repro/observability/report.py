@@ -375,6 +375,49 @@ _HEADLINE_METRICS = (
 )
 
 
+_HOT_METHOD_STATS = ("invocations", "osr_entries", "deopts", "tier",
+                     "pic_depth")
+
+
+def _hot_methods_section(manifest: Dict) -> str:
+    """Top-N hottest compiled methods: tier, OSR entries, deopt count,
+    and deepest invokevirtual PIC — from the ``hot_method_*`` gauges
+    the harness records."""
+    rows = manifest.get("outcome", {}).get("metrics") or []
+    methods: Dict[str, Dict[str, int]] = {}
+    for row in rows:
+        name = row.get("name", "")
+        if not name.startswith("hot_method_"):
+            continue
+        for stat in _HOT_METHOD_STATS:
+            suffix = f"_{stat}"
+            if name.endswith(suffix):
+                slug = name[len("hot_method_"):-len(suffix)]
+                methods.setdefault(slug, {})[stat] = row.get(
+                    "max", row.get("total", 0))
+                break
+    if not methods:
+        return ""
+    ordered = sorted(methods.items(),
+                     key=lambda kv: -kv[1].get("invocations", 0))
+    table_rows = []
+    for slug, stats in ordered:
+        tier = "template" if stats.get("tier") else "interpreter"
+        depth = stats.get("pic_depth", 0)
+        pic = "mega" if depth == -1 else (str(depth) if depth else "—")
+        table_rows.append(
+            f"<tr><td>{_esc(slug)}</td><td>{_esc(tier)}</td>"
+            f"<td>{_fmt(stats.get('invocations', 0))}</td>"
+            f"<td>{_fmt(stats.get('osr_entries', 0))}</td>"
+            f"<td>{_fmt(stats.get('deopts', 0))}</td>"
+            f"<td>{_esc(pic)}</td></tr>")
+    return (
+        "<section><h2>Hottest methods</h2><table>"
+        "<tr><th>method</th><th>tier</th><th>invocations</th>"
+        "<th>OSR entries</th><th>deopts</th><th>PIC depth</th></tr>"
+        + "".join(table_rows) + "</table></section>")
+
+
 def _metrics_section(manifest: Dict) -> str:
     rows = manifest.get("outcome", {}).get("metrics") or []
     if not rows:
@@ -586,6 +629,7 @@ def render_report(manifest: Dict,
         _tables_section(manifest),
         _loadgen_section(manifest),
         _overhead_section(manifest),
+        _hot_methods_section(manifest),
         _metrics_section(manifest),
         _flamegraph_section(flamegraph_text),
         _trend_section(history),

@@ -237,6 +237,10 @@ class WarmVM:
         vm.jni_invocations = 0
         vm.ic_hits = 0
         vm.ic_misses = 0
+        vm.pic_hits = 0
+        vm.pic_megamorphic = 0
+        vm.pic_mono_to_poly = 0
+        vm.pic_poly_to_mega = 0
         vm.methods_verified = 0
         vm.pcl.reads = 0
         vm.loader.classes_loaded = 0
@@ -247,6 +251,7 @@ class WarmVM:
                 method.invocation_count = 0
                 method.backedge_count = 0
                 method.template_deopt_count = 0
+                method.osr_entry_count = 0
 
     def run(self, primed: bool = True) -> Dict:
         """Serve one request on the warm VM."""

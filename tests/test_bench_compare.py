@@ -165,7 +165,8 @@ class TestCliCompare:
     def fast_bench(self, monkeypatch):
         monkeypatch.setattr(bench_module, "run_bench",
                             lambda scale=1, workloads=None,
-                            tier="template", cores=1: _doc(1000, tier=tier))
+                            tier="template", cores=1, osr=True,
+                            suite="jvm98": _doc(1000, tier=tier))
 
     def test_compare_ok_exits_zero(self, tmp_path, capsys, fast_bench):
         baseline = tmp_path / "base.json"

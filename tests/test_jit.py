@@ -120,3 +120,33 @@ class TestJvmtiVeto:
                       agents=[CountingAgent()])
         assert vm.jit.vetoed
         assert vm.jit.compile_count == 0
+
+
+class TestPolicyCopy:
+    def test_copy_is_equal_and_independent(self):
+        policy = JitPolicy(invoke_threshold=7, osr=False, pic_depth=2,
+                          fusion=False, fusion_pairs=3)
+        dup = policy.copy()
+        assert dup == policy
+        assert dup is not policy
+        dup.invoke_threshold = 99
+        assert policy.invoke_threshold == 7
+
+    def test_copy_cannot_drop_fields(self):
+        # copy() goes through dataclasses.replace, which carries every
+        # declared field by name — a field added to JitPolicy can never
+        # be silently dropped by a hand-written copy again.  Guard the
+        # invariant by checking a non-default value of *every* field
+        # survives the round trip.
+        import dataclasses
+
+        overrides = {}
+        for field in dataclasses.fields(JitPolicy):
+            if field.type == "bool" or isinstance(field.default, bool):
+                overrides[field.name] = not field.default
+            else:
+                overrides[field.name] = field.default + 13
+        policy = JitPolicy(**overrides)
+        dup = policy.copy()
+        for name, value in overrides.items():
+            assert getattr(dup, name) == value, name

@@ -144,6 +144,10 @@ def _observables(vm):
         "instructions_retired": vm.instructions_retired,
         "ic_hits": vm.ic_hits,
         "ic_misses": vm.ic_misses,
+        "pic_hits": vm.pic_hits,
+        "pic_megamorphic": vm.pic_megamorphic,
+        "pic_mono_to_poly": vm.pic_mono_to_poly,
+        "pic_poly_to_mega": vm.pic_poly_to_mega,
         "method_invocations": vm.method_invocations,
         "acc_static": vm.loader.loaded_class("fz.H").statics["acc"],
     }
