@@ -10,6 +10,10 @@ bytecode (instruction indices, resolved labels):
 * :mod:`repro.analysis.boundary` — static J2N/N2J native-boundary
   analysis and the static-vs-dynamic cross-check;
 * :mod:`repro.analysis.lint` — Figure-2 instrumentation linter;
+* :mod:`repro.analysis.races` — thread-escape + Eraser-lockset race
+  prediction and the dynamic-vs-static race cross-check;
+* :mod:`repro.analysis.locks` — static lock-order graph and
+  deadlock-potential cycles;
 * :mod:`repro.analysis.driver` — one-call driver + metrics folding;
 * :mod:`repro.analysis.findings` — the shared finding/report types.
 """
@@ -32,9 +36,12 @@ from repro.analysis.driver import (
     analyze_archives,
     record_analysis_metrics,
     static_native_check,
+    static_race_check,
 )
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.analysis.lint import lint_archives, lint_classfile
+from repro.analysis.locks import LockOrderGraph
+from repro.analysis.races import RaceAnalysis, RaceCheck, analyze_races
 from repro.analysis.typed_verifier import (
     analyze_class_types,
     analyze_method_types,
@@ -50,10 +57,14 @@ __all__ = [
     "CallGraph",
     "ClassHierarchy",
     "Finding",
+    "LockOrderGraph",
     "NativeBoundaryReport",
+    "RaceAnalysis",
+    "RaceCheck",
     "Severity",
     "analyze_archives",
     "analyze_boundary",
+    "analyze_races",
     "analyze_class_types",
     "analyze_method_types",
     "build_call_graph",
@@ -64,5 +75,6 @@ __all__ = [
     "lint_classfile",
     "record_analysis_metrics",
     "static_native_check",
+    "static_race_check",
     "typed_verify_class",
 ]

@@ -27,6 +27,7 @@ from repro.analysis.callgraph import (
 )
 from repro.analysis.findings import AnalysisReport, Finding, Severity
 from repro.analysis.lint import lint_classfile
+from repro.analysis.races import RaceAnalysis, RaceCheck, analyze_races
 from repro.analysis.typed_verifier import analyze_class_types
 from repro.instrument.wrapper_gen import InstrumentationConfig
 
@@ -38,9 +39,10 @@ class AnalysisResult:
     report: AnalysisReport
     graph: CallGraph
     boundary: NativeBoundaryReport
+    races: Optional[RaceAnalysis] = None
 
     def to_json(self) -> dict:
-        return {
+        data = {
             "report": self.report.to_json(),
             "boundary": self.boundary.to_json(),
             "entry_points": sorted(self.graph.entry_points),
@@ -50,6 +52,9 @@ class AnalysisResult:
                 "edges": sum(len(v) for v in self.graph.edges.values()),
             },
         }
+        if self.races is not None:
+            data["races"] = self.races.to_json()
+        return data
 
 
 def analyze_archives(archives,
@@ -57,7 +62,8 @@ def analyze_archives(archives,
                      instrumentation: Optional[InstrumentationConfig]
                      = None,
                      require_instrumented: bool = True,
-                     typed: bool = True) -> AnalysisResult:
+                     typed: bool = True,
+                     races: bool = False) -> AnalysisResult:
     """Run verifier (+ optional linter) + CHA + boundary over
     ``archives`` (classpath order)."""
     report = AnalysisReport()
@@ -83,7 +89,12 @@ def analyze_archives(archives,
             message=f"no target found for {site.symbolic}"))
 
     boundary = analyze_boundary(graph)
-    return AnalysisResult(report=report, graph=graph, boundary=boundary)
+    race_result = None
+    if races:
+        race_result = analyze_races(hierarchy, graph)
+        report.merge(race_result.report)
+    return AnalysisResult(report=report, graph=graph,
+                          boundary=boundary, races=race_result)
 
 
 def static_native_check(archives,
@@ -95,6 +106,15 @@ def static_native_check(archives,
     hierarchy = build_hierarchy(archives)
     boundary = analyze_boundary(build_call_graph(hierarchy))
     return cross_check(boundary, dynamic_qnames, instrumentation)
+
+
+def static_race_check(archives, dynamic_races) -> RaceCheck:
+    """The harness-facing shortcut for ``--race-check``: static race
+    prediction over ``archives`` intersected with the races a sanitized
+    run actually confirmed (dynamic must be a subset of static)."""
+    hierarchy = build_hierarchy(archives)
+    analysis = analyze_races(hierarchy)
+    return RaceCheck(analysis.racy_fields, list(dynamic_races))
 
 
 def record_analysis_metrics(registry, result: AnalysisResult,
@@ -116,3 +136,9 @@ def record_analysis_metrics(registry, result: AnalysisResult,
         registry.set_gauge("analysis_native_coverage", check.coverage)
         registry.inc("analysis_boundary_violations",
                      len(check.violations))
+    if result.races is not None:
+        registry.inc("race_warnings", result.races.race_warnings)
+        registry.inc("lockset_violations",
+                     result.races.lockset_violations)
+        registry.inc("deadlock_potentials",
+                     result.races.deadlock_potentials)

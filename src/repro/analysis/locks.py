@@ -1,0 +1,98 @@
+"""Static lock-order graph and deadlock-potential detection.
+
+Locks are abstracted to *class-granular* tokens: a MONITORENTER whose
+operand is statically a single class ``C`` acquires the token ``C``
+(any instance of ``C``).  Nested monitor regions — including nesting
+across calls, via the interprocedural entry locksets computed by
+:mod:`repro.analysis.races` — contribute ``held -> acquired`` edges;
+a cycle among distinct tokens means two call paths acquire the same
+pair of locks in opposite orders, the classic deadlock recipe that
+PR 6's dynamic wait-for-graph detector can only catch once it has
+already happened.
+
+Self-edges (``C -> C``) are excluded from cycle detection: at class
+granularity they are indistinguishable from benign re-entrant locking
+of one object, which the monitor implementation permits.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import AnalysisReport, Finding, Severity
+
+__all__ = ["LockOrderGraph"]
+
+
+class LockOrderGraph:
+    """Directed graph over class-granular lock tokens."""
+
+    def __init__(self):
+        #: src token -> dst token -> list of (method qname, pc) evidence
+        self.edges: Dict[str, Dict[str, List[Tuple[str, int]]]] = \
+            defaultdict(dict)
+
+    def add_edge(self, held: str, acquired: str, method: str,
+                 pc: int) -> None:
+        """Record: ``method`` at ``pc`` acquires ``acquired`` while
+        holding ``held``."""
+        sites = self.edges[held].setdefault(acquired, [])
+        if len(sites) < 8:  # cap evidence, not the edge itself
+            sites.append((method, pc))
+
+    def cycles(self) -> List[List[str]]:
+        """Elementary cycles among distinct tokens, one representative
+        per cyclic SCC, canonicalized (rotation to the smallest token)
+        and deduplicated."""
+        found: Set[Tuple[str, ...]] = set()
+        ordered: List[List[str]] = []
+        for start in sorted(self.edges):
+            stack = [(start, [start])]
+            while stack:
+                node, path = stack.pop()
+                for nxt in sorted(self.edges.get(node, ())):
+                    if nxt == node:
+                        continue  # re-entrant self-edge
+                    if nxt == start and len(path) > 1:
+                        lo = path.index(min(path))
+                        key = tuple(path[lo:] + path[:lo])
+                        if key not in found:
+                            found.add(key)
+                            ordered.append(list(key))
+                    elif nxt not in path and len(path) < 8:
+                        stack.append((nxt, path + [nxt]))
+        return ordered
+
+    def findings(self) -> AnalysisReport:
+        """One ``deadlock-potential`` warning per cycle."""
+        report = AnalysisReport()
+        for cycle in self.cycles():
+            rendering = " -> ".join(cycle + [cycle[0]])
+            evidence = []
+            for held, acquired in zip(cycle, cycle[1:] + [cycle[0]]):
+                for method, pc in self.edges[held][acquired][:2]:
+                    evidence.append(
+                        f"{method}@{pc} takes {acquired} under {held}")
+            _method, pc = self.edges[cycle[0]][cycle[1]][0]
+            report.add(Finding(
+                severity=Severity.WARNING,
+                rule="deadlock-potential",
+                class_name=cycle[0],
+                method="",  # evidence sites are in the message
+                message=(f"lock-order cycle {rendering}: "
+                         + "; ".join(evidence)),
+                pc=pc,
+            ))
+        return report
+
+    def to_json(self) -> dict:
+        return {
+            "edges": [
+                {"held": held, "acquired": acquired,
+                 "sites": [{"method": m, "pc": pc} for m, pc in sites]}
+                for held in sorted(self.edges)
+                for acquired, sites in sorted(self.edges[held].items())
+            ],
+            "cycles": self.cycles(),
+        }

@@ -474,7 +474,56 @@ class TypedMethodVerifier:
                          f"instructions {block.start}..{block.end - 1} "
                          f"are unreachable", pc=block.start)
 
+        self._check_monitor_bracketing(cfg, code)
+
         return list(self.findings.values())
+
+    # -- monitor bracketing ----------------------------------------------------
+
+    def _check_monitor_bracketing(self, cfg, code) -> None:
+        """Structural MONITORENTER/MONITOREXIT balance: along every
+        normal path the net monitor depth must reach zero at each
+        return, never go negative, and agree at joins.  Exceptional
+        exits (ATHROW, exception edges) are exempt — the runtime force-
+        releases monitors on unwind.  Violations are warnings: the
+        interpreter raises IllegalMonitorStateException dynamically,
+        but an unbalanced method is a lock-leak bug worth flagging
+        before it ever runs."""
+        depth_in: Dict[int, int] = {0: 0}
+        worklist = [0]
+        while worklist:
+            index = worklist.pop()
+            depth = depth_in[index]
+            block = cfg.blocks[index]
+            for pc in block.pcs:
+                op = code[pc].op
+                if op is Op.MONITORENTER:
+                    depth += 1
+                elif op is Op.MONITOREXIT:
+                    depth -= 1
+                    if depth < 0:
+                        self._report(
+                            Severity.WARNING, "monitor-bracketing",
+                            "monitorexit without a matching "
+                            "monitorenter on some path", pc=pc)
+                        depth = 0  # recover, keep checking the rest
+                elif op in (Op.RETURN, Op.IRETURN, Op.ARETURN):
+                    if depth != 0:
+                        self._report(
+                            Severity.WARNING, "monitor-bracketing",
+                            f"method returns holding {depth} "
+                            f"monitor(s)", pc=pc)
+            for successor in block.successors:
+                known = depth_in.get(successor)
+                if known is None:
+                    depth_in[successor] = depth
+                    worklist.append(successor)
+                elif known != depth:
+                    self._report(
+                        Severity.WARNING, "monitor-bracketing",
+                        f"inconsistent monitor depth at join "
+                        f"({known} vs {depth})",
+                        pc=cfg.blocks[successor].start)
 
 
 # -- public entry points -------------------------------------------------------

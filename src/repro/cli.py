@@ -96,12 +96,16 @@ def _vm_config_from(args) -> VMConfig:
     debugging.
     """
     tier = getattr(args, "tier", "template")
+    sanitize = getattr(args, "sanitize", "off")
+    if getattr(args, "race_check", False):
+        sanitize = "race"  # the cross-check needs the dynamic side
     return VMConfig(
         jit_policy=JitPolicy(
             template_tier=(tier == "template"),
             osr=(getattr(args, "osr", "on") == "on")),
         verify=getattr(args, "verify", "structural"),
-        cores=getattr(args, "cores", 1))
+        cores=getattr(args, "cores", 1),
+        sanitize=sanitize)
 
 
 def _add_tier_argument(subparser) -> None:
@@ -135,6 +139,15 @@ def _add_verify_argument(subparser) -> None:
               "'structural' (stack-discipline dataflow, default), or "
               "'typed' (abstract interpretation); host-side only — "
               "simulated numbers are identical across modes"))
+
+
+def _add_sanitize_argument(subparser) -> None:
+    subparser.add_argument(
+        "--sanitize", choices=("off", "race"), default="off",
+        help=("dynamic sanitizer: 'race' runs the happens-before "
+              "vector-clock race detector alongside the run; "
+              "host-side shadow state only — simulated numbers are "
+              "identical with it on or off"))
 
 
 def _observability_from(args) -> Optional[ObservabilityConfig]:
@@ -204,6 +217,43 @@ def _check_workload_names(names) -> Optional[str]:
             f"valid families: {', '.join(sorted(valid))}")
 
 
+def _collect_races(raw) -> dict:
+    """``workload -> [race dicts]`` from a table's raw results,
+    deduplicated per (class, field)."""
+    races = {}
+    for workload, results in sorted(raw.items()):
+        seen = set()
+        for result in results.values():
+            for race in result.races:
+                key = (race["class"], race["field"])
+                if key not in seen:
+                    seen.add(key)
+                    races.setdefault(workload, []).append(race)
+    return races
+
+
+def _report_races(races_by_workload) -> int:
+    """Log confirmed dynamic races (stderr — stdout tables stay
+    byte-identical); returns the total count."""
+    total = 0
+    for workload, races in sorted(races_by_workload.items()):
+        for race in races:
+            total += 1
+            log.error(
+                "data race confirmed", workload=workload,
+                field=f"{race['class']}.{race['field']}",
+                scope=race["scope"],
+                prior=(f"{race['prior']['op']} by "
+                       f"{race['prior']['thread']} @cycle "
+                       f"{race['prior']['cycles']}: "
+                       + " <- ".join(race["prior"]["stack"])),
+                current=(f"{race['current']['op']} by "
+                         f"{race['current']['thread']} @cycle "
+                         f"{race['current']['cycles']}: "
+                         + " <- ".join(race["current"]["stack"])))
+    return total
+
+
 def _report_thread_deaths(deaths) -> bool:
     """Log uncaught-thread deaths (stderr); True when any occurred."""
     for workload, lines in sorted((deaths or {}).items()):
@@ -243,10 +293,15 @@ def _cmd_table1(args) -> int:
         "metrics": _capture_metrics_summary(table.captures),
         "artifacts": _artifacts_from(args),
         "thread_deaths": table.thread_deaths or None,
+        "races": _collect_races(table.raw) or None,
     }
     if _report_thread_deaths(table.thread_deaths):
         log.error("table1 FAILED: workload thread(s) died with "
                   "uncaught exceptions")
+        return 1
+    if _report_races(args.ledger_outcome["races"] or {}):
+        log.error("table1 FAILED: data race(s) confirmed by the "
+                  "sanitizer")
         return 1
     return 0
 
@@ -260,7 +315,8 @@ def _cmd_table2(args) -> int:
                          vm_config=_vm_config_from(args),
                          runs=args.runs, jobs=args.jobs,
                          observability=_observability_from(args),
-                         boundary_check=args.boundary_check)
+                         boundary_check=args.boundary_check,
+                         race_check=args.race_check)
     rendered = render_table2(table)
     print(rendered)
     _write_table_observability(args, table.captures)
@@ -279,6 +335,10 @@ def _cmd_table2(args) -> int:
         "metrics": _capture_metrics_summary(table.captures),
         "artifacts": _artifacts_from(args),
         "thread_deaths": table.thread_deaths or None,
+        "races": _collect_races(table.raw) or None,
+        "race_check": ({name: check.to_json()
+                        for name, check in table.races.items()}
+                       if table.races is not None else None),
     }
     if _report_thread_deaths(table.thread_deaths):
         log.error("table2 FAILED: workload thread(s) died with "
@@ -295,6 +355,21 @@ def _cmd_table2(args) -> int:
             log.error("boundary check FAILED: dynamically invoked "
                       "natives missing from the static analysis")
             return 1
+    if table.races is not None:
+        # stderr, so the table on stdout stays byte-identical
+        failed = False
+        for name, check in table.races.items():
+            log.info("race check", workload=name,
+                     detail=check.summary())
+            failed = failed or not check.ok
+        if failed:
+            log.error("race check FAILED: confirmed race(s) the "
+                      "static lockset analysis did not predict")
+            return 1
+    if _report_races(args.ledger_outcome["races"] or {}):
+        log.error("table2 FAILED: data race(s) confirmed by the "
+                  "sanitizer")
+        return 1
     return 0
 
 
@@ -423,6 +498,9 @@ def _cmd_profile(args) -> int:
     if result.thread_deaths:
         for line in result.thread_deaths:
             log.error("workload thread died", detail=line)
+    if result.races:
+        print(f"races:         {len(result.races)} confirmed")
+        _report_races({result.workload: result.races})
     if result.operations is not None:
         print(f"operations:    {result.operations:,}")
         print(f"ops/second:    {result.operations_per_second:,.0f}")
@@ -449,6 +527,8 @@ def _cmd_profile(args) -> int:
         "seconds": result.seconds,
         "agent_report": result.agent_report,
         "workloads": {result.workload: workload_cells},
+        "races": ({result.workload: result.races}
+                  if result.races else None),
         "artifacts": _artifacts_from(args,
                                      flamegraph=args.flamegraph),
     }
@@ -474,6 +554,9 @@ def _cmd_trace(args) -> int:
     print(f"threads:       {len(capture['thread_names'])}")
     print(f"trace:         {args.trace_out} "
           f"(open in Perfetto / chrome://tracing)")
+    if result.races:
+        print(f"races:         {len(result.races)} confirmed")
+        _report_races({result.workload: result.races})
     if args.metrics_out:
         count = write_metrics_jsonl(args.metrics_out,
                                     capture["metrics"])
@@ -540,7 +623,8 @@ def _cmd_analyze(args) -> int:
     result = analyze_archives(
         archives,
         check_instrumentation=args.check_instrumentation,
-        instrumentation=instrumentation)
+        instrumentation=instrumentation,
+        races=args.races)
 
     if args.call_graph:
         with open(args.call_graph, "w", encoding="utf-8") as fh:
@@ -570,15 +654,34 @@ def _cmd_analyze(args) -> int:
               f"CHA-reachable), {len(boundary.j2n_sites)} static J2N "
               f"call sites, {len(boundary.n2j_candidates)} N2J "
               f"callback candidates")
+        if result.races is not None:
+            races = result.races
+            if races.multithreaded:
+                print(f"race analysis: "
+                      f"{len(races.shared_classes)} thread-shared "
+                      f"classes, {races.race_warnings} race warnings "
+                      f"({races.lockset_violations} unguarded "
+                      f"accesses), {races.deadlock_potentials} "
+                      f"lock-order cycles")
+            else:
+                print("race analysis: single-threaded (no Thread "
+                      "subclass instantiated) — trivially race-free")
     args.ledger_outcome = {
         "analysis_ok": result.report.ok,
         "findings": result.report.counts(),
         "classes_analyzed": result.report.classes_analyzed,
         "declared_natives": len(result.boundary.declared_natives),
+        "races": (result.races.to_json()
+                  if result.races is not None else None),
         "artifacts": _artifacts_from(args,
                                      call_graph=args.call_graph),
     }
-    return 0 if result.report.ok else 1
+    if not result.report.ok:
+        return 1
+    if args.strict and result.report.counts()["warning"]:
+        log.error("analyze --strict: warning findings present")
+        return 1
+    return 0
 
 
 def _cmd_metrics(args) -> int:
@@ -713,6 +816,7 @@ def _config_for_manifest(args) -> dict:
     config = {}
     for key in ("workload", "workloads", "scale", "runs", "jobs",
                 "tier", "verify", "cores", "boundary_check", "suite",
+                "sanitize", "race_check", "races", "strict",
                 "check_instrumentation", "max_regression", "compare",
                 "rps", "duration", "concurrency", "seed", "workers",
                 "queue_limit", "timeout", "cold_start_baseline",
@@ -893,6 +997,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_tier_argument(pt)
         _add_cores_argument(pt)
         _add_verify_argument(pt)
+        _add_sanitize_argument(pt)
         _add_global_arguments(pt)
         if name == "table2":
             pt.add_argument(
@@ -900,6 +1005,13 @@ def build_parser() -> argparse.ArgumentParser:
                 help=("cross-check dynamically invoked natives "
                       "against the static native-boundary analysis "
                       "(report on stderr; exit 1 on violation)"))
+            pt.add_argument(
+                "--race-check", action="store_true",
+                help=("cross-check sanitizer-confirmed races against "
+                      "the static lockset analysis — every dynamic "
+                      "race must be statically predicted (implies "
+                      "--sanitize race; report on stderr; exit 1 on "
+                      "violation)"))
         pt.set_defaults(func=func)
 
     pp = sub.add_parser("profile", help="profile one workload")
@@ -915,6 +1027,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tier_argument(pp)
     _add_cores_argument(pp)
     _add_verify_argument(pp)
+    _add_sanitize_argument(pp)
     _add_global_arguments(pp)
     pp.set_defaults(func=_cmd_profile)
 
@@ -935,6 +1048,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tier_argument(ptr)
     _add_cores_argument(ptr)
     _add_verify_argument(ptr)
+    _add_sanitize_argument(ptr)
     _add_global_arguments(ptr)
     ptr.set_defaults(func=_cmd_trace)
 
@@ -961,6 +1075,13 @@ def build_parser() -> argparse.ArgumentParser:
     pa.add_argument("--check-instrumentation", action="store_true",
                     help=("instrument the archives, then lint the "
                           "Figure-2 wrapper invariants"))
+    pa.add_argument("--races", action="store_true",
+                    help=("run the thread-escape + Eraser-lockset "
+                          "race prediction and the lock-order "
+                          "deadlock analysis"))
+    pa.add_argument("--strict", action="store_true",
+                    help="exit non-zero on warning findings, not "
+                         "just errors")
     pa.add_argument("--call-graph", metavar="OUT.json", default=None,
                     help="write the CHA call graph as JSON")
     pa.add_argument("--metrics-out", metavar="OUT.jsonl", default=None,

@@ -50,6 +50,10 @@ class RunResult:
     #: Per-core cycle clocks (``--cores N``, N > 1); ``None`` under the
     #: sequential model.
     core_clocks: Optional[List[int]] = None
+    #: Confirmed data races from ``--sanitize race`` (empty when the
+    #: sanitizer is off or the run is clean).  Plain dicts with both
+    #: racing stacks and simulated-cycle timestamps; picklable.
+    races: List[Dict] = field(default_factory=list)
     #: The live agent instance (CCT access for flamegraph export).
     #: Host-side only — stripped before crossing process boundaries.
     agent_object: Optional[object] = None
@@ -69,6 +73,7 @@ def _build_vm(workload: Workload, config: RunConfig) -> JavaVM:
         jvmti_version=config.vm_config.jvmti_version,
         verify=config.vm_config.verify,
         cores=config.vm_config.cores,
+        sanitize=config.vm_config.sanitize,
     )
     vm = JavaVM(vm_config)
     if config.observability is not None and \
@@ -154,6 +159,8 @@ def _run_once(workload: Workload, config: RunConfig) -> RunResult:
         thread_deaths=list(vm.thread_deaths),
         core_clocks=(list(vm.scheduler.core_clock)
                      if vm.scheduler is not None else None),
+        races=(list(vm.sanitizer.races)
+               if vm.sanitizer is not None else []),
         agent_object=vm.agents[0] if vm.agents else None,
     )
 
@@ -236,6 +243,12 @@ def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
         # emitted only when nonzero so clean-run metric captures (and
         # the goldens built from them) are unchanged
         metrics.inc("uncaught_thread_exceptions", len(vm.thread_deaths))
+    sanitizer = vm.sanitizer
+    if sanitizer is not None:
+        # emitted only when the sanitizer is on, so sanitize-off metric
+        # captures (and the goldens built from them) are unchanged
+        metrics.inc("races_confirmed", len(sanitizer.races))
+        metrics.inc("shadow_words", sanitizer.shadow_words)
     scheduler = vm.scheduler
     if scheduler is not None:
         metrics.inc("scheduler_context_switches",

@@ -398,6 +398,15 @@ def _translate(method, vm, policy, exclude_ops):
     if sched_on:
         bind("SP", vm.scheduler)
 
+    # race sanitizer: emit the same shadow hooks the interpreter runs,
+    # at the same points.  Gated at translation time — with --sanitize
+    # off the emitted source is byte-identical to today's, and the
+    # hooks are host-side only (no charge, no retire), so simulated
+    # cycle accounting is untouched either way.
+    san_on = vm.sanitizer is not None
+    if san_on:
+        bind("SAN", vm.sanitizer)
+
     def safepoint_backedge(target, rel):
         """Quantum check at a taken backward branch (pending charges
         still in ``p``, exactly the interpreter's check)."""
@@ -576,6 +585,9 @@ def _translate(method, vm, policy, exclude_ops):
                 out(0, "except (KeyError, AttributeError):")
                 out(1, 'raise NoSuchFieldError(f"{_o!r} has no field '
                        f'{q}")')
+                if san_on:
+                    out(0, f"frame.pc = {pc}")
+                    out(0, f"SAN.read_field(thread, _o, {q!r})")
             else:
                 cold_guard(pc, d, cost)
                 out(0, f"_o = s{d - 1}")
@@ -586,6 +598,9 @@ def _translate(method, vm, policy, exclude_ops):
                 out(0, "except (KeyError, AttributeError):")
                 out(1, 'raise NoSuchFieldError(f"{_o!r} has no field '
                        '{_q}")')
+                if san_on:
+                    out(0, f"frame.pc = {pc}")
+                    out(0, "SAN.read_field(thread, _o, _q)")
         elif op == _PUTFIELD:
             q = ins.quick
             if q is not None:
@@ -599,6 +614,9 @@ def _translate(method, vm, policy, exclude_ops):
                 out(1, 'raise NoSuchFieldError(f"{_o!r} has no field '
                        f'{q}")')
                 out(0, f"_o.fields[{q!r}] = _v")
+                if san_on:
+                    out(0, f"frame.pc = {pc}")
+                    out(0, f"SAN.write_field(thread, _o, {q!r})")
             else:
                 cold_guard(pc, d, cost)
                 out(0, f"_v = s{d - 1}")
@@ -609,25 +627,38 @@ def _translate(method, vm, policy, exclude_ops):
                 out(1, 'raise NoSuchFieldError(f"{_o!r} has no field '
                        '{_q}")')
                 out(0, "_o.fields[_q] = _v")
+                if san_on:
+                    out(0, f"frame.pc = {pc}")
+                    out(0, "SAN.write_field(thread, _o, _q)")
         elif op == _GETSTATIC or op == _PUTSTATIC:
             q = ins.quick
             if q is not None:
                 bind(f"D{pc}", q[0].statics)
                 bind(f"N{pc}", q[1])
+                if san_on:
+                    bind(f"H{pc}", q[0])
                 acc(pc)
                 spill()
                 flush(pc)
                 if op == _GETSTATIC:
                     out(0, f"s{d} = D{pc}[N{pc}]")
+                    if san_on:
+                        out(0, f"SAN.read_static(thread, H{pc}, N{pc})")
                 else:
                     out(0, f"D{pc}[N{pc}] = s{d - 1}")
+                    if san_on:
+                        out(0, f"SAN.write_static(thread, H{pc}, N{pc})")
             else:
                 cold_guard(pc, d, cost)
                 flush(pc)
                 if op == _GETSTATIC:
                     out(0, f"s{d} = _q[0].statics[_q[1]]")
+                    if san_on:
+                        out(0, "SAN.read_static(thread, _q[0], _q[1])")
                 else:
                     out(0, f"_q[0].statics[_q[1]] = s{d - 1}")
+                    if san_on:
+                        out(0, "SAN.write_static(thread, _q[0], _q[1])")
         elif op == _NEW:
             q = ins.quick
             if q is not None:
@@ -747,6 +778,8 @@ def _translate(method, vm, policy, exclude_ops):
                    "_o.monitor_owner is thread:")
             out(1, "_o.monitor_owner = thread")
             out(1, "_o.monitor_count += 1")
+            if san_on:
+                out(1, "SAN.on_acquire(thread, _o)")
             out(0, "else:")
             if sched_on:
                 # contended: flush (the thread parks mid-opcode) and
@@ -768,6 +801,8 @@ def _translate(method, vm, policy, exclude_ops):
             out(0, "_o.monitor_count -= 1")
             out(0, "if _o.monitor_count == 0:")
             out(1, "_o.monitor_owner = None")
+            if san_on:
+                out(1, "SAN.on_release(thread, _o)")
             if sched_on:
                 out(1, "if _o.monitor_waiters:")
                 out(2, "SP.release_monitor(thread, _o)")
@@ -925,6 +960,9 @@ def _translate(method, vm, policy, exclude_ops):
             out(0, "except (KeyError, AttributeError):")
             out(1, 'raise NoSuchFieldError(f"{_o!r} has no field '
                    f'{q}")')
+            if san_on:
+                out(0, f"frame.pc = {last}")
+                out(0, f"SAN.read_field(thread, _o, {q!r})")
         else:  # load_branch
             spill()
             tmpl, pops = _COND[ops[last]]

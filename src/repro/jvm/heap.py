@@ -75,8 +75,11 @@ class Heap:
         and interned strings are bound by identity at ``LDC`` sites —
         both must survive a reset.  Allocation counters restart, so a
         warm request observes the same allocation statistics as the
-        first; ``object_id``s restart too (they are debug labels, never
-        identity).
+        first; ``object_id``s restart too.  They are debug labels with
+        one exception: the race sanitizer keys monitor release clocks
+        by ``object_id`` — safe only because warm-pool VMs are always
+        built with ``sanitize="off"`` (a sanitizing request runs cold,
+        like ``cores > 1``).
         """
         self._next_id = 1
         self.objects_allocated = 0

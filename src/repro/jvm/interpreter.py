@@ -417,6 +417,8 @@ class Interpreter:
         # preemptive scheduler, or None under the sequential model;
         # hoisted so safepoint checks are one local load
         sched = vm.scheduler
+        # race sanitizer (host-side shadow state), or None when off
+        san = vm.sanitizer
         # on-stack replacement gate, hoisted for the backedge hot path
         osr_on = jit.enabled and jit.policy.osr
 
@@ -687,6 +689,9 @@ class Interpreter:
                         except (KeyError, AttributeError):
                             raise NoSuchFieldError(
                                 f"{obj!r} has no field {name}")
+                        if san is not None:
+                            frame.pc = pc  # accurate race stacks
+                            san.read_field(thread, obj, name)
                         pc += 1
                     elif op == IALOAD or op == AALOAD:
                         index = pop()
@@ -935,6 +940,9 @@ class Interpreter:
                             raise NoSuchFieldError(
                                 f"{obj!r} has no field {name}")
                         obj.fields[name] = value
+                        if san is not None:
+                            frame.pc = pc  # accurate race stacks
+                            san.write_field(thread, obj, name)
                         pc += 1
                     elif op == GETSTATIC or op == PUTSTATIC:
                         ins = code[pc]
@@ -960,8 +968,12 @@ class Interpreter:
                             ins.quick = q
                         if op == GETSTATIC:
                             push(q[0].statics[q[1]])
+                            if san is not None:
+                                san.read_static(thread, q[0], q[1])
                         else:
                             q[0].statics[q[1]] = pop()
+                            if san is not None:
+                                san.write_static(thread, q[0], q[1])
                         pc += 1
                     elif op == IDIV or op == IREM:
                         b = pop()
@@ -1126,6 +1138,8 @@ class Interpreter:
                                 obj.monitor_owner is thread:
                             obj.monitor_owner = thread
                             obj.monitor_count += 1
+                            if san is not None:
+                                san.on_acquire(thread, obj)
                         elif sched is not None:
                             # contended: block until the owner hands
                             # the monitor over (charges are flushed —
@@ -1152,6 +1166,8 @@ class Interpreter:
                         obj.monitor_count -= 1
                         if obj.monitor_count == 0:
                             obj.monitor_owner = None
+                            if san is not None:
+                                san.on_release(thread, obj)
                             if sched is not None and obj.monitor_waiters:
                                 sched.release_monitor(thread, obj)
                         pc += 1

@@ -41,6 +41,7 @@ from repro.jvmti.host import (
 from repro.observability.sink import NULL_SINK
 from repro.observability.tracer import HARNESS_TID
 from repro.pcl.counters import PCL
+from repro.sanitizer.race import RaceSanitizer
 
 MAIN_DESCRIPTOR = "()V"
 
@@ -65,6 +66,10 @@ class VMConfig:
     #: N > 1 enables the preemptive :class:`~repro.jvm.scheduler.
     #: CoreScheduler` with per-core cycle clocks.
     cores: int = 1
+    #: Dynamic sanitizer: ``"off"`` or ``"race"`` (FastTrack-style
+    #: happens-before detector).  Pure host-side shadow state — cycle
+    #: accounting and tables are bit-identical across modes.
+    sanitize: str = "off"
 
 
 class JavaVM:
@@ -88,6 +93,12 @@ class JavaVM:
         self.native_registry = NativeRegistry(self)
         self.jni_table = JNIFunctionTable(self)
         self.interpreter = Interpreter(self)
+        #: Happens-before race sanitizer; None unless ``--sanitize
+        #: race``.  Constructed before the scheduler, which caches a
+        #: reference for its slice-boundary handoff edges.
+        self.sanitizer: Optional[RaceSanitizer] = (
+            RaceSanitizer(self) if self.config.sanitize == "race"
+            else None)
         #: Preemptive N-core scheduler; None under the sequential model
         #: (cores=1), which every hot path checks cheaply.
         self.scheduler: Optional[CoreScheduler] = (
@@ -275,6 +286,9 @@ class JavaVM:
     def start_thread(self, thread: SimThread) -> None:
         """``Thread.start``: hand the thread to the scheduler, or queue
         it for sequential execution."""
+        if self.sanitizer is not None:
+            # HB edge: everything the parent did precedes the child
+            self.sanitizer.on_start(self.threads.current, thread)
         if self.scheduler is not None:
             self.scheduler.start_thread(thread)
         else:
@@ -283,10 +297,15 @@ class JavaVM:
     def join_thread(self, thread: SimThread) -> None:
         """``Thread.join``: block (scheduler) or run the target to
         completion now (sequential model)."""
+        joiner = self.threads.current
         if self.scheduler is not None:
-            self.scheduler.join(self.threads.current, thread)
+            self.scheduler.join(joiner, thread)
         else:
             self.ensure_thread_finished(thread)
+        if self.sanitizer is not None:
+            # HB edge: the joiner resumes after the joined thread's
+            # entire execution (the target has terminated by now)
+            self.sanitizer.on_join(joiner, thread)
 
     def ensure_thread_finished(self, thread: SimThread) -> None:
         """``Thread.join`` semantics under the sequential model: run the

@@ -75,6 +75,9 @@ class CoreScheduler:
             raise VMError(f"CoreScheduler needs cores >= 2, got {cores}")
         self.vm = vm
         self.cores = cores
+        #: Race sanitizer (constructed before the scheduler by the VM),
+        #: or None; slice boundaries publish happens-before edges to it.
+        self.san = vm.sanitizer
         #: Cycles executed so far on each simulated core.
         self.core_clock: List[int] = [0] * cores
         #: Runnable threads, FIFO.
@@ -192,6 +195,8 @@ class CoreScheduler:
                 # the serialized protocol, but harmless to handle
                 obj.monitor_owner = thread
                 obj.monitor_count += 1
+                if self.san is not None:
+                    self.san.on_acquire(thread, obj)
                 return
             thread.charge(cost.monitor_contention_cycles, ChargeTag.VM)
             self.monitor_contentions += 1
@@ -214,6 +219,10 @@ class CoreScheduler:
             waiter = obj.monitor_waiters.popleft()
             obj.monitor_owner = waiter
             obj.monitor_count = 1
+            if self.san is not None:
+                # direct transfer: the waiter acquires without
+                # re-running the MONITORENTER hook
+                self.san.on_acquire(waiter, obj)
             waiter.state = ThreadState.READY
             waiter.waiting_on = None
             self.ready.append(waiter)
@@ -283,6 +292,11 @@ class CoreScheduler:
 
     def _end_slice(self, thread: SimThread) -> None:
         """Account the finished slice to the thread's core clock."""
+        if self.san is not None:
+            # core handoff is a real synchronization point: the
+            # scheduler serializes execution, so the outgoing thread
+            # publishes into the global scheduler-token clock
+            self.san.token_release(thread)
         core = thread.core if thread.core is not None else 0
         start = self._slice_start
         end = thread.cycles_total
@@ -304,6 +318,8 @@ class CoreScheduler:
             self._check_deadlock()
             return None
         thread = self.ready.popleft()
+        if self.san is not None:
+            self.san.token_acquire(thread)
         core = min(range(self.cores), key=lambda c: self.core_clock[c])
         cost = self.vm.config.cost_model
         thread.core = core

@@ -56,7 +56,8 @@ class JObject:
     """
 
     __slots__ = ("jclass", "fields", "string_value", "object_id",
-                 "monitor_owner", "monitor_count", "monitor_waiters")
+                 "monitor_owner", "monitor_count", "monitor_waiters",
+                 "shadow")
 
     def __init__(self, jclass, fields: dict, object_id: int,
                  string_value: Optional[str] = None):
@@ -69,6 +70,9 @@ class JObject:
         # FIFO of SimThreads blocked on this monitor; lazily created by
         # the preemptive scheduler (always None at cores=1)
         self.monitor_waiters = None
+        # per-field shadow words, lazily created by the race sanitizer
+        # (always None when --sanitize is off)
+        self.shadow = None
 
     @property
     def class_name(self) -> str:

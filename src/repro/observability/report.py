@@ -418,6 +418,87 @@ def _hot_methods_section(manifest: Dict) -> str:
         + "".join(table_rows) + "</table></section>")
 
 
+def _races_section(manifest: Dict) -> str:
+    """Concurrency correctness: confirmed dynamic races (two stacks,
+    cycle timestamps), ``--race-check`` verdicts, and the static
+    analysis summary from ``analyze --races`` runs."""
+    outcome = manifest.get("outcome", {})
+    races = outcome.get("races")
+    check = outcome.get("race_check")
+    static = None
+    if isinstance(races, dict) and "multithreaded" in races:
+        static, races = races, None  # an `analyze --races` manifest
+    if not races and not check and static is None:
+        return ""
+    parts = []
+    if static is not None:
+        if not static.get("multithreaded"):
+            parts.append("<p class='legend'>single-threaded: no "
+                         "Thread subclass instantiated — trivially "
+                         "race-free</p>")
+        else:
+            parts.append(
+                "<table><tr><th>thread-shared classes</th>"
+                "<th>race warnings</th><th>unguarded accesses</th>"
+                "<th>lock-order cycles</th></tr>"
+                f"<tr><td>{_fmt(len(static.get('shared_classes', [])))}"
+                f"</td><td>{_fmt(static.get('race_warnings', 0))}</td>"
+                f"<td>{_fmt(static.get('lockset_violations', 0))}</td>"
+                f"<td>{_fmt(static.get('deadlock_potentials', 0))}</td>"
+                "</tr></table>")
+            fields = static.get("racy_fields") or []
+            if fields:
+                rows = "".join(f"<tr><td>{_esc(c)}</td>"
+                               f"<td>{_esc(f)}</td></tr>"
+                               for c, f in fields)
+                parts.append("<details><summary>racy fields</summary>"
+                             "<table><tr><th>class</th><th>field</th>"
+                             f"</tr>{rows}</table></details>")
+    if check:
+        rows = []
+        for workload, verdict in sorted(check.items()):
+            ok = "ok" if verdict.get("ok") else "FAILED"
+            rows.append(
+                f"<tr><td>{_esc(workload)}</td><td>{_esc(ok)}</td>"
+                f"<td>{_fmt(len(verdict.get('confirmed') or []))}</td>"
+                f"<td>{_fmt(len(verdict.get('static_warnings', [])))}"
+                f"</td></tr>")
+        parts.append(
+            "<p class='legend'>race check: every race the sanitizer "
+            "confirmed must carry a static race-warning (dynamic ⊆ "
+            "static)</p><table><tr><th>workload</th><th>verdict</th>"
+            "<th>confirmed</th><th>static warnings</th></tr>"
+            + "".join(rows) + "</table>")
+    if races:
+        rows = []
+        for workload, confirmed in sorted(races.items()):
+            for race in confirmed:
+                accesses = []
+                for side in ("prior", "current"):
+                    access = race.get(side) or {}
+                    stack = " &larr; ".join(
+                        _esc(frame) for frame in access.get("stack", []))
+                    accesses.append(
+                        f"{_esc(access.get('op', '?'))} by "
+                        f"{_esc(access.get('thread', '?'))} @cycle "
+                        f"{_fmt(access.get('cycles', 0))}<br>"
+                        f"<small>{stack}</small>")
+                rows.append(
+                    f"<tr><td>{_esc(workload)}</td>"
+                    f"<td>{_esc(race.get('class', '?'))}."
+                    f"{_esc(race.get('field', '?'))}</td>"
+                    f"<td>{accesses[0]}</td><td>{accesses[1]}</td>"
+                    "</tr>")
+        parts.append(
+            "<p class='legend'>confirmed data races — unordered "
+            "accesses to the same field, with both stacks</p>"
+            "<table><tr><th>workload</th><th>field</th>"
+            "<th>prior access</th><th>current access</th></tr>"
+            + "".join(rows) + "</table>")
+    return ("<section><h2>Concurrency correctness</h2>"
+            + "".join(parts) + "</section>")
+
+
 def _metrics_section(manifest: Dict) -> str:
     rows = manifest.get("outcome", {}).get("metrics") or []
     if not rows:
@@ -630,6 +711,7 @@ def render_report(manifest: Dict,
         _loadgen_section(manifest),
         _overhead_section(manifest),
         _hot_methods_section(manifest),
+        _races_section(manifest),
         _metrics_section(manifest),
         _flamegraph_section(flamegraph_text),
         _trend_section(history),

@@ -1,0 +1,6 @@
+"""Dynamic sanitizers: host-side shadow analyses that run alongside
+the simulated machine without charging simulated cycles."""
+
+from repro.sanitizer.race import RaceSanitizer
+
+__all__ = ["RaceSanitizer"]

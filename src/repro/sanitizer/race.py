@@ -1,0 +1,309 @@
+"""FastTrack-style happens-before race sanitizer.
+
+The sanitizer maintains *host-side* shadow state next to the simulated
+machine: a vector clock per simulated thread, a release clock per
+monitor, and per-field shadow words (last write epoch + a read map) on
+heap objects and class statics.  None of it charges simulated cycles —
+the hooks run between the interpreter's (and the template tier's)
+existing charge boundaries and never touch ``thread.charge`` — so
+tables and goldens are bit-identical with the sanitizer on or off.
+
+Happens-before edges come from three sources:
+
+* ``MONITORENTER`` / ``MONITOREXIT``: a release copies the owner's
+  vector clock into the monitor's clock and increments the owner; an
+  acquire joins the monitor's clock into the acquirer.
+* ``Thread.start`` / ``Thread.join``: the child starts with a copy of
+  the parent's clock; a join folds the terminated thread's clock into
+  the joiner.
+* Scheduler core handoff (``--cores N``, N > 1): every slice boundary
+  releases into / acquires from a single global *scheduler token*
+  clock.  The scheduler serializes simulated threads deterministically,
+  so the token edges reflect the order the machine actually enforces —
+  under the preemptive model the execution is totally ordered and a
+  data race cannot be *observed*; races surface under the sequential
+  model (cores=1), where only the synchronization edges above exist.
+
+Shadow state is keyed by field name per object (``JObject.shadow``,
+lazily allocated) and by ``(holder class, field)`` for statics.  Array
+elements are deliberately out of scope: the static lockset pass only
+reasons about GETFIELD/PUTFIELD/GETSTATIC/PUTSTATIC, and keeping both
+sides on the same access domain is what makes the ``--race-check``
+subset invariant (dynamic ⊆ static) sound.
+
+A shadow word is ``[write_tid, write_clk, write_stack, write_cycles,
+read_map]`` where ``read_map`` maps tid → ``(clk, stack, cycles)``.
+The epoch fast path — same thread, same clock as the previous access —
+skips every check *and* the stack capture, so single-threaded stretches
+(the entire jvm98 suite) pay one dict probe per access.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["RaceSanitizer"]
+
+
+class RaceSanitizer:
+    """Vector-clock data-race detector over simulated threads."""
+
+    def __init__(self, vm):
+        self.vm = vm
+        #: tid -> vector clock (tid -> int); lazily registered.
+        self._vcs: Dict[int, Dict[int, int]] = {}
+        #: tid -> that thread's own current clock component (cached so
+        #: the fast path is one dict probe, not two).
+        self._clk: Dict[int, int] = {}
+        #: monitor object_id -> release clock.
+        self._lock_vcs: Dict[int, Dict[int, int]] = {}
+        #: global scheduler-token clock (core handoff edges).
+        self._token: Dict[int, int] = {}
+        #: (holder class name, field) -> shadow word for statics.
+        self._static_shadow: Dict[Tuple[str, str], list] = {}
+        #: confirmed races, as plain picklable dicts.
+        self.races: List[dict] = []
+        #: (class, field) pairs already reported (one race per field).
+        self._reported = set()
+        #: shadow-state footprint: 4 words per tracked field.
+        self.shadow_words = 0
+
+    # -- thread bookkeeping -------------------------------------------
+
+    def _register(self, tid: int) -> int:
+        self._vcs[tid] = {tid: 1}
+        self._clk[tid] = 1
+        return 1
+
+    def _bump(self, tid: int) -> None:
+        clk = self._clk[tid] + 1
+        self._clk[tid] = clk
+        self._vcs[tid][tid] = clk
+
+    def on_start(self, parent, child) -> None:
+        """``Thread.start``: the child begins after everything the
+        parent did so far."""
+        ptid = parent.thread_id
+        if ptid not in self._vcs:
+            self._register(ptid)
+        ctid = child.thread_id
+        vc = dict(self._vcs[ptid])
+        vc[ctid] = 1
+        self._vcs[ctid] = vc
+        self._clk[ctid] = 1
+        self._bump(ptid)
+
+    def on_join(self, joiner, target) -> None:
+        """``Thread.join``: the joiner resumes after everything the
+        joined thread ever did."""
+        jtid = joiner.thread_id
+        if jtid not in self._vcs:
+            self._register(jtid)
+        tvc = self._vcs.get(target.thread_id)
+        if tvc is None:
+            return
+        vc = self._vcs[jtid]
+        for t, c in tvc.items():
+            if c > vc.get(t, 0):
+                vc[t] = c
+
+    # -- monitor edges ------------------------------------------------
+
+    def on_acquire(self, thread, obj) -> None:
+        """After the thread owns ``obj``'s monitor: join the monitor's
+        release clock."""
+        lvc = self._lock_vcs.get(obj.object_id)
+        if lvc is None:
+            return
+        tid = thread.thread_id
+        vc = self._vcs.get(tid)
+        if vc is None:
+            self._register(tid)
+            vc = self._vcs[tid]
+        for t, c in lvc.items():
+            if c > vc.get(t, 0):
+                vc[t] = c
+
+    def on_release(self, thread, obj) -> None:
+        """On the final MONITOREXIT: publish the owner's clock into the
+        monitor and advance the owner's epoch."""
+        tid = thread.thread_id
+        vc = self._vcs.get(tid)
+        if vc is None:
+            self._register(tid)
+            vc = self._vcs[tid]
+        lvc = self._lock_vcs.setdefault(obj.object_id, {})
+        for t, c in vc.items():
+            if c > lvc.get(t, 0):
+                lvc[t] = c
+        self._bump(tid)
+
+    # -- scheduler token edges (core handoff) -------------------------
+
+    def token_release(self, thread) -> None:
+        """End of a scheduler slice: publish into the global token."""
+        tid = thread.thread_id
+        vc = self._vcs.get(tid)
+        if vc is None:
+            self._register(tid)
+            vc = self._vcs[tid]
+        token = self._token
+        for t, c in vc.items():
+            if c > token.get(t, 0):
+                token[t] = c
+        self._bump(tid)
+
+    def token_acquire(self, thread) -> None:
+        """Start of a scheduler slice: join the global token."""
+        tid = thread.thread_id
+        vc = self._vcs.get(tid)
+        if vc is None:
+            self._register(tid)
+            vc = self._vcs[tid]
+        for t, c in self._token.items():
+            if c > vc.get(t, 0):
+                vc[t] = c
+
+    # -- field accesses -----------------------------------------------
+
+    def read_field(self, thread, obj, name: str) -> None:
+        shadow = obj.shadow
+        if shadow is None:
+            obj.shadow = shadow = {}
+            sh = None
+        else:
+            sh = shadow.get(name)
+        self._read(thread, sh, shadow, name,
+                   lambda: self._declaring_instance(obj.jclass, name),
+                   "instance")
+
+    def write_field(self, thread, obj, name: str) -> None:
+        shadow = obj.shadow
+        if shadow is None:
+            obj.shadow = shadow = {}
+            sh = None
+        else:
+            sh = shadow.get(name)
+        self._write(thread, sh, shadow, name,
+                    lambda: self._declaring_instance(obj.jclass, name),
+                    "instance")
+
+    def read_static(self, thread, holder, name: str) -> None:
+        key = (holder.name, name)
+        sh = self._static_shadow.get(key)
+        self._read(thread, sh, self._static_shadow, key,
+                   lambda: holder.name, "static")
+
+    def write_static(self, thread, holder, name: str) -> None:
+        key = (holder.name, name)
+        sh = self._static_shadow.get(key)
+        self._write(thread, sh, self._static_shadow, key,
+                    lambda: holder.name, "static")
+
+    # -- core detector ------------------------------------------------
+
+    def _read(self, thread, sh: Optional[list], table, key,
+              cls_of, scope: str) -> None:
+        tid = thread.thread_id
+        clk = self._clk.get(tid)
+        if clk is None:
+            clk = self._register(tid)
+        if sh is None:
+            table[key] = [-1, 0, None, 0,
+                          {tid: (clk, self._stack(thread),
+                                 thread.cycles_total)}]
+            self.shadow_words += 4
+            return
+        read_map = sh[4]
+        prev = read_map.get(tid)
+        if prev is not None and prev[0] == clk:
+            return  # epoch fast path: same thread, same clock
+        write_tid = sh[0]
+        if write_tid >= 0 and write_tid != tid and \
+                sh[1] > self._vcs[tid].get(write_tid, 0):
+            self._report(cls_of(), key, scope, "write", sh[0], sh[1],
+                         sh[2], sh[3], "read", thread)
+            # absorb: treat the racing write as seen, so one buggy
+            # field does not cascade into a report per access
+            self._vcs[tid][write_tid] = sh[1]
+        read_map[tid] = (clk, self._stack(thread), thread.cycles_total)
+
+    def _write(self, thread, sh: Optional[list], table, key,
+               cls_of, scope: str) -> None:
+        tid = thread.thread_id
+        clk = self._clk.get(tid)
+        if clk is None:
+            clk = self._register(tid)
+        if sh is None:
+            table[key] = [tid, clk, self._stack(thread),
+                          thread.cycles_total, {}]
+            self.shadow_words += 4
+            return
+        if sh[0] == tid and sh[1] == clk:
+            return  # epoch fast path: any interleaved foreign access
+            #         would have advanced our clock via an HB edge
+        vc = self._vcs[tid]
+        write_tid = sh[0]
+        if write_tid >= 0 and write_tid != tid and \
+                sh[1] > vc.get(write_tid, 0):
+            self._report(cls_of(), key, scope, "write", sh[0], sh[1],
+                         sh[2], sh[3], "write", thread)
+        else:
+            for rtid, (rclk, rstack, rcycles) in sh[4].items():
+                if rtid != tid and rclk > vc.get(rtid, 0):
+                    self._report(cls_of(), key, scope, "read", rtid,
+                                 rclk, rstack, rcycles, "write", thread)
+                    break
+        sh[0] = tid
+        sh[1] = clk
+        sh[2] = self._stack(thread)
+        sh[3] = thread.cycles_total
+        sh[4] = {}
+
+    # -- reporting ----------------------------------------------------
+
+    def _stack(self, thread) -> Tuple[str, ...]:
+        return tuple(f"{f.method.qualified_name}@{f.pc}"
+                     for f in reversed(thread.frames))
+
+    def _declaring_instance(self, jclass, name: str) -> str:
+        """Class that declares instance field ``name`` — matches the
+        static pass's resolution so ``--race-check`` can intersect."""
+        cls = jclass
+        while cls is not None:
+            if cls.cf.find_field(name) is not None:
+                return cls.name
+            cls = cls.super_class
+        return jclass.name
+
+    def _thread_name(self, tid: int) -> str:
+        for t in self.vm.threads.all_threads:
+            if t.thread_id == tid:
+                return t.name
+        return f"thread-{tid}"
+
+    def _report(self, cls: str, key, scope: str, prior_op: str,
+                prior_tid: int, prior_clk: int, prior_stack,
+                prior_cycles: int, op: str, thread) -> None:
+        field = key[1] if scope == "static" else key
+        dedup = (cls, field)
+        if dedup in self._reported:
+            return
+        self._reported.add(dedup)
+        self.races.append({
+            "class": cls,
+            "field": field,
+            "scope": scope,
+            "prior": {
+                "op": prior_op,
+                "thread": self._thread_name(prior_tid),
+                "cycles": prior_cycles,
+                "stack": list(prior_stack or ()),
+            },
+            "current": {
+                "op": op,
+                "thread": thread.name,
+                "cycles": thread.cycles_total,
+                "stack": list(self._stack(thread)),
+            },
+        })

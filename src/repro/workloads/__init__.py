@@ -28,6 +28,7 @@ from repro.workloads import mpegaudio as _mpegaudio  # noqa: E402,F401
 from repro.workloads import mtrt as _mtrt  # noqa: E402,F401
 from repro.workloads import jbb2005 as _jbb2005  # noqa: E402,F401
 from repro.workloads import concurrency as _concurrency  # noqa: E402,F401
+from repro.workloads import racy as _racy  # noqa: E402,F401
 
 from repro.workloads.concurrency import concurrency_suite  # noqa: E402
 

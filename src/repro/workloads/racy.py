@@ -1,0 +1,277 @@
+"""Deliberately racy fixtures for the concurrency-correctness tooling.
+
+Two seeded-defect workloads, registered for ``--workloads``/
+``get_workload`` but never part of :func:`full_suite`.  Each must be
+caught by BOTH sides of the subsystem: the static lockset analysis
+(``repro analyze --races``) must emit a ``race-warning`` and the
+dynamic sanitizer (``--sanitize race``) must confirm a race with two
+stacks.
+
+``racy-counter``
+    Two threads bump a shared counter's field with no lock at all —
+    the textbook lost-update shape.  Each read-modify-write is one
+    straight-line ``getfield``/``iadd``/``putfield`` burst with no
+    interior safepoint, so the *final value* is deterministic at every
+    core count (the preemptive scheduler only switches at quantum
+    boundaries, which fall on loop backedges here) even though the
+    accesses are unsynchronized.  The determinism is what lets the
+    fixture carry a normal checksum self-check while still racing.
+
+``racy-lockorder``
+    Two threads protect the same shared field with *different* locks —
+    mode 0 under ``LockA``, mode 1 under ``LockB`` — so the Eraser
+    lockset intersects to empty, and each thread briefly nests the
+    other lock class inside its own in opposite orders (``A→B`` vs
+    ``B→A``), seeding a lock-order cycle for the static
+    ``deadlock-potential`` detector.  Every worker owns a *private*
+    pair of lock instances: the static analysis is class-granular so
+    it reports the inconsistent locksets and the cycle all the same,
+    while dynamically no lock instance is ever shared — no
+    happens-before edge connects the two critical sections (the
+    sanitizer confirms the race) and no real deadlock is possible at
+    any core count (the inversion is a latent bug shape, exactly what
+    only the static side can see).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.bytecode.assembler import ClassAssembler
+from repro.classfile.archive import ClassArchive
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.concurrency import _emit_console
+from repro.workloads.suite import register
+
+RC_MAIN = "racy.counter.Main"
+RC_WORKER = "racy.counter.Worker"
+RC_COUNTER = "racy.counter.Counter"
+RC_ITERS_PER_SCALE = 64
+
+RO_MAIN = "racy.order.Main"
+RO_WORKER = "racy.order.Worker"
+RO_SHARED = "racy.order.Shared"
+RO_LOCK_A = "racy.order.LockA"
+RO_LOCK_B = "racy.order.LockB"
+RO_ITERS_PER_SCALE = 32
+
+
+class _RacyWorkload(Workload):
+    """checksum= self-check shared by both fixtures."""
+
+    def _expected_checksum(self) -> int:
+        raise NotImplementedError
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        checksum = self.console_value(vm, "checksum")
+        if checksum is None:
+            return WorkloadResultCheck(False, "missing console output")
+        expected = self._expected_checksum()
+        if int(checksum) != expected:
+            return WorkloadResultCheck(
+                False, f"checksum {checksum} != {expected}")
+        return WorkloadResultCheck(True)
+
+
+# ---------------------------------------------------------------------------
+# racy-counter: unsynchronized shared counter
+# ---------------------------------------------------------------------------
+
+
+def _rc_build_counter() -> ClassAssembler:
+    c = ClassAssembler(RC_COUNTER)
+    c.field("count", default=0)
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    return c
+
+
+def _rc_build_worker(iters: int) -> ClassAssembler:
+    c = ClassAssembler(RC_WORKER, super_name="java.lang.Thread")
+    c.field("shared")
+    with c.method("<init>", f"(L{RC_COUNTER};)V") as m:
+        m.aload(0).aload(1).putfield(RC_WORKER, "shared")
+        m.return_()
+    with c.method("run", "()V") as m:
+        # the seeded defect: count = count + 1 with no monitor at all
+        m.iconst(0).istore(1)
+        m.label("loop")
+        m.iload(1).ldc(iters).if_icmpge("done")
+        m.aload(0).getfield(RC_WORKER, "shared")
+        m.dup().getfield(RC_COUNTER, "count")
+        m.iconst(1).iadd()
+        m.putfield(RC_COUNTER, "count")
+        m.iinc(1, 1).goto("loop")
+        m.label("done")
+        m.return_()
+    return c
+
+
+def _rc_build_main(iters: int) -> ClassAssembler:
+    c = ClassAssembler(RC_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=counter, 1=t1, 2=t2, 3=checksum
+        m.new(RC_COUNTER).dup()
+        m.invokespecial(RC_COUNTER, "<init>", "()V").astore(0)
+        for slot in (1, 2):
+            m.new(RC_WORKER).dup().aload(0)
+            m.invokespecial(RC_WORKER, "<init>", f"(L{RC_COUNTER};)V")
+            m.astore(slot)
+        # both started before either join: no happens-before edge
+        # between the workers' accesses
+        m.aload(1).invokevirtual(RC_WORKER, "start", "()V")
+        m.aload(2).invokevirtual(RC_WORKER, "start", "()V")
+        m.aload(1).invokevirtual(RC_WORKER, "join", "()V")
+        m.aload(2).invokevirtual(RC_WORKER, "join", "()V")
+        m.aload(0).getfield(RC_COUNTER, "count").istore(3)
+        _emit_console(m, [("checksum", 3)])
+        m.return_()
+    return c
+
+
+@register
+class RacyCounterWorkload(_RacyWorkload):
+    """Seeded lost-update race: two threads, one counter, no lock."""
+
+    name = "racy-counter"
+    description = ("seeded data race: two threads increment a shared "
+                   "counter with no synchronization")
+
+    main_class = RC_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.iters = RC_ITERS_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_rc_build_counter().build())
+        archive.put_class(_rc_build_worker(self.iters).build())
+        archive.put_class(_rc_build_main(self.iters).build())
+        return archive
+
+    def _expected_checksum(self) -> int:
+        return 2 * self.iters
+
+
+# ---------------------------------------------------------------------------
+# racy-lockorder: inconsistent locks + opposite-order nesting
+# ---------------------------------------------------------------------------
+
+
+def _ro_build_marker(name: str) -> ClassAssembler:
+    c = ClassAssembler(name)
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    return c
+
+
+def _ro_build_shared() -> ClassAssembler:
+    c = ClassAssembler(RO_SHARED)
+    c.field("value", default=0)
+    with c.method("<init>", "()V") as m:
+        m.return_()
+    return c
+
+
+def _ro_build_worker(iters: int) -> ClassAssembler:
+    c = ClassAssembler(RO_WORKER, super_name="java.lang.Thread")
+    c.field("mode", default=0)
+    c.field("a")
+    c.field("b")
+    c.field("shared")
+    with c.method("<init>", f"(IL{RO_SHARED};)V") as m:
+        m.aload(0).iload(1).putfield(RO_WORKER, "mode")
+        m.aload(0).aload(2).putfield(RO_WORKER, "shared")
+        # a private lock pair per worker: dynamically never shared (no
+        # HB edge, no real deadlock), statically the same LockA/LockB
+        # class tokens as every other worker's
+        m.aload(0)
+        m.new(RO_LOCK_A).dup()
+        m.invokespecial(RO_LOCK_A, "<init>", "()V")
+        m.putfield(RO_WORKER, "a")
+        m.aload(0)
+        m.new(RO_LOCK_B).dup()
+        m.invokespecial(RO_LOCK_B, "<init>", "()V")
+        m.putfield(RO_WORKER, "b")
+        m.return_()
+    with c.method("run", "()V") as m:
+        m.iconst(0).istore(1)
+        m.label("loop")
+        m.iload(1).ldc(iters).if_icmpge("done")
+        m.aload(0).getfield(RO_WORKER, "mode").ifne("mode1")
+        # mode 0: acquire A, briefly nest B (A -> B edge), then update
+        # the shared field under A alone
+        m.aload(0).getfield(RO_WORKER, "a").monitorenter()
+        m.aload(0).getfield(RO_WORKER, "b").monitorenter()
+        m.aload(0).getfield(RO_WORKER, "b").monitorexit()
+        m.aload(0).getfield(RO_WORKER, "shared")
+        m.dup().getfield(RO_SHARED, "value")
+        m.iconst(1).iadd().putfield(RO_SHARED, "value")
+        m.aload(0).getfield(RO_WORKER, "a").monitorexit()
+        m.goto("next")
+        m.label("mode1")
+        # mode 1: the mirror image — B outer, A nested (B -> A edge),
+        # update under B alone.  Different lock, same field: the
+        # lockset intersection is empty and no HB edge exists.
+        m.aload(0).getfield(RO_WORKER, "b").monitorenter()
+        m.aload(0).getfield(RO_WORKER, "a").monitorenter()
+        m.aload(0).getfield(RO_WORKER, "a").monitorexit()
+        m.aload(0).getfield(RO_WORKER, "shared")
+        m.dup().getfield(RO_SHARED, "value")
+        m.iconst(1).iadd().putfield(RO_SHARED, "value")
+        m.aload(0).getfield(RO_WORKER, "b").monitorexit()
+        m.label("next")
+        m.iinc(1, 1).goto("loop")
+        m.label("done")
+        m.return_()
+    return c
+
+
+def _ro_build_main(iters: int) -> ClassAssembler:
+    c = ClassAssembler(RO_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=shared, 1=t1, 2=t2, 3=checksum
+        m.new(RO_SHARED).dup()
+        m.invokespecial(RO_SHARED, "<init>", "()V").astore(0)
+        for mode, slot in ((0, 1), (1, 2)):
+            m.new(RO_WORKER).dup()
+            m.iconst(mode).aload(0)
+            m.invokespecial(RO_WORKER, "<init>",
+                            f"(IL{RO_SHARED};)V")
+            m.astore(slot)
+        m.aload(1).invokevirtual(RO_WORKER, "start", "()V")
+        m.aload(2).invokevirtual(RO_WORKER, "start", "()V")
+        m.aload(1).invokevirtual(RO_WORKER, "join", "()V")
+        m.aload(2).invokevirtual(RO_WORKER, "join", "()V")
+        m.aload(0).getfield(RO_SHARED, "value").istore(3)
+        _emit_console(m, [("checksum", 3)])
+        m.return_()
+    return c
+
+
+@register
+class RacyLockOrderWorkload(_RacyWorkload):
+    """Seeded lockset violation + lock-order inversion."""
+
+    name = "racy-lockorder"
+    description = ("seeded defects: a shared field guarded by two "
+                   "different locks, nested in opposite orders")
+
+    main_class = RO_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.iters = RO_ITERS_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_ro_build_marker(RO_LOCK_A).build())
+        archive.put_class(_ro_build_marker(RO_LOCK_B).build())
+        archive.put_class(_ro_build_shared().build())
+        archive.put_class(_ro_build_worker(self.iters).build())
+        archive.put_class(_ro_build_main(self.iters).build())
+        return archive
+
+    def _expected_checksum(self) -> int:
+        return 2 * self.iters

@@ -577,3 +577,252 @@ class TestCliTier:
         assert main(["table1", "--tier", "interp"]) == 0
         out = capsys.readouterr().out
         assert out == (RESULTS / "table1.txt").read_text()
+
+
+class TestMonitorsAndDeadlock:
+    """The dynamic deadlock detector, driven from *templated* monitor
+    bytecodes.
+
+    The scheduler PR pinned contended MONITORENTER, non-owner
+    MONITOREXIT and the structured ``DeadlockError`` report on the
+    interpreter; these tests re-pin the same contracts when the
+    monitor opcodes execute inside translated templates (hot methods,
+    low thresholds), covering both the scheduled and the sequential
+    template variants."""
+
+    def _grab_app(self):
+        """Warm a monitor-wrapping helper past the invoke threshold,
+        then call it on a lock another thread still owns."""
+        h = ClassAssembler("tm.Holder", super_name="java.lang.Thread")
+        h.field("lock")
+        with h.method("<init>", "(Ljava.lang.Object;)V") as m:
+            m.aload(0).aload(1).putfield("tm.Holder", "lock")
+            m.return_()
+        with h.method("run", "()V") as m:
+            # acquire and return still holding the monitor
+            m.aload(0).getfield("tm.Holder", "lock").monitorenter()
+            m.return_()
+        c = ClassAssembler("tm.Main")
+        with c.method("grab", "(Ljava.lang.Object;)V", static=True) as m:
+            m.aload(0).monitorenter()
+            m.aload(0).monitorexit()
+            m.return_()
+        with c.method("main", "()V", static=True) as m:
+            m.new("java.lang.Object").dup()
+            m.invokespecial("java.lang.Object", "<init>", "()V")
+            m.astore(0)
+            m.iconst(0).istore(1)
+            m.label("warm")
+            m.iload(1).ldc(20).if_icmpge("warmed")
+            m.aload(0).invokestatic("tm.Main", "grab",
+                                    "(Ljava.lang.Object;)V")
+            m.iinc(1, 1).goto("warm")
+            m.label("warmed")
+            m.new("tm.Holder").dup().aload(0)
+            m.invokespecial("tm.Holder", "<init>",
+                            "(Ljava.lang.Object;)V").astore(2)
+            m.aload(2).invokevirtual("tm.Holder", "start", "()V")
+            m.aload(2).invokevirtual("tm.Holder", "join", "()V")
+            m.aload(0).invokestatic("tm.Main", "grab",
+                                    "(Ljava.lang.Object;)V")
+            m.return_()
+        return build_app(h, c)
+
+    def test_sequential_contended_enter_from_template(self):
+        # cores=1: a templated MONITORENTER on a held monitor must
+        # raise the detector's structured report, same as the
+        # interpreter path
+        from repro.errors import DeadlockError
+
+        vm = create_vm(VMConfig(jit_policy=JitPolicy(
+            template_tier=True, **HOT)))
+        with pytest.raises(DeadlockError) as excinfo:
+            run_main(self._grab_app(), "tm.Main", vm=vm)
+        assert excinfo.value.cycle, "cycle must name the wait-for edges"
+        assert any("monitor" in resource
+                   for _, resource, _ in excinfo.value.cycle)
+        grab = vm.loader.loaded_class("tm.Main").find_declared(
+            "grab", "(Ljava.lang.Object;)V")
+        assert grab.template is not None
+        assert vm.jit.template_entries > 0
+
+    def _imse_app(self, calls):
+        """Hot helper whose MONITOREXIT past count zero must raise the
+        *Java* exception from inside the template, caught by its own
+        bytecode handler."""
+        c = ClassAssembler("tm.Imse")
+        with c.method("poke", "()I", static=True) as m:
+            m.new("java.lang.Object").dup()
+            m.invokespecial("java.lang.Object", "<init>", "()V")
+            m.astore(0)
+            m.aload(0).monitorenter()
+            m.aload(0).monitorexit()
+            m.label("try_start")
+            m.aload(0).monitorexit()
+            m.label("try_end")
+            m.iconst(0).ireturn()
+            m.label("handler")
+            m.pop()
+            m.iconst(1).ireturn()
+            m.try_catch("try_start", "try_end", "handler",
+                        "java.lang.IllegalMonitorStateException")
+
+        def body(m):
+            m.iconst(0).istore(0)
+            m.iconst(0).istore(1)
+            m.label("t")
+            m.iload(1).ldc(calls).if_icmpge("e")
+            m.invokestatic("tm.Imse", "poke", "()I")
+            m.iload(0).iadd().istore(0)
+            m.iinc(1, 1).goto("t")
+            m.label("e")
+            m.iload(0)
+
+        return build_app(c, expr_main("tm.ImseM", body))
+
+    def test_imse_from_template_is_catchable_java_exception(self):
+        vm = _assert_parity(lambda: self._imse_app(60), "tm.ImseM")
+        assert vm.console[-1] == "60"
+        poke = vm.loader.loaded_class("tm.Imse").find_declared(
+            "poke", "()I")
+        assert poke.template is not None
+        assert not vm.thread_deaths
+
+    def _contended_app(self):
+        """Two threads serialize a long critical section inside a hot
+        (templated) method."""
+        c = ClassAssembler("tm.Locker", super_name="java.lang.Thread")
+        c.field("lock")
+        c.field("done", default=0)
+        with c.method("<init>", "(Ljava.lang.Object;)V") as m:
+            m.aload(0).aload(1).putfield("tm.Locker", "lock")
+            m.return_()
+        with c.method("bump", "()V") as m:
+            m.aload(0).getfield("tm.Locker", "lock").monitorenter()
+            m.iconst(0).istore(1)
+            m.label("spin")
+            m.iload(1).ldc(2000).if_icmpge("out")
+            m.iinc(1, 1).goto("spin")
+            m.label("out")
+            m.aload(0).getfield("tm.Locker", "lock").monitorexit()
+            m.return_()
+        with c.method("run", "()V") as m:
+            m.iconst(0).istore(1)
+            m.label("loop")
+            m.iload(1).ldc(12).if_icmpge("done")
+            m.aload(0).invokevirtual("tm.Locker", "bump", "()V")
+            m.iinc(1, 1).goto("loop")
+            m.label("done")
+            m.aload(0).iconst(1).putfield("tm.Locker", "done")
+            m.return_()
+        main_c = ClassAssembler("tm.Main")
+        with main_c.method("main", "()V", static=True) as m:
+            m.new("java.lang.Object").dup()
+            m.invokespecial("java.lang.Object", "<init>", "()V")
+            m.astore(0)
+            for slot in (1, 2):
+                m.new("tm.Locker").dup().aload(0)
+                m.invokespecial("tm.Locker", "<init>",
+                                "(Ljava.lang.Object;)V")
+                m.astore(slot)
+            for slot in (1, 2):
+                m.aload(slot).invokevirtual("tm.Locker", "start", "()V")
+            for slot in (1, 2):
+                m.aload(slot).invokevirtual("tm.Locker", "join", "()V")
+            m.getstatic("java.lang.System", "out")
+            m.aload(1).getfield("tm.Locker", "done")
+            m.aload(2).getfield("tm.Locker", "done").iadd()
+            m.invokevirtual("java.io.PrintStream", "println", "(I)V")
+            m.return_()
+        return build_app(c, main_c)
+
+    def test_contended_enter_from_template_blocks_and_hands_over(self):
+        # cores=2: templated MONITORENTER on a held monitor must park
+        # the thread and take the handover, not crash; cycle parity
+        # with the interpreter must hold throughout
+        vms = []
+        for tier in (True, False):
+            vm = run_main(self._contended_app(), "tm.Main",
+                          config=VMConfig(cores=2,
+                                          jit_policy=JitPolicy(
+                                              template_tier=tier,
+                                              **HOT)))
+            assert vm.console[-1] == "2"
+            assert vm.scheduler.monitor_contentions >= 1
+            assert vm.scheduler.deadlocks_detected == 0
+            vms.append(vm)
+        templated, interp = vms
+        assert templated.total_cycles == interp.total_cycles
+        assert templated.console == interp.console
+        bump = templated.loader.loaded_class("tm.Locker").find_declared(
+            "bump", "()V")
+        assert bump.template is not None
+        assert interp.jit.template_entries == 0
+
+    def test_non_owner_exit_from_template_under_scheduler(self):
+        # cores=2: templated MONITOREXIT of a monitor owned by another
+        # thread must raise the catchable Java exception
+        h = ClassAssembler("tm.Spinner", super_name="java.lang.Thread")
+        h.field("lock")
+        with h.method("<init>", "(Ljava.lang.Object;)V") as m:
+            m.aload(0).aload(1).putfield("tm.Spinner", "lock")
+            m.return_()
+        with h.method("run", "()V") as m:
+            m.aload(0).getfield("tm.Spinner", "lock").monitorenter()
+            m.iconst(0).istore(1)
+            m.label("spin")
+            m.iload(1).ldc(200000).if_icmpge("out")
+            m.iinc(1, 1).goto("spin")
+            m.label("out")
+            m.aload(0).getfield("tm.Spinner", "lock").monitorexit()
+            m.return_()
+        c = ClassAssembler("tm.Main")
+        with c.method("drop", "(Ljava.lang.Object;)I", static=True) as m:
+            m.label("try_start")
+            m.aload(0).monitorexit()
+            m.label("try_end")
+            m.iconst(0).ireturn()
+            m.label("handler")
+            m.pop()
+            m.iconst(1).ireturn()
+            m.try_catch("try_start", "try_end", "handler",
+                        "java.lang.IllegalMonitorStateException")
+        with c.method("main", "()V", static=True) as m:
+            # warm drop() past the threshold on an unowned object (the
+            # exit-without-enter IMSE arm), then hit the held monitor
+            m.new("java.lang.Object").dup()
+            m.invokespecial("java.lang.Object", "<init>", "()V")
+            m.astore(0)
+            m.iconst(0).istore(1)
+            m.label("warm")
+            m.iload(1).ldc(20).if_icmpge("warmed")
+            m.aload(0).invokestatic("tm.Main", "drop",
+                                    "(Ljava.lang.Object;)I")
+            m.pop()
+            m.iinc(1, 1).goto("warm")
+            m.label("warmed")
+            m.new("tm.Spinner").dup().aload(0)
+            m.invokespecial("tm.Spinner", "<init>",
+                            "(Ljava.lang.Object;)V").astore(2)
+            m.aload(2).invokevirtual("tm.Spinner", "start", "()V")
+            # spin past a couple of quanta so the spinner owns the lock
+            m.iconst(0).istore(1)
+            m.label("wait")
+            m.iload(1).ldc(120000).if_icmpge("go")
+            m.iinc(1, 1).goto("wait")
+            m.label("go")
+            m.getstatic("java.lang.System", "out")
+            m.aload(0).invokestatic("tm.Main", "drop",
+                                    "(Ljava.lang.Object;)I")
+            m.invokevirtual("java.io.PrintStream", "println", "(I)V")
+            m.aload(2).invokevirtual("tm.Spinner", "join", "()V")
+            m.return_()
+        vm = run_main(build_app(h, c), "tm.Main",
+                      config=VMConfig(cores=2,
+                                      jit_policy=JitPolicy(
+                                          template_tier=True, **HOT)))
+        assert vm.console[-1] == "1"
+        assert not vm.thread_deaths
+        drop = vm.loader.loaded_class("tm.Main").find_declared(
+            "drop", "(Ljava.lang.Object;)I")
+        assert drop.template is not None

@@ -20,7 +20,8 @@ class TestRegistry:
         names = set(workload_names())
         assert names == {"compress", "jess", "db", "javac",
                          "mpegaudio", "mtrt", "jack", "jbb2005",
-                         "fj-kmeans", "actors", "reactors"}
+                         "fj-kmeans", "actors", "reactors",
+                         "racy-counter", "racy-lockorder"}
 
     def test_jvm98_suite_order_matches_paper(self):
         assert [w.name for w in jvm98_suite()] == [
