@@ -49,15 +49,20 @@ EVENT_WORK = 40
 
 
 class _ThreadContext:
-    """TC_IPA from Figure 3."""
+    """TC_IPA from Figure 3 (plus an off-CPU watermark)."""
 
-    __slots__ = ("timestamp", "time_bytecode", "time_native", "in_native")
+    __slots__ = ("timestamp", "time_bytecode", "time_native",
+                 "in_native", "blocked_mark")
 
-    def __init__(self, timestamp: int):
+    def __init__(self, timestamp: int, blocked_mark: int = 0):
         self.timestamp = timestamp
         self.time_bytecode = 0
         self.time_native = 0
         self.in_native = True
+        #: Last observed per-thread blocked-cycle total (host-side
+        #: peek — PCL timestamps are CPU-only, so the on-CPU split
+        #: above never includes blocked time).
+        self.blocked_mark = blocked_mark
 
 
 class IPA(AgentBase):
@@ -77,6 +82,7 @@ class IPA(AgentBase):
         self.config = config or InstrumentationConfig()
         self.total_time_bytecode = 0
         self.total_time_native = 0
+        self.total_time_blocked = 0
         #: Table II column: intercepted JNI calls (N2J transitions).
         self.jni_calls = 0
         #: Table II column: native method invocations (J2N transitions).
@@ -210,13 +216,15 @@ class IPA(AgentBase):
         env = self.env
         tc = env.tls_get(thread)
         if tc is None:
-            tc = _ThreadContext(env.pcl.get_timestamp(thread))
+            tc = _ThreadContext(env.pcl.get_timestamp(thread),
+                                thread.blocked_total)
             env.tls_put(thread, tc)
         return tc
 
     def _thread_start(self, env, thread) -> None:
         env.charge(EVENT_WORK, thread)
-        env.tls_put(thread, _ThreadContext(env.pcl.get_timestamp(thread)))
+        env.tls_put(thread, _ThreadContext(
+            env.pcl.get_timestamp(thread), thread.blocked_total))
 
     def _thread_end(self, env, thread) -> None:
         env.charge(EVENT_WORK, thread)
@@ -227,15 +235,18 @@ class IPA(AgentBase):
             tc.time_native += delta
         else:
             tc.time_bytecode += delta
+        blocked_now = thread.blocked_total
         env.raw_monitor_enter(self._monitor)
         self.total_time_bytecode += tc.time_bytecode
         self.total_time_native += tc.time_native
+        self.total_time_blocked += blocked_now - tc.blocked_mark
         env.raw_monitor_exit(self._monitor)
         # reset the context so a duplicate THREAD_END (or any later
         # fold) cannot double-count the already-folded interval
         tc.time_bytecode = 0
         tc.time_native = 0
         tc.timestamp = now
+        tc.blocked_mark = blocked_now
 
     def _vm_death(self, env) -> None:
         self._vm_death_seen = True
@@ -307,6 +318,14 @@ class IPA(AgentBase):
             "native_method_calls": self.native_method_calls,
             "vm_death_seen": self._vm_death_seen,
         }
+        if self.total_time_blocked:
+            # additive: only runs that actually blocked report the
+            # off-CPU split, so non-I/O reports stay byte-identical
+            wall = (self.total_time_bytecode + self.total_time_native
+                    + self.total_time_blocked)
+            report["total_time_blocked"] = self.total_time_blocked
+            report["percent_blocked"] = \
+                100.0 * self.total_time_blocked / wall
         if self.static_stats is not None:
             report["methods_wrapped"] = self.static_stats.methods_wrapped
         if self._dynamic is not None:

@@ -27,15 +27,20 @@ TRANSITION_WORK = 25
 
 
 class _ThreadContext:
-    """TC_SPA from Figure 1."""
+    """TC_SPA from Figure 1 (plus an off-CPU watermark)."""
 
-    __slots__ = ("timestamp", "time_bytecode", "time_native", "stack")
+    __slots__ = ("timestamp", "time_bytecode", "time_native", "stack",
+                 "blocked_mark")
 
-    def __init__(self, timestamp: int):
+    def __init__(self, timestamp: int, blocked_mark: int = 0):
         self.timestamp = timestamp
         self.time_bytecode = 0
         self.time_native = 0
         self.stack: List[bool] = []
+        #: Last observed per-thread blocked-cycle total; deltas fold
+        #: into the agent's off-CPU tally at ThreadEnd.  A host-side
+        #: peek (PCL counts CPU cycles only), so it adds zero charge.
+        self.blocked_mark = blocked_mark
 
 
 class SPA(AgentBase):
@@ -47,6 +52,7 @@ class SPA(AgentBase):
         super().__init__()
         self.total_time_bytecode = 0
         self.total_time_native = 0
+        self.total_time_blocked = 0
         self.java_method_invocations = 0
         self.native_method_invocations = 0
         self._monitor = None
@@ -85,7 +91,8 @@ class SPA(AgentBase):
     def _context(self, env, thread) -> _ThreadContext:
         tc = env.tls_get(thread)
         if tc is None:
-            tc = _ThreadContext(env.pcl.get_timestamp(thread))
+            tc = _ThreadContext(env.pcl.get_timestamp(thread),
+                                thread.blocked_total)
             env.tls_put(thread, tc)
         return tc
 
@@ -93,7 +100,8 @@ class SPA(AgentBase):
 
     def _thread_start(self, env, thread) -> None:
         env.charge(EVENT_WORK, thread)
-        env.tls_put(thread, _ThreadContext(env.pcl.get_timestamp(thread)))
+        env.tls_put(thread, _ThreadContext(
+            env.pcl.get_timestamp(thread), thread.blocked_total))
 
     def _thread_end(self, env, thread) -> None:
         env.charge(EVENT_WORK, thread)
@@ -105,15 +113,18 @@ class SPA(AgentBase):
             tc.time_native += delta
         else:
             tc.time_bytecode += delta
+        blocked_now = thread.blocked_total
         env.raw_monitor_enter(self._monitor)
         self.total_time_bytecode += tc.time_bytecode
         self.total_time_native += tc.time_native
+        self.total_time_blocked += blocked_now - tc.blocked_mark
         env.raw_monitor_exit(self._monitor)
         # reset the context so a duplicate THREAD_END (or any later
         # fold) cannot double-count the already-folded interval
         tc.time_bytecode = 0
         tc.time_native = 0
         tc.timestamp = now
+        tc.blocked_mark = blocked_now
 
     def _method_entry(self, env, thread, method) -> None:
         env.charge(EVENT_WORK, thread)
@@ -174,8 +185,17 @@ class SPA(AgentBase):
             return 0.0
         return 100.0 * self.total_time_native / total
 
+    @property
+    def percent_blocked(self) -> float:
+        """Off-CPU share of wall time: blocked / (on-CPU + blocked)."""
+        wall = (self.total_time_bytecode + self.total_time_native
+                + self.total_time_blocked)
+        if wall == 0:
+            return 0.0
+        return 100.0 * self.total_time_blocked / wall
+
     def report(self) -> Dict:
-        return {
+        report = {
             "agent": self.name,
             "total_time_bytecode": self.total_time_bytecode,
             "total_time_native": self.total_time_native,
@@ -184,3 +204,9 @@ class SPA(AgentBase):
             "native_method_invocations": self.native_method_invocations,
             "vm_death_seen": self._vm_death_seen,
         }
+        if self.total_time_blocked:
+            # additive: only runs that actually blocked report the
+            # off-CPU split, so non-I/O reports stay byte-identical
+            report["total_time_blocked"] = self.total_time_blocked
+            report["percent_blocked"] = self.percent_blocked
+        return report

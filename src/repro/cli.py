@@ -72,11 +72,11 @@ log = obs_logging.get_logger("cli")
 
 #: Agent vocabulary of ``--agent`` (kept sorted for error messages).
 AGENT_NAMES = ("callchain", "ipa", "ipa-dynamic", "ipa-nocomp", "none",
-               "spa")
+               "offcpu", "spa")
 
 #: Subcommands whose invocations are recorded in the run ledger.
 LEDGER_COMMANDS = ("table1", "table2", "profile", "trace", "bench",
-                   "analyze", "serve", "loadgen")
+                   "analyze", "serve", "loadgen", "causal")
 
 
 def _cmd_list(_args) -> int:
@@ -471,14 +471,44 @@ def _agent_spec(name: str) -> AgentSpec:
         return AgentSpec.ipa(compensate=False)
     if name == "callchain":
         return AgentSpec.callchain()
+    if name == "offcpu":
+        return AgentSpec.offcpu()
     raise argparse.ArgumentTypeError(
         f"unknown agent {name!r} (valid: {', '.join(AGENT_NAMES)})")
 
 
+def _blocked_lines(result) -> List[str]:
+    """Human lines for the on-CPU/blocked split (empty when the run
+    never blocked, so non-I/O output is unchanged)."""
+    if not result.blocked_cycles:
+        return []
+    lines = [f"blocked:       {result.blocked_cycles:,}",
+             f"wall cycles:   {result.wall_cycles:,}"]
+    for device, clock in sorted(result.device_clocks.items()):
+        lines.append(f"device {device}:   {clock:,} cycles")
+    for name, cycles in sorted(result.blocked_by_native.items(),
+                               key=lambda item: -item[1]):
+        lines.append(f"  {cycles:>12,}  {name}")
+    return lines
+
+
+def _blocked_outcome(result) -> dict:
+    """Manifest fields for the blocked split (empty dict when the run
+    never blocked — non-I/O manifests are unchanged)."""
+    if not result.blocked_cycles:
+        return {}
+    return {"blocked_cycles": result.blocked_cycles,
+            "wall_cycles": result.wall_cycles,
+            "device_clocks": dict(result.device_clocks),
+            "blocked_by_native": dict(result.blocked_by_native)}
+
+
 def _cmd_profile(args) -> int:
-    if args.flamegraph and args.agent.label != "callchain":
+    if args.flamegraph and args.agent.label not in ("callchain",
+                                                    "offcpu"):
         log.error("repro profile: --flamegraph requires --agent "
-                  "callchain (the calling-context-tree profiler)")
+                  "callchain (CPU folded stacks) or --agent offcpu "
+                  "(wall-clock folded stacks with _[offcpu] frames)")
         return 2
     workload = get_workload(args.workload, scale=args.scale)
     result = execute(workload,
@@ -492,6 +522,8 @@ def _cmd_profile(args) -> int:
     print(f"instructions:  {result.instructions:,}")
     print(f"gt native %:   "
           f"{result.ground_truth_native_fraction * 100:.2f}")
+    for line in _blocked_lines(result):
+        print(line)
     if result.core_clocks is not None:
         clocks = ", ".join(f"{c:,}" for c in result.core_clocks)
         print(f"core cycles:   [{clocks}]")
@@ -512,12 +544,24 @@ def _cmd_profile(args) -> int:
             else:
                 print(f"  {key}: {value}")
     if args.flamegraph:
-        lines = write_folded(args.flamegraph,
-                             result.agent_object.roots)
-        print(f"flamegraph:    {lines} folded stacks -> "
-              f"{args.flamegraph}")
+        if args.agent.label == "offcpu":
+            from repro.observability.flamegraph import \
+                write_wall_folded
+
+            lines = write_wall_folded(args.flamegraph,
+                                      result.agent_object.roots)
+            print(f"flamegraph:    {lines} wall-clock folded stacks "
+                  f"-> {args.flamegraph}")
+        else:
+            lines = write_folded(args.flamegraph,
+                                 result.agent_object.roots)
+            print(f"flamegraph:    {lines} folded stacks -> "
+                  f"{args.flamegraph}")
     workload_cells = {"cycles": result.cycles,
                       "instructions": result.instructions}
+    if result.blocked_cycles:
+        workload_cells["blocked_cycles"] = result.blocked_cycles
+        workload_cells["wall_cycles"] = result.wall_cycles
     if result.agent_report and "percent_native" in result.agent_report:
         workload_cells["percent_native"] = \
             result.agent_report["percent_native"]
@@ -532,6 +576,7 @@ def _cmd_profile(args) -> int:
         "artifacts": _artifacts_from(args,
                                      flamegraph=args.flamegraph),
     }
+    args.ledger_outcome.update(_blocked_outcome(result))
     return 0
 
 
@@ -550,6 +595,8 @@ def _cmd_trace(args) -> int:
     print(f"workload:      {result.workload}")
     print(f"agent:         {result.agent_label}")
     print(f"cycles:        {result.cycles:,}")
+    for line in _blocked_lines(result):
+        print(line)
     print(f"trace events:  {len(doc['traceEvents']):,}")
     print(f"threads:       {len(capture['thread_names'])}")
     print(f"trace:         {args.trace_out} "
@@ -572,7 +619,93 @@ def _cmd_trace(args) -> int:
         "artifacts": _artifacts_from(
             args, trace=args.trace_out, metrics=args.metrics_out),
     }
+    args.ledger_outcome.update(_blocked_outcome(result))
     return 0
+
+
+def _cmd_causal(args) -> int:
+    """COZ-style causal profiling: virtually speed one method up and
+    predict the wall-clock effect; optionally validate the prediction
+    by actually rescaling the cost model (DESIGN.md §13)."""
+    from repro.errors import HarnessError
+    from repro.harness.causal import (
+        DEFAULT_SWEEP_FACTORS,
+        CausalSpec,
+        parse_speedup,
+    )
+
+    try:
+        method, factor = parse_speedup(args.speedup)
+    except HarnessError as exc:
+        log.error("bad --speedup", error=str(exc))
+        return 2
+    workload = get_workload(args.workload, scale=args.scale)
+    sweep = DEFAULT_SWEEP_FACTORS if args.sweep else ()
+    spec = CausalSpec(method=method, factor=factor, virtual=True,
+                      sweep=sweep)
+    result = execute(workload,
+                     RunConfig(vm_config=_vm_config_from(args),
+                               runs=args.runs, causal=spec))
+    summary = result.causal
+    print(f"workload:        {result.workload}")
+    print(f"method:          {method}")
+    print(f"factor:          {factor:g}x")
+    print(f"wall cycles:     {result.wall_cycles:,}")
+    print(f"method on-CPU:   {summary['cpu_cycles']:,} cycles")
+    print(f"method blocked:  {summary['device_cycles']:,} cycles")
+    predicted = summary["predicted_wall_cycles"]
+    print(f"predicted wall:  {predicted:,}")
+    gain = (100.0 * (result.wall_cycles - predicted)
+            / result.wall_cycles) if result.wall_cycles else 0.0
+    print(f"predicted gain:  {gain:.2f}%")
+    if summary["cpu_cycles"] == 0 and summary["device_cycles"] == 0:
+        log.warning("method never ran; the prediction is vacuous",
+                    method=method)
+    for row in summary.get("sweep", []):
+        row_gain = (100.0 * (result.wall_cycles
+                             - row["predicted_wall_cycles"])
+                    / result.wall_cycles) if result.wall_cycles else 0.0
+        print(f"  sweep {row['factor']:>5g}x: predicted wall "
+              f"{row['predicted_wall_cycles']:>14,}  "
+              f"gain {row_gain:6.2f}%")
+    validation = None
+    status = 0
+    if args.validate:
+        actual_spec = CausalSpec(method=method, factor=factor,
+                                 virtual=False)
+        actual = execute(workload,
+                         RunConfig(vm_config=_vm_config_from(args),
+                                   runs=args.runs,
+                                   causal=actual_spec))
+        error = (100.0 * abs(actual.wall_cycles - predicted)
+                 / actual.wall_cycles) if actual.wall_cycles else 0.0
+        print(f"actual wall:     {actual.wall_cycles:,} "
+              f"(cost model rescaled {factor:g}x)")
+        print(f"prediction error: {error:.4f}% "
+              f"(max {args.max_error:g}%)")
+        validation = {"actual_wall_cycles": actual.wall_cycles,
+                      "error_percent": error,
+                      "max_error_percent": args.max_error,
+                      "ok": error <= args.max_error}
+        if not validation["ok"]:
+            log.error("causal validation FAILED: prediction error "
+                      "exceeds the bound",
+                      error_percent=round(error, 4),
+                      max_error_percent=args.max_error)
+            status = 1
+    args.ledger_outcome = {
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "causal": summary,
+        "causal_validation": validation,
+        "workloads": {result.workload: {
+            "cycles": result.cycles,
+            "wall_cycles": result.wall_cycles,
+            "predicted_wall_cycles": predicted}},
+        "artifacts": _artifacts_from(args),
+    }
+    args.ledger_outcome.update(_blocked_outcome(result))
+    return status
 
 
 def _cmd_analyze(args) -> int:
@@ -820,7 +953,8 @@ def _config_for_manifest(args) -> dict:
                 "check_instrumentation", "max_regression", "compare",
                 "rps", "duration", "concurrency", "seed", "workers",
                 "queue_limit", "timeout", "cold_start_baseline",
-                "socket", "host", "port", "preheat"):
+                "socket", "host", "port", "preheat",
+                "speedup", "sweep", "validate", "max_error"):
         if hasattr(args, key):
             config[key] = getattr(args, key)
     agent = getattr(args, "agent", None)
@@ -1022,8 +1156,10 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--scale", type=_positive_int, default=1)
     pp.add_argument("--runs", type=_positive_int, default=1)
     pp.add_argument("--flamegraph", metavar="OUT.folded", default=None,
-                    help=("write folded stacks from the callchain CCT "
-                          "(requires --agent callchain)"))
+                    help=("write folded stacks from the CCT: CPU "
+                          "cycles with --agent callchain, wall-clock "
+                          "(blocked frames suffixed _[offcpu]) with "
+                          "--agent offcpu"))
     _add_tier_argument(pp)
     _add_cores_argument(pp)
     _add_verify_argument(pp)
@@ -1051,6 +1187,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sanitize_argument(ptr)
     _add_global_arguments(ptr)
     ptr.set_defaults(func=_cmd_trace)
+
+    pc = sub.add_parser(
+        "causal",
+        help=("COZ-style causal profiling: --speedup M=F virtually "
+              "speeds method M up by factor F and predicts the "
+              "wall-clock effect; --validate replays with the cost "
+              "model actually rescaled"))
+    pc.add_argument("workload")
+    pc.add_argument("--speedup", required=True,
+                    metavar="CLASS.METHOD=FACTOR",
+                    help=("the what-if: qualified method name (as "
+                          "printed by profile/offcpu reports) and the "
+                          "hypothetical speedup factor, e.g. "
+                          "java.io.RandomAccessFile.readBytes([BII)I"
+                          "=2.0"))
+    pc.add_argument("--sweep", action="store_true",
+                    help="also predict a standard factor sweep "
+                         "(1.1x .. 8x)")
+    pc.add_argument("--validate", action="store_true",
+                    help=("re-run with the method's costs actually "
+                          "divided by the factor and compare against "
+                          "the prediction (exit 1 beyond --max-error)"))
+    pc.add_argument("--max-error", type=_positive_float, default=1.0,
+                    metavar="PCT",
+                    help="allowed |predicted-actual| wall error in "
+                         "percent for --validate (default: 1.0)")
+    pc.add_argument("--scale", type=_positive_int, default=1)
+    pc.add_argument("--runs", type=_positive_int, default=1)
+    _add_tier_argument(pc)
+    _add_cores_argument(pc)
+    _add_verify_argument(pc)
+    _add_global_arguments(pc)
+    pc.set_defaults(func=_cmd_causal)
 
     pm = sub.add_parser(
         "metrics", help="summarize exported metrics JSONL files")

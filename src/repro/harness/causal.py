@@ -1,0 +1,163 @@
+"""COZ-style causal profiling over the simulator's cycle charges.
+
+A causal ("what-if") experiment asks: *if this one native method were
+F times faster, how much faster would the whole run be?*  On real
+hardware COZ answers by slowing everything else down (virtual
+speedups); in the simulator every cycle is a number we charged
+ourselves, so the experiment is exact arithmetic:
+
+* **virtual** mode (the profiler): charges are left untouched — the
+  run's numbers are bit-identical to a plain run — while the
+  experiment accumulates, per charge to the target method, the cycles
+  a rescale *would have* removed.  Predicted wall clock = actual wall
+  clock − accumulated savings.  One run yields the baseline and the
+  prediction together.
+* **actual** mode (the validator): the same ``scaled()`` arithmetic is
+  applied to the charges themselves, as if the cost model had been
+  edited.  The run's measured wall clock is the ground truth the
+  virtual prediction is checked against.
+
+Both modes route through one :func:`scaled` function, so at
+``cores=1`` (a single timeline; blocked time equals device service
+time) prediction and measurement agree cycle-for-cycle.  Under the
+preemptive scheduler overlap makes the prediction an upper bound on
+the attainable saving, which is exactly COZ's caveat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HarnessError
+
+#: Factor ladder used by ``repro causal --sweep``.
+DEFAULT_SWEEP_FACTORS: Tuple[float, ...] = (
+    1.1, 1.25, 1.5, 2.0, 4.0, 8.0)
+
+
+def scaled(cycles: int, factor: float) -> int:
+    """Cycles remaining after an F-times speedup of a charge.
+
+    The single source of truth shared by virtual prediction and actual
+    rescaling — agreement between the two modes is agreement of sums
+    of this function.
+    """
+    return int(cycles / factor)
+
+
+def parse_speedup(text: str) -> Tuple[str, float]:
+    """Parse a ``CLASS.METHOD=FACTOR`` speedup spec."""
+    method, sep, factor_text = text.partition("=")
+    if not sep or not method:
+        raise HarnessError(
+            f"bad --speedup {text!r}: expected CLASS.METHOD=FACTOR "
+            f"(e.g. java.net.Socket.recv0=2.0)")
+    try:
+        factor = float(factor_text)
+    except ValueError:
+        raise HarnessError(
+            f"bad --speedup factor {factor_text!r}: not a number")
+    if factor <= 0:
+        raise HarnessError(
+            f"bad --speedup factor {factor}: must be > 0")
+    return method, factor
+
+
+@dataclass(frozen=True)
+class CausalSpec:
+    """Picklable description of one causal experiment (lives on
+    :class:`~repro.harness.config.RunConfig`; a fresh
+    :class:`CausalExperiment` is built from it per VM)."""
+
+    #: Qualified ``CLASS.METHOD`` whose charges are rescaled.
+    method: str
+    #: Speedup factor F (> 0; F < 1 models a slowdown).
+    factor: float
+    #: True: predict without touching charges.  False: apply the
+    #: rescale to the charges (the validation arm).
+    virtual: bool = True
+    #: Extra factors to predict for in the same virtual run.
+    sweep: Tuple[float, ...] = ()
+
+
+@dataclass
+class CausalExperiment:
+    """Mutable per-VM state of one causal experiment."""
+
+    spec: CausalSpec
+    #: Target-method CPU cycles observed (pre-rescale).
+    cpu_cycles: int = 0
+    #: Target-method device-service cycles observed (pre-rescale).
+    device_cycles: int = 0
+    #: Cycles a rescale removes (virtual: would remove) from the CPU
+    #: clock / the device timelines, at ``spec.factor``.
+    saved_cpu: int = 0
+    saved_device: int = 0
+    #: Per-factor total savings for the sweep ladder.
+    sweep_saved: Dict[float, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for factor in self.spec.sweep:
+            self.sweep_saved.setdefault(factor, 0)
+
+    # -- charge hooks (called from JNIEnv) -----------------------------
+
+    def cpu_charge(self, native_name: str, cycles: int) -> int:
+        """Filter one CPU charge; returns the cycles to charge."""
+        if native_name != self.spec.method:
+            return cycles
+        self.cpu_cycles += cycles
+        remaining = scaled(cycles, self.spec.factor)
+        self.saved_cpu += cycles - remaining
+        for factor in self.spec.sweep:
+            self.sweep_saved[factor] += cycles - scaled(cycles, factor)
+        return cycles if self.spec.virtual else remaining
+
+    def device_charge(self, native_name: str, cycles: int) -> int:
+        """Filter one device-service request; returns the cycles the
+        device takes."""
+        if native_name != self.spec.method:
+            return cycles
+        self.device_cycles += cycles
+        remaining = scaled(cycles, self.spec.factor)
+        self.saved_device += cycles - remaining
+        for factor in self.spec.sweep:
+            self.sweep_saved[factor] += cycles - scaled(cycles, factor)
+        return cycles if self.spec.virtual else remaining
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def saved_total(self) -> int:
+        return self.saved_cpu + self.saved_device
+
+    def predicted_wall(self, actual_wall: int) -> int:
+        """Virtual mode: the wall clock the rescale would produce."""
+        return actual_wall - self.saved_total
+
+    def summary(self, wall_cycles: Optional[int] = None) -> Dict:
+        """JSON-ready experiment summary for results and manifests."""
+        doc = {
+            "method": self.spec.method,
+            "factor": self.spec.factor,
+            "mode": "virtual" if self.spec.virtual else "actual",
+            "cpu_cycles": self.cpu_cycles,
+            "device_cycles": self.device_cycles,
+            "saved_cpu": self.saved_cpu,
+            "saved_device": self.saved_device,
+            "saved_total": self.saved_total,
+        }
+        if wall_cycles is not None:
+            doc["wall_cycles"] = wall_cycles
+            if self.spec.virtual:
+                doc["predicted_wall_cycles"] = \
+                    self.predicted_wall(wall_cycles)
+        if self.spec.sweep:
+            doc["sweep"] = [
+                {"factor": factor, "saved": self.sweep_saved[factor],
+                 **({"predicted_wall_cycles":
+                     wall_cycles - self.sweep_saved[factor]}
+                    if wall_cycles is not None else {})}
+                for factor in self.spec.sweep]
+        return doc

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.harness.causal import CausalSpec
 from repro.jvm.machine import VMConfig
 from repro.observability.sink import ObservabilityConfig
 
@@ -43,6 +44,12 @@ class AgentSpec:
 
         return cls("callchain", lambda: CallChainAgent(**kwargs))
 
+    @classmethod
+    def offcpu(cls, **kwargs) -> "AgentSpec":
+        from repro.agents.offcpu import OffCpuAgent
+
+        return cls("offcpu", lambda: OffCpuAgent(**kwargs))
+
 
 @dataclass
 class RunConfig:
@@ -61,3 +68,7 @@ class RunConfig:
     #: VM's no-op null sink in place; either way, simulated cycle
     #: accounting is bit-identical (observability never charges time).
     observability: Optional[ObservabilityConfig] = None
+    #: Optional COZ-style causal experiment (repro.harness.causal): a
+    #: picklable spec; each VM gets a fresh CausalExperiment so runs>1
+    #: and --jobs workers never share accumulators.
+    causal: Optional[CausalSpec] = None

@@ -57,6 +57,21 @@ class RunResult:
     #: The live agent instance (CCT access for flamegraph export).
     #: Host-side only — stripped before crossing process boundaries.
     agent_object: Optional[object] = None
+    #: Off-CPU cycles: total time threads were parked on simulated
+    #: devices (DESIGN.md §13).  Zero for the paper's suite workloads,
+    #: which never block.
+    blocked_cycles: int = 0
+    #: Final per-device timeline clocks (``{"disk": ..., "net": ...}``);
+    #: empty when nothing blocked.
+    device_clocks: Dict[str, int] = field(default_factory=dict)
+    #: Blocked cycles attributed per blocking native method.
+    blocked_by_native: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock cycles: on-CPU plus off-CPU elapsed time.  Equals
+    #: ``cycles`` when nothing blocked (sequential model).
+    wall_cycles: int = 0
+    #: COZ-style causal experiment summary (repro.harness.causal) when
+    #: the run carried one; ``None`` otherwise.  JSON-safe, picklable.
+    causal: Optional[Dict] = None
 
     @property
     def operations_per_second(self) -> Optional[float]:
@@ -76,6 +91,12 @@ def _build_vm(workload: Workload, config: RunConfig) -> JavaVM:
         sanitize=config.vm_config.sanitize,
     )
     vm = JavaVM(vm_config)
+    if config.causal is not None:
+        # a fresh accumulator per VM: specs are shared (and picklable,
+        # for --jobs workers); experiments are single-use
+        from repro.harness.causal import CausalExperiment
+
+        vm.causal = CausalExperiment(config.causal)
     if config.observability is not None and \
             config.observability.enabled:
         # install before agents attach so they pick up the live tracer
@@ -162,6 +183,12 @@ def _run_once(workload: Workload, config: RunConfig) -> RunResult:
         races=(list(vm.sanitizer.races)
                if vm.sanitizer is not None else []),
         agent_object=vm.agents[0] if vm.agents else None,
+        blocked_cycles=vm.total_blocked,
+        device_clocks=dict(vm.device_clock),
+        blocked_by_native=dict(vm.blocked_by_native),
+        wall_cycles=vm.wall_cycles,
+        causal=(vm.causal.summary(wall_cycles=vm.wall_cycles)
+                if vm.causal is not None else None),
     )
 
 
@@ -259,6 +286,18 @@ def _record_run_metrics(sink: ObservabilitySink, vm: JavaVM,
                     scheduler.deadlocks_detected)
         for core, clock in enumerate(scheduler.core_clock):
             metrics.set_gauge(f"core_{core}_cycles", clock)
+    if vm.total_blocked:
+        # emitted only when something actually blocked, so the paper's
+        # non-I/O metric captures (and goldens) are unchanged
+        metrics.inc("blocked_cycles", vm.total_blocked)
+        metrics.set_gauge("wall_cycles", vm.wall_cycles)
+        for device, clock in sorted(vm.device_clock.items()):
+            metrics.set_gauge(f"device_{device}_cycles", clock)
+        for device, cycles in sorted(
+                vm.threads.total_blocked_by_device().items()):
+            metrics.inc(f"blocked_{device}_cycles", cycles)
+        if scheduler is not None:
+            metrics.inc("scheduler_io_blocks", scheduler.io_blocks)
     metrics.set_gauge("cycles_total", vm.total_cycles)
     for tag, cycles in sorted(vm.ground_truth().items()):
         metrics.set_gauge(f"cycles_{tag}", cycles)

@@ -139,17 +139,55 @@ class JNIEnv:
     :meth:`repro.jvm.machine.JavaVM.jni_env`.
     """
 
-    __slots__ = ("vm", "thread")
+    __slots__ = ("vm", "thread", "native_name")
 
     def __init__(self, vm, thread):
         self.vm = vm
         self.thread = thread
+        #: Qualified ``CLASS.METHOD`` of the native this env was handed
+        #: to (set by the interpreter's invoke stub); None for envs used
+        #: outside a native frame.  Keys causal rescaling and
+        #: blocked-time attribution.
+        self.native_name: Optional[str] = None
 
     # -- accounting -----------------------------------------------------------
 
     def charge(self, cycles: int) -> None:
         """Consume ``cycles`` of native execution time."""
+        causal = self.vm.causal
+        if causal is not None and self.native_name is not None:
+            cycles = causal.cpu_charge(self.native_name, cycles)
         self.thread.charge(cycles, ChargeTag.NATIVE)
+
+    def charge_blocked(self, device: str, cycles: int) -> int:
+        """Elapse ``cycles`` of service time on ``device`` with the
+        calling thread blocked (off-CPU) until the device completes.
+
+        Never touches the thread's CPU cycle counter: the service time
+        lands on the device timeline, the wait on the thread's blocked
+        counter.  Under the preemptive scheduler the core is handed to
+        another runnable thread for the gap.  Returns the blocked
+        cycles.
+        """
+        vm = self.vm
+        name = self.native_name
+        causal = vm.causal
+        if causal is not None and name is not None:
+            cycles = causal.device_charge(name, cycles)
+        scheduler = vm.scheduler
+        if scheduler is None:
+            blocked = vm.block_on_device(self.thread, device, cycles,
+                                         label=name)
+            if blocked:
+                vm.thread_state_instant(self.thread, "BLOCKED")
+                vm.thread_state_instant(self.thread, "RUNNING")
+        else:
+            blocked = scheduler.block_io(self.thread, device, cycles,
+                                         label=name)
+        if blocked and name is not None:
+            vm.blocked_by_native[name] = \
+                vm.blocked_by_native.get(name, 0) + blocked
+        return blocked
 
     # -- class/method lookup ----------------------------------------------------
 

@@ -380,6 +380,166 @@ def build_java_library() -> NativeLibrary:
         env.charge(650)
         return None
 
+    # -- blocking device natives (DESIGN.md §13) ----------------------------
+    # CPU marshalling is charged with env.charge (NATIVE tag, on the
+    # caller's clock); the device service time goes through
+    # env.charge_blocked and elapses on the per-device timeline while
+    # the thread is parked.  java.io.* stream natives above stay fully
+    # on-CPU — the paper's workloads never block.
+
+    @lib.native_method("java.io.RandomAccessFile", "open0")
+    def raf_open(env, this, name):
+        env.charge(900)
+        file_name = _string_of(env, name)
+        vm = env.vm
+        data = vm.files.get(file_name)
+        if data is None:
+            vm.files[file_name] = bytearray()
+        elif not isinstance(data, bytearray):
+            vm.files[file_name] = bytearray(data)
+        this.fields["name"] = name
+        this.fields["pos"] = 0
+        cm = vm.cost_model
+        env.charge_blocked("disk", cm.disk_access_cycles)
+        return None
+
+    @lib.native_method("java.io.RandomAccessFile", "seek0")
+    def raf_seek(env, this, pos):
+        env.charge(250)
+        if pos < 0:
+            env.throw(_IOE, f"negative seek {pos}")
+        this.fields["pos"] = pos
+        return None
+
+    @lib.native_method("java.io.RandomAccessFile", "readBytes")
+    def raf_read_bytes(env, this, buffer, offset, length):
+        name = _string_of(env, this.fields.get("name"))
+        data = env.vm.files.get(name)
+        if data is None:
+            env.throw(_IOE, f"closed: {name}")
+        if offset < 0 or length < 0 or \
+                offset + length > len(buffer.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      "read buffer")
+        pos = this.fields["pos"]
+        cm = env.vm.cost_model
+        if pos >= len(data):
+            env.charge(300)
+            env.charge_blocked("disk", cm.disk_access_cycles)
+            return -1
+        count = min(length, len(data) - pos)
+        env.charge(700 + count // 2)
+        env.charge_blocked(
+            "disk",
+            cm.disk_access_cycles + count // cm.disk_byte_divisor)
+        chunk = data[pos:pos + count]
+        normalize = buffer.normalize
+        buffer.data[offset:offset + count] = [
+            normalize(b) for b in chunk]
+        this.fields["pos"] = pos + count
+        return count
+
+    @lib.native_method("java.io.RandomAccessFile", "writeBytes")
+    def raf_write_bytes(env, this, buffer, offset, length):
+        name = _string_of(env, this.fields.get("name"))
+        data = env.vm.files.get(name)
+        if data is None or not isinstance(data, bytearray):
+            env.throw(_IOE, f"closed: {name}")
+        if offset < 0 or length < 0 or \
+                offset + length > len(buffer.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      "write buffer")
+        pos = this.fields["pos"]
+        env.charge(700 + length // 2)
+        cm = env.vm.cost_model
+        env.charge_blocked(
+            "disk",
+            cm.disk_access_cycles + length // cm.disk_byte_divisor)
+        if pos > len(data):
+            data.extend(b"\x00" * (pos - len(data)))
+        chunk = bytes((b & 0xFF) for b in
+                      buffer.data[offset:offset + length])
+        data[pos:pos + length] = chunk
+        this.fields["pos"] = pos + length
+        return None
+
+    @lib.native_method("java.io.RandomAccessFile", "length0")
+    def raf_length(env, this):
+        name = _string_of(env, this.fields.get("name"))
+        data = env.vm.files.get(name)
+        if data is None:
+            env.throw(_IOE, f"closed: {name}")
+        env.charge(300)
+        return len(data)
+
+    @lib.native_method("java.io.RandomAccessFile", "close0")
+    def raf_close(env, this):
+        env.charge(400)
+        return None
+
+    @lib.native_method("java.net.Socket", "connect0")
+    def socket_connect(env, this, host, port):
+        env.charge(1200)
+        _string_of(env, host)  # null check, as a real connect would
+        this.fields["host"] = host
+        this.fields["port"] = port
+        this.fields["pending"] = []
+        cm = env.vm.cost_model
+        env.charge_blocked("net", cm.net_rtt_cycles)
+        return None
+
+    @lib.native_method("java.net.Socket", "send0")
+    def socket_send(env, this, buffer, offset, length):
+        pending = this.fields.get("pending")
+        if pending is None:
+            env.throw(_IOE, "socket not connected")
+        if offset < 0 or length < 0 or \
+                offset + length > len(buffer.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      "send buffer")
+        env.charge(500 + length // 2)
+        cm = env.vm.cost_model
+        env.charge_blocked(
+            "net",
+            cm.net_rtt_cycles // 2 + length // cm.net_byte_divisor)
+        # the simulated peer is an echo server: sent bytes become
+        # receivable
+        pending.extend(b & 0xFF for b in
+                       buffer.data[offset:offset + length])
+        return None
+
+    @lib.native_method("java.net.Socket", "recv0")
+    def socket_recv(env, this, buffer, offset, length):
+        pending = this.fields.get("pending")
+        if pending is None:
+            env.throw(_IOE, "socket not connected")
+        if offset < 0 or length < 0 or \
+                offset + length > len(buffer.data):
+            env.throw("java.lang.ArrayIndexOutOfBoundsException",
+                      "recv buffer")
+        cm = env.vm.cost_model
+        if not pending:
+            env.charge(300)
+            env.charge_blocked("net", cm.net_rtt_cycles)
+            return -1
+        count = min(length, len(pending))
+        env.charge(500 + count // 2)
+        env.charge_blocked(
+            "net",
+            cm.net_rtt_cycles // 2 + count // cm.net_byte_divisor)
+        chunk = pending[:count]
+        del pending[:count]
+        normalize = buffer.normalize
+        buffer.data[offset:offset + count] = [
+            normalize(b) for b in chunk]
+        return count
+
+    @lib.native_method("java.net.Socket", "close0")
+    def socket_close(env, this):
+        env.charge(500)
+        this.fields["pending"] = None
+        return None
+
     @lib.native_method("java.io.PrintStream", "println")
     def ps_println(env, this, text):
         value = "" if text is None else _string_of(env, text)

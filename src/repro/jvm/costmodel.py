@@ -148,6 +148,23 @@ class CostModel:
     #: because the sequential model cannot observe contention.
     monitor_contention_cycles: int = 400
 
+    # -- simulated device latencies (DESIGN.md §13) --------------------
+    # Blocking natives (java.io.RandomAccessFile, java.net.Socket)
+    # request service from a per-device timeline; these knobs set the
+    # *device* cycles per operation.  They are never charged to a
+    # thread's CPU clock — the thread blocks while the device works.
+    # ~11 microseconds base disk access at 2.66 GHz; bytes stream at 4
+    # bytes per device cycle (disk) / 2 bytes per device cycle (net).
+
+    #: Disk seek/rotational base latency per read or write request.
+    disk_access_cycles: int = 30_000
+    #: Device cycles per byte transferred, divided out: ``len // 4``.
+    disk_byte_divisor: int = 4
+    #: Network round-trip base latency per send or receive.
+    net_rtt_cycles: int = 52_000
+    #: Device cycles per byte on the wire, divided out: ``len // 2``.
+    net_byte_divisor: int = 2
+
     def interp_cost(self, cost_class: str) -> int:
         return self.interp_costs[cost_class]
 

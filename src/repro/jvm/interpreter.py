@@ -278,6 +278,9 @@ class Interpreter:
         thread.charge(vm.cost_model.native_invoke_base, ChargeTag.NATIVE)
         vm.native_invocations += 1
         env = vm.jni_env(thread)
+        # attribution key for blocked-time and causal rescaling; envs
+        # are per-call, so nested natives each carry their own name
+        env.native_name = method.qualified_name
         obs = vm.obs
         entered = thread.cycles_total if obs.enabled else 0
         try:

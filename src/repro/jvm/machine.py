@@ -141,6 +141,56 @@ class JavaVM:
         self.thread_deaths: List[str] = []
         # simulated file system: name -> bytes (inputs) / bytearray (outputs)
         self.files: Dict[str, bytes] = {}
+        #: Per-device completion clocks for blocking natives (DESIGN.md
+        #: §13): ``device name -> device cycles``.  Empty unless a
+        #: blocking native ran.
+        self.device_clock: Dict[str, int] = {}
+        #: Blocked cycles attributed per native method (``CLASS.METHOD
+        #: -> cycles``) — the off-CPU analogue of ground-truth tags.
+        self.blocked_by_native: Dict[str, int] = {}
+        #: Active COZ-style causal experiment (see
+        #: repro.harness.causal); None in normal runs.
+        self.causal = None
+        # trace lane ids for device timelines (negative, distinct from
+        # the scheduler's per-core lanes)
+        self._device_lanes: Dict[str, int] = {}
+
+    def device_lane(self, device: str) -> int:
+        """Trace lane (tid) for a device timeline, registering its name
+        on first use.  Distinct negative range from the scheduler's
+        per-core lanes (``-(core+1)``)."""
+        tid = self._device_lanes.get(device)
+        if tid is None:
+            tid = -(100 + len(self._device_lanes))
+            self._device_lanes[device] = tid
+            self.obs.tracer.register_thread(tid, f"dev-{device}")
+        return tid
+
+    def block_on_device(self, thread: SimThread, device: str,
+                        cycles: int, label: Optional[str] = None) -> int:
+        """Elapse ``cycles`` of service time for ``thread`` on
+        ``device``'s timeline; returns the blocked cycles charged.
+
+        The device services requests in arrival order: the request
+        starts at ``max(device clock, thread wall clock)`` and the
+        thread is blocked from its own wall clock until completion.
+        With a single thread the two clocks can never run ahead of each
+        other, so blocked time equals service time exactly.
+        """
+        if cycles <= 0:
+            return 0
+        wall = thread.wall_cycles
+        start = max(self.device_clock.get(device, 0), wall)
+        completion = start + cycles
+        self.device_clock[device] = completion
+        blocked = completion - wall
+        thread.block(blocked, device)
+        if self.obs.enabled:
+            self.obs.tracer.complete(
+                label or device, "io", self.device_lane(device),
+                start, completion,
+                {"thread": thread.name, "blocked": blocked})
+        return blocked
 
     # -- configuration ------------------------------------------------------------
 
@@ -188,6 +238,7 @@ class JavaVM:
 
         tracer = self.obs.tracer
         tracer.register_thread(main_thread.thread_id, main_thread.name)
+        self.thread_state_instant(main_thread, "RUNNING")
         scheduler = self.scheduler
         if scheduler is not None:
             scheduler.attach_main(main_thread)
@@ -262,6 +313,7 @@ class JavaVM:
         thread.state = ThreadState.RUNNING
         tracer = self.obs.tracer
         tracer.register_thread(thread.thread_id, thread.name)
+        self.thread_state_instant(thread, "RUNNING")
         thread_start = thread.cycles_total
         self.jvmti.dispatch_thread_start(thread)
         run_method = None
@@ -359,6 +411,16 @@ class JavaVM:
     def _finish_thread(self, thread: SimThread) -> None:
         self.jvmti.dispatch_thread_end(thread)
         thread.state = ThreadState.TERMINATED
+        self.thread_state_instant(thread, "TERMINATED")
+
+    def thread_state_instant(self, thread: SimThread,
+                             state: str) -> None:
+        """Emit a thread-state transition mark on the thread's trace
+        lane (RUNNING/RUNNABLE/BLOCKED/PARKED/TERMINATED).  Host-side
+        only — zero simulated cycles."""
+        self.obs.tracer.instant("thread-state", "sched",
+                                thread.thread_id, thread.cycles_total,
+                                {"state": state})
 
     def _report_uncaught(self, thread: SimThread, jobject) -> None:
         thread.uncaught_exception = jobject
@@ -386,6 +448,27 @@ class JavaVM:
     @property
     def total_cycles(self) -> int:
         return self.threads.total_cycles()
+
+    @property
+    def total_blocked(self) -> int:
+        """Off-CPU cycles spent blocked on devices, across all threads."""
+        return self.threads.total_blocked()
+
+    @property
+    def wall_cycles(self) -> int:
+        """Virtual wall clock of the run.
+
+        Sequential model: one CPU, so wall time is CPU time plus the
+        gaps the single thread spent blocked.  Under the preemptive
+        scheduler it is the latest clock anywhere in the machine — the
+        busiest core or the busiest device, whichever finished last
+        (per-thread blocked gaps overlap with other threads running).
+        """
+        if self.scheduler is None:
+            return self.total_cycles + self.total_blocked
+        clocks = list(self.scheduler.core_clock)
+        clocks.extend(self.device_clock.values())
+        return max(clocks) if clocks else 0
 
     @property
     def elapsed_seconds(self) -> float:

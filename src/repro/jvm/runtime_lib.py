@@ -371,6 +371,78 @@ def _io_classes():
     return classes
 
 
+def _io_ext_classes():
+    """Blocking-I/O classes (DESIGN.md §13): thin bytecode wrappers
+    around natives that elapse time on per-device timelines rather
+    than the caller's CPU clock.  Kept apart from :func:`_io_classes`
+    — no suite workload touches these, so the paper's tables never see
+    a device timeline."""
+    classes = []
+
+    raf = "java.io.RandomAccessFile"
+    c = ClassAssembler(raf)
+    c.field("name")
+    c.field("pos")
+    c.native_method("open0", "(Ljava.lang.String;)V")
+    c.native_method("seek0", "(I)V")
+    c.native_method("readBytes", "([BII)I")
+    c.native_method("writeBytes", "([BII)V")
+    c.native_method("length0", "()I")
+    c.native_method("close0", "()V")
+    with c.method("<init>", "(Ljava.lang.String;)V") as m:
+        m.aload(0).aload(1)
+        m.invokevirtual(raf, "open0", "(Ljava.lang.String;)V")
+        m.return_()
+    with c.method("seek", "(I)V") as m:
+        m.aload(0).iload(1)
+        m.invokevirtual(raf, "seek0", "(I)V")
+        m.return_()
+    with c.method("read", "([BII)I") as m:
+        m.aload(0).aload(1).iload(2).iload(3)
+        m.invokevirtual(raf, "readBytes", "([BII)I")
+        m.ireturn()
+    with c.method("write", "([BII)V") as m:
+        m.aload(0).aload(1).iload(2).iload(3)
+        m.invokevirtual(raf, "writeBytes", "([BII)V")
+        m.return_()
+    with c.method("length", "()I") as m:
+        m.aload(0)
+        m.invokevirtual(raf, "length0", "()I")
+        m.ireturn()
+    with c.method("close", "()V") as m:
+        m.aload(0)
+        m.invokevirtual(raf, "close0", "()V")
+        m.return_()
+    classes.append(c)
+
+    sock = "java.net.Socket"
+    c = ClassAssembler(sock)
+    c.field("host")
+    c.field("port")
+    c.native_method("connect0", "(Ljava.lang.String;I)V")
+    c.native_method("send0", "([BII)V")
+    c.native_method("recv0", "([BII)I")
+    c.native_method("close0", "()V")
+    with c.method("<init>", "(Ljava.lang.String;I)V") as m:
+        m.aload(0).aload(1).iload(2)
+        m.invokevirtual(sock, "connect0", "(Ljava.lang.String;I)V")
+        m.return_()
+    with c.method("send", "([BII)V") as m:
+        m.aload(0).aload(1).iload(2).iload(3)
+        m.invokevirtual(sock, "send0", "([BII)V")
+        m.return_()
+    with c.method("recv", "([BII)I") as m:
+        m.aload(0).aload(1).iload(2).iload(3)
+        m.invokevirtual(sock, "recv0", "([BII)I")
+        m.ireturn()
+    with c.method("close", "()V") as m:
+        m.aload(0)
+        m.invokevirtual(sock, "close0", "()V")
+        m.return_()
+    classes.append(c)
+    return classes
+
+
 def _crc32_class() -> ClassAssembler:
     c = ClassAssembler("java.util.zip.CRC32")
     c.field("crc", default=0)
@@ -592,6 +664,7 @@ def build_runtime_archive() -> ClassArchive:
                 _vector_class(), _hashtable_class()]
     builders.extend(_throwable_classes())
     builders.extend(_io_classes())
+    builders.extend(_io_ext_classes())
     for builder in builders:
         archive.put_class(builder.build())
     return archive

@@ -98,6 +98,7 @@ class CoreScheduler:
         self.context_switches = 0
         self.monitor_contentions = 0
         self.deadlocks_detected = 0
+        self.io_blocks = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -129,6 +130,7 @@ class CoreScheduler:
             self._host_threads[thread.thread_id] = host
             thread.state = ThreadState.READY
             self.ready.append(thread)
+            self._state_instant(thread, "RUNNABLE")
         host.start()
 
     def shutdown(self) -> None:
@@ -175,8 +177,44 @@ class CoreScheduler:
             self._end_slice(thread)
             thread.state = ThreadState.READY
             self.ready.append(thread)
+            self._state_instant(thread, "RUNNABLE")
             successor = self._dispatch_next()
         self._handoff(thread, successor)
+
+    def block_io(self, thread: SimThread, device: str, cycles: int,
+                 label: Optional[str] = None) -> int:
+        """Blocking native: elapse ``cycles`` on ``device``'s timeline
+        with ``thread`` off-CPU, handing the core to the next runnable
+        thread for the gap.  Returns the blocked cycles.
+
+        With an empty ready queue there is nobody to run in the gap:
+        the thread keeps its core (quantum extended in place, no slice
+        end, no context-switch charge — mirroring :meth:`preempt`'s
+        lone-thread fast path), so a single-threaded I/O program costs
+        the same CPU cycles at any core count.
+        """
+        if cycles <= 0:
+            return 0
+        cost = self.vm.config.cost_model
+        with self._lock:
+            blocked = self.vm.block_on_device(thread, device, cycles,
+                                              label=label)
+            self.io_blocks += 1
+            self._state_instant(thread, "BLOCKED")
+            if not self.ready:
+                thread.preempt_at = thread.cycles_total + \
+                    cost.scheduler_quantum
+                self._state_instant(thread, "RUNNING")
+                return blocked
+            thread.charge(cost.context_switch_cycles, ChargeTag.VM)
+            self.context_switches += 1
+            self._end_slice(thread)
+            thread.state = ThreadState.READY
+            self.ready.append(thread)
+            self._state_instant(thread, "RUNNABLE")
+            successor = self._dispatch_next()
+        self._handoff(thread, successor)
+        return blocked
 
     def acquire_contended(self, thread: SimThread, obj) -> None:
         """Block ``thread`` until it owns ``obj``'s monitor.
@@ -206,6 +244,7 @@ class CoreScheduler:
             self._end_slice(thread)
             thread.state = ThreadState.BLOCKED
             thread.waiting_on = ("monitor", obj)
+            self._state_instant(thread, "BLOCKED")
             successor = self._dispatch_next()
         self._handoff(thread, successor)
         # woken as monitor owner (transfer done by the releaser)
@@ -226,6 +265,7 @@ class CoreScheduler:
             waiter.state = ThreadState.READY
             waiter.waiting_on = None
             self.ready.append(waiter)
+            self._state_instant(waiter, "RUNNABLE")
 
     def join(self, thread: SimThread, target: SimThread) -> None:
         """``Thread.join``: park ``thread`` until ``target`` terminates."""
@@ -243,6 +283,7 @@ class CoreScheduler:
             self._end_slice(thread)
             thread.state = ThreadState.WAITING
             thread.waiting_on = ("join", target)
+            self._state_instant(thread, "PARKED")
             successor = self._dispatch_next()
         self._handoff(thread, successor)
 
@@ -255,6 +296,7 @@ class CoreScheduler:
                 self._end_slice(main)
                 main.state = ThreadState.WAITING
                 main.waiting_on = ("drain", None)
+                self._state_instant(main, "PARKED")
                 successor = self._dispatch_next()
             self._handoff(main, successor)
 
@@ -264,16 +306,19 @@ class CoreScheduler:
         with self._lock:
             self._end_slice(thread)
             thread.state = ThreadState.TERMINATED
+            self._state_instant(thread, "TERMINATED")
             for joiner in self._join_waiters.pop(thread.thread_id, ()):
                 joiner.state = ThreadState.READY
                 joiner.waiting_on = None
                 self.ready.append(joiner)
+                self._state_instant(joiner, "RUNNABLE")
             main = self._main
             if (main is not None and main.waiting_on == ("drain", None)
                     and not self._live_workers()):
                 main.state = ThreadState.READY
                 main.waiting_on = None
                 self.ready.append(main)
+                self._state_instant(main, "RUNNABLE")
             successor = self._dispatch_next()
         if successor is not None:
             self._events[successor.thread_id].set()
@@ -328,6 +373,7 @@ class CoreScheduler:
         self._slice_start = thread.cycles_total
         self._running = thread
         self.vm.threads.current = thread
+        self._state_instant(thread, "RUNNING")
         return thread
 
     def _handoff(self, thread: SimThread, successor: Optional[SimThread]
@@ -440,6 +486,14 @@ class CoreScheduler:
 
     # ------------------------------------------------------------------
     # observability
+
+    def _state_instant(self, thread: SimThread, state: str) -> None:
+        """Thread-state transition mark on the thread's trace lane
+        (host-side; zero simulated cycles)."""
+        tracer = self.vm.obs.tracer
+        if tracer.enabled:
+            tracer.instant("thread-state", "sched", thread.thread_id,
+                           thread.cycles_total, {"state": state})
 
     def register_trace_lanes(self) -> None:
         """Name the per-core trace lanes (negative tids, stable)."""

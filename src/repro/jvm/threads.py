@@ -73,8 +73,16 @@ class SimThread:
         self.preempt_at = 0
         #: What a BLOCKED/WAITING thread waits for:
         #: ``("monitor", obj)`` / ``("join", thread)`` /
-        #: ``("drain", None)``; ``None`` when runnable.
+        #: ``("drain", None)`` / ``("io", device)``; ``None`` when
+        #: runnable.
         self.waiting_on = None
+        #: Off-CPU cycles spent blocked on simulated devices.  Kept
+        #: strictly apart from :attr:`cycles_total` (the CPU counter
+        #: PCL reads): blocked time elapses on a device timeline, not
+        #: on this thread's CPU clock.
+        self.blocked_total = 0
+        #: Ground truth: blocked cycles by device name.
+        self.blocked_by_device: Dict[str, int] = {}
         #: Host-side PC samplers (shared list owned by ThreadManager);
         #: empty in normal runs — see repro.agents.sampling.
         self._samplers = samplers if samplers is not None else []
@@ -91,6 +99,23 @@ class SimThread:
                     # directly so it cannot re-trigger sampling
                     self.cycles_total += extra
                     self.cycles_by_tag[ChargeTag.VM] += extra
+
+    def block(self, cycles: int, device: str) -> None:
+        """Account ``cycles`` of off-CPU time blocked on ``device``.
+
+        Deliberately *not* routed through :meth:`charge`: blocked time
+        never advances :attr:`cycles_total`, never carries a
+        :class:`ChargeTag`, and never drives PC samplers — the CPU is
+        idle (or running someone else) while this thread waits.
+        """
+        self.blocked_total += cycles
+        self.blocked_by_device[device] = \
+            self.blocked_by_device.get(device, 0) + cycles
+
+    @property
+    def wall_cycles(self) -> int:
+        """This thread's wall clock: CPU cycles plus blocked cycles."""
+        return self.cycles_total + self.blocked_total
 
     @property
     def depth(self) -> int:
@@ -168,4 +193,16 @@ class ThreadManager:
         for thread in self._threads:
             for tag, cycles in thread.cycles_by_tag.items():
                 totals[tag] += cycles
+        return totals
+
+    def total_blocked(self) -> int:
+        """Sum of off-CPU (device-blocked) cycles across all threads."""
+        return sum(t.blocked_total for t in self._threads)
+
+    def total_blocked_by_device(self) -> Dict[str, int]:
+        """Blocked-cycle totals per device across all threads."""
+        totals: Dict[str, int] = {}
+        for thread in self._threads:
+            for device, cycles in thread.blocked_by_device.items():
+                totals[device] = totals.get(device, 0) + cycles
         return totals

@@ -74,3 +74,50 @@ def write_folded(path: str, roots: Dict[str, object]) -> int:
         for line in lines:
             fh.write(line + "\n")
     return len(lines)
+
+
+def _self_blocked(node) -> int:
+    inherited = sum(getattr(child, "blocked_inclusive", 0)
+                    for child in node.children.values())
+    return max(0, getattr(node, "blocked_inclusive", 0) - inherited)
+
+
+def wall_folded_lines(roots: Dict[str, object]) -> List[str]:
+    """Wall-clock folded stacks: on-CPU *and* off-CPU weight.
+
+    Same format as :func:`folded_lines`, but each context's blocked
+    self time (device waits charged by blocking natives, DESIGN.md
+    §13) is emitted as a synthetic leaf frame suffixed ``_[offcpu]``
+    under the frame that blocked, so flamegraph tooling renders wall
+    time with the off-CPU share visually distinct.  Summing every
+    line's weight gives the thread's wall cycles.
+    """
+    lines: List[str] = []
+    for thread_name in sorted(roots):
+        root = roots[thread_name]
+        for chain, node in root.walk():
+            if len(chain) < 2:
+                continue  # skip the synthetic <thread> sentinel root
+            frames = [_sanitize(thread_name)]
+            frames.extend(
+                _sanitize(frame) + ("_[k]" if is_native else "")
+                for frame, is_native in _tag_chain(root, chain))
+            cpu_self = _self_cycles(node)
+            if cpu_self > 0:
+                lines.append(";".join(frames) + f" {cpu_self}")
+            blocked_self = _self_blocked(node)
+            if blocked_self > 0:
+                leaf = _sanitize(chain[-1]) + "_[offcpu]"
+                lines.append(";".join(frames + [leaf])
+                             + f" {blocked_self}")
+    lines.sort()
+    return lines
+
+
+def write_wall_folded(path: str, roots: Dict[str, object]) -> int:
+    """Write wall-clock folded stacks; returns the number of lines."""
+    lines = wall_folded_lines(roots)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)

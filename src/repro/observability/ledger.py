@@ -46,6 +46,10 @@ WORKLOAD_FIELDS = (
     ("percent_native", 0),
     ("jni_calls", 0),
     ("native_method_calls", 0),
+    # blocked-I/O runs (DESIGN.md §13); absent from non-I/O manifests
+    ("wall_cycles", -1),
+    ("blocked_cycles", 0),
+    ("predicted_wall_cycles", 0),
 )
 
 
@@ -229,9 +233,13 @@ def format_manifest(manifest: Dict) -> str:
             lines.append(f"  {key} = {config[key]}")
     outcome = manifest.get("outcome", {})
     for key in ("exit_status", "wall_seconds", "instructions",
-                "instructions_per_second"):
+                "instructions_per_second", "blocked_cycles",
+                "wall_cycles"):
         if key in outcome:
             lines.append(f"{key + ':':10s} {outcome[key]}")
+    for device in sorted(outcome.get("device_clocks") or {}):
+        lines.append(f"device:    {device} = "
+                     f"{outcome['device_clocks'][device]:,} cycles")
     artifacts = outcome.get("artifacts") or {}
     for kind in sorted(artifacts):
         lines.append(f"artifact:  {kind} -> {artifacts[kind]}")
@@ -283,6 +291,35 @@ def diff_manifests(a: Dict, b: Dict) -> List[str]:
         va, vb = config_a.get(key), config_b.get(key)
         if va != vb:
             lines.append(f"config {key}: {va} -> {vb}")
+
+    outcome_a = a.get("outcome", {})
+    outcome_b = b.get("outcome", {})
+    # on-CPU/blocked split: shown (with explicit "(same)" markers)
+    # whenever either run blocked, so I/O comparisons always state the
+    # off-CPU side; non-I/O diffs are unchanged
+    if outcome_a.get("blocked_cycles") is not None or \
+            outcome_b.get("blocked_cycles") is not None:
+        for key in ("blocked_cycles", "wall_cycles"):
+            va = outcome_a.get(key)
+            vb = outcome_b.get(key)
+            if va == vb:
+                lines.append(f"outcome {key}: {va:,} (same)")
+            else:
+                lines.append(f"outcome {key}: "
+                             f"{va if va is None else format(va, ',')}"
+                             f" -> "
+                             f"{vb if vb is None else format(vb, ',')}")
+        dev_a = outcome_a.get("device_clocks") or {}
+        dev_b = outcome_b.get("device_clocks") or {}
+        for device in sorted(set(dev_a) | set(dev_b)):
+            va, vb = dev_a.get(device), dev_b.get(device)
+            if va == vb:
+                lines.append(f"device {device}: {va:,} cycles (same)")
+            else:
+                lines.append(
+                    f"device {device}: "
+                    f"{va if va is None else format(va, ',')} -> "
+                    f"{vb if vb is None else format(vb, ',')} cycles")
 
     wl_a = a.get("outcome", {}).get("workloads") or {}
     wl_b = b.get("outcome", {}).get("workloads") or {}

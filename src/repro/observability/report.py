@@ -365,6 +365,88 @@ def _loadgen_section(manifest: Dict) -> str:
             + "".join(parts) + "</section>")
 
 
+# -- blocked time + causal profiling (DESIGN.md §13) --------------------------
+
+
+def _blocked_section(manifest: Dict) -> str:
+    """On-CPU vs blocked split and the causal-experiment table, for
+    runs over the blocking-I/O natives; empty for everything else."""
+    outcome = manifest.get("outcome", {})
+    blocked = outcome.get("blocked_cycles")
+    causal = outcome.get("causal")
+    if not blocked and not causal:
+        return ""
+    parts = []
+    wall = outcome.get("wall_cycles")
+    if blocked and wall:
+        on_cpu = wall - blocked
+        rows = [("on-CPU", 100.0 * on_cpu / wall),
+                ("blocked", 100.0 * blocked / wall)]
+        parts.append(_bar_panel("share of wall time [%]", "--orange",
+                                rows))
+        tiles = [(wall, "wall cycles"), (on_cpu, "on-CPU cycles"),
+                 (blocked, "blocked cycles")]
+        parts.insert(0, '<div class="tiles">' + "".join(
+            f'<div class="tile"><div class="v">{_fmt(v)}</div>'
+            f'<div class="k">{_esc(label)}</div></div>'
+            for v, label in tiles) + "</div>")
+        devices = outcome.get("device_clocks") or {}
+        if devices:
+            rows = "".join(
+                f"<tr><td>{_esc(device)}</td>"
+                f"<td>{_fmt(devices[device])}</td></tr>"
+                for device in sorted(devices))
+            parts.append("<table><tr><th>device timeline</th>"
+                         "<th>final clock [cycles]</th></tr>"
+                         + rows + "</table>")
+        by_native = outcome.get("blocked_by_native") or {}
+        if by_native:
+            rows = "".join(
+                f"<tr><td>{_esc(name)}</td>"
+                f"<td>{_fmt(cycles)}</td></tr>"
+                for name, cycles in sorted(by_native.items(),
+                                           key=lambda kv: -kv[1]))
+            parts.append("<table><tr><th>blocking native</th>"
+                         "<th>blocked [cycles]</th></tr>"
+                         + rows + "</table>")
+    if causal:
+        predicted = causal.get("predicted_wall_cycles")
+        base = causal.get("wall_cycles") or wall
+        rows = [f"<tr><td>{_esc(causal.get('method', '?'))}</td>"
+                f"<td>{causal.get('factor', 0):g}x</td>"
+                f"<td>{_fmt(predicted) if predicted else '–'}</td>"
+                f"<td>{100.0 * (base - predicted) / base:,.2f}%</td>"
+                "</tr>"
+                if predicted and base else ""]
+        for sweep_row in causal.get("sweep") or []:
+            p = sweep_row.get("predicted_wall_cycles")
+            if not p or not base:
+                continue
+            rows.append(
+                f"<tr><td></td><td>{sweep_row['factor']:g}x</td>"
+                f"<td>{_fmt(p)}</td>"
+                f"<td>{100.0 * (base - p) / base:,.2f}%</td></tr>")
+        parts.append(
+            "<p class='legend'>COZ-style what-if: predicted wall time "
+            "were the method's costs divided by the factor</p>"
+            "<table><tr><th>method</th><th>speedup</th>"
+            "<th>predicted wall [cycles]</th><th>gain</th></tr>"
+            + "".join(rows) + "</table>")
+        validation = outcome.get("causal_validation")
+        if validation:
+            verdict = ("ok" if validation.get("ok")
+                       else "FAILED")
+            parts.append(
+                f"<p class='legend'>validation: actual rescaled wall "
+                f"{_fmt(validation.get('actual_wall_cycles', 0))} "
+                f"cycles, prediction error "
+                f"{validation.get('error_percent', 0):.4f}% "
+                f"(budget {validation.get('max_error_percent', 0):g}%)"
+                f" — {verdict}</p>")
+    return ("<section><h2>Blocked time &amp; causal profiling</h2>"
+            + "".join(parts) + "</section>")
+
+
 # -- metrics ------------------------------------------------------------------
 
 #: Headline counters promoted to stat tiles (when present).
@@ -540,11 +622,14 @@ def _metrics_section(manifest: Dict) -> str:
 
 
 class _FrameNode:
-    __slots__ = ("name", "native", "self_weight", "children")
+    __slots__ = ("name", "native", "blocked", "self_weight",
+                 "children")
 
-    def __init__(self, name: str, native: bool = False):
+    def __init__(self, name: str, native: bool = False,
+                 blocked: bool = False):
         self.name = name
         self.native = native
+        self.blocked = blocked
         self.self_weight = 0
         self.children: Dict[str, "_FrameNode"] = {}
 
@@ -569,11 +654,15 @@ def _parse_folded(text: str) -> _FrameNode:
         node = root
         for frame in stack.split(";"):
             native = frame.endswith("_[k]")
-            name = frame[:-4] if native else frame
+            blocked = frame.endswith("_[offcpu]")
+            name = frame[:-4] if native else (
+                frame[:-9] if blocked else frame)
             child = node.children.get(name)
             if child is None:
-                child = node.children[name] = _FrameNode(name, native)
+                child = node.children[name] = _FrameNode(
+                    name, native, blocked)
             child.native = child.native or native
+            child.blocked = child.blocked or blocked
             node = child
         node.self_weight += weight
     return root
@@ -606,13 +695,16 @@ def _flamegraph_svg(root: _FrameNode, width: int = 960,
     for x, w, depth, node in boxes:
         y = depth * row_h
         color = "var(--orange)" if node.native else "var(--blue)"
+        if node.blocked:
+            color = "var(--muted)"
         if depth == 0:
             color = "var(--grid)"
         share = node.total / total * 100.0
+        suffix = " (blocked)" if node.blocked else ""
         parts.append(
             f'<rect x="{x:.1f}" y="{y}" width="{max(w - 1, 0.5):.1f}" '
             f'height="{row_h - 1}" rx="2" fill="{color}">'
-            f"<title>{_esc(node.name)}: {node.total:,} cycles "
+            f"<title>{_esc(node.name)}{suffix}: {node.total:,} cycles "
             f"({share:.1f}%)</title></rect>")
         if w > 40:
             label = node.name
@@ -637,7 +729,9 @@ def _flamegraph_section(folded_text: Optional[str]) -> str:
         '<span class="swatch" style="background:var(--blue)"></span>'
         "Java frames"
         '<span class="swatch" style="background:var(--orange)"></span>'
-        "native frames</p>" + svg + "</section>")
+        "native frames"
+        '<span class="swatch" style="background:var(--muted)"></span>'
+        "blocked (off-CPU) time</p>" + svg + "</section>")
 
 
 # -- cross-run trends ---------------------------------------------------------
@@ -710,6 +804,7 @@ def render_report(manifest: Dict,
         _tables_section(manifest),
         _loadgen_section(manifest),
         _overhead_section(manifest),
+        _blocked_section(manifest),
         _hot_methods_section(manifest),
         _races_section(manifest),
         _metrics_section(manifest),

@@ -29,13 +29,16 @@ from repro.workloads import mtrt as _mtrt  # noqa: E402,F401
 from repro.workloads import jbb2005 as _jbb2005  # noqa: E402,F401
 from repro.workloads import concurrency as _concurrency  # noqa: E402,F401
 from repro.workloads import racy as _racy  # noqa: E402,F401
+from repro.workloads import io as _io  # noqa: E402,F401
 
 from repro.workloads.concurrency import concurrency_suite  # noqa: E402
+from repro.workloads.io import io_suite  # noqa: E402
 
 __all__ = [
     "Workload",
     "WorkloadResultCheck",
     "concurrency_suite",
+    "io_suite",
     "full_suite",
     "get_workload",
     "jvm98_suite",

@@ -1,0 +1,410 @@
+"""Blocking-I/O workload family (DESIGN.md §13).
+
+Three benchmarks whose hot loops sit behind the blocking device
+natives (``java.io.RandomAccessFile``, ``java.net.Socket``), so a
+significant share of their wall time elapses **off CPU** on per-device
+timelines rather than on the caller's cycle clock:
+
+* ``io-logs`` — sequential log scan: chunked ``RandomAccessFile``
+  reads, line counting and checksum folding in bytecode.
+* ``io-kv`` — persistent key/value store in the ``db`` mold: fixed
+  4-byte slots addressed by ``seek``; a populate phase then a
+  read-mostly op mix with every third op writing back.
+* ``io-echo`` — request/response against the simulated echo peer:
+  fill a payload, ``send``, ``recv``, fold the echoed bytes.
+
+They are *deliberately excluded* from :func:`full_suite` — the paper's
+Table I/II workloads never block, and their goldens must stay
+byte-identical.  Select these with ``--workloads io-logs,...`` or via
+:func:`io_suite`.
+
+Validation mirrors the ``db`` pattern: a host-side replay of the exact
+same LCG and fold arithmetic must match the printed ``checksum=``
+values.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bytecode.assembler import ClassAssembler, MethodAssembler
+from repro.bytecode.opcodes import ArrayKind
+from repro.classfile.archive import ClassArchive
+from repro.workloads import data
+from repro.workloads.base import Workload, WorkloadResultCheck
+from repro.workloads.suite import register
+
+LOGS_MAIN = "spec.io.logs.Main"
+KV_MAIN = "spec.io.kv.Main"
+ECHO_MAIN = "spec.io.echo.Main"
+
+LOG_FILE = "access.log"
+KV_FILE = "kv.dat"
+
+LOG_BYTES_PER_SCALE = 4096
+LOG_CHUNK = 256
+
+KV_RECORDS_PER_SCALE = 40
+KV_OPS_PER_SCALE = 120
+KV_VALUE_BOUND = 100000
+KV_SEED = 777
+
+ECHO_REQUESTS_PER_SCALE = 12
+ECHO_PAYLOAD = 96
+ECHO_SEED = 555
+
+
+def _wrap32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v >= 1 << 31 else v
+
+
+class _Lcg:
+    """Host mirror of the runtime ``java.util.Random``."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+
+    def next_int(self, bound: int) -> int:
+        self.seed = (self.seed * 1103515245 + 12345) & 0x7FFFFFFF
+        return self.seed % bound
+
+
+def _println_int(m: MethodAssembler, label: str, push_value) -> None:
+    """Emit ``System.out.println(label + value)`` (the db idiom)."""
+    m.getstatic("java.lang.System", "out")
+    m.new("java.lang.StringBuilder").dup()
+    m.invokespecial("java.lang.StringBuilder", "<init>", "()V")
+    m.ldc(label)
+    m.invokevirtual("java.lang.StringBuilder", "appendString",
+                    "(Ljava.lang.String;)Ljava.lang.StringBuilder;")
+    push_value(m)
+    m.invokevirtual("java.lang.StringBuilder", "appendInt",
+                    "(I)Ljava.lang.StringBuilder;")
+    m.invokevirtual("java.lang.StringBuilder", "toString",
+                    "()Ljava.lang.String;")
+    m.invokevirtual("java.io.PrintStream", "println",
+                    "(Ljava.lang.String;)V")
+
+
+# -- io-logs --------------------------------------------------------------------
+
+
+def _build_logs_main() -> ClassAssembler:
+    raf = "java.io.RandomAccessFile"
+    c = ClassAssembler(LOGS_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=raf,1=buf,2=count,3=i,4=b,5=lines,6=checksum,7=total
+        m.new(raf).dup().ldc(LOG_FILE)
+        m.invokespecial(raf, "<init>", "(Ljava.lang.String;)V")
+        m.astore(0)
+        m.iconst(LOG_CHUNK).newarray(ArrayKind.BYTE).astore(1)
+        m.iconst(0).istore(5)
+        m.iconst(0).istore(6)
+        m.iconst(0).istore(7)
+        m.label("read_loop")
+        m.aload(0).aload(1).iconst(0).iconst(LOG_CHUNK)
+        m.invokevirtual(raf, "read", "([BII)I").istore(2)
+        m.iload(2).iflt("drained")
+        m.iload(7).iload(2).iadd().istore(7)
+        m.iconst(0).istore(3)
+        m.label("scan")
+        m.iload(3).iload(2).if_icmpge("read_loop")
+        m.aload(1).iload(3).iaload().istore(4)
+        m.iload(6).iconst(31).imul().iload(4).iadd().istore(6)
+        m.iload(4).iconst(10).if_icmpne("next")
+        m.iinc(5, 1)
+        m.label("next")
+        m.iinc(3, 1).goto("scan")
+        m.label("drained")
+        m.aload(0).invokevirtual(raf, "close", "()V")
+        _println_int(m, "lines=", lambda mm: mm.iload(5))
+        _println_int(m, "bytes=", lambda mm: mm.iload(7))
+        _println_int(m, "checksum=", lambda mm: mm.iload(6))
+        m.return_()
+    return c
+
+
+@register
+class IoLogsWorkload(Workload):
+    """Sequential log scan over blocking file reads."""
+
+    name = "io-logs"
+    description = ("chunked RandomAccessFile scan: line count + "
+                   "checksum fold; disk-bound")
+
+    main_class = LOGS_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.log_bytes = data.text_bytes(LOG_BYTES_PER_SCALE * scale,
+                                         seed=17)
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_logs_main().build())
+        return archive
+
+    def install_files(self, vm) -> None:
+        vm.add_file(LOG_FILE, self.log_bytes)
+
+    def _expected(self) -> Tuple[int, int, int]:
+        lines = 0
+        checksum = 0
+        for b in self.log_bytes:
+            checksum = _wrap32(checksum * 31 + b)
+            if b == 10:
+                lines += 1
+        return lines, len(self.log_bytes), checksum
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        lines, total, checksum = self._expected()
+        for key, expected in (("lines", lines), ("bytes", total),
+                              ("checksum", checksum)):
+            got = self.console_value(vm, key)
+            if got is None:
+                return WorkloadResultCheck(
+                    False, f"missing console output {key}=")
+            if int(got) != expected:
+                return WorkloadResultCheck(
+                    False, f"{key} {got} != {expected}")
+        return WorkloadResultCheck(True)
+
+
+# -- io-kv ----------------------------------------------------------------------
+
+
+def _emit_encode(m: MethodAssembler, buf_local: int,
+                 value_local: int) -> None:
+    """buf[0..3] = big-endian bytes of the value local."""
+    for index, shift in enumerate((24, 16, 8, 0)):
+        m.aload(buf_local).iconst(index).iload(value_local)
+        if shift:
+            m.iconst(shift).iushr()
+        m.iconst(255).iand()
+        m.iastore()
+
+
+def _emit_decode(m: MethodAssembler, buf_local: int,
+                 value_local: int) -> None:
+    """value local = big-endian int from buf[0..3]."""
+    for index, shift in enumerate((24, 16, 8, 0)):
+        m.aload(buf_local).iconst(index).iaload()
+        m.iconst(255).iand()
+        if shift:
+            m.iconst(shift).ishl()
+        if index:
+            m.ior()
+    m.istore(value_local)
+
+
+def _build_kv_main(n_records: int, n_ops: int) -> ClassAssembler:
+    raf = "java.io.RandomAccessFile"
+    c = ClassAssembler(KV_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=raf,1=buf,2=rng,3=i,4=v,5=checksum,6=k,7=len
+        m.new(raf).dup().ldc(KV_FILE)
+        m.invokespecial(raf, "<init>", "(Ljava.lang.String;)V")
+        m.astore(0)
+        m.iconst(4).newarray(ArrayKind.BYTE).astore(1)
+        m.new("java.util.Random").dup().ldc(KV_SEED)
+        m.invokespecial("java.util.Random", "<init>", "(I)V").astore(2)
+        m.iconst(0).istore(5)
+        # populate: slot i <- rng value
+        m.iconst(0).istore(3)
+        m.label("put_loop")
+        m.iload(3).ldc(n_records).if_icmpge("ops")
+        m.aload(2).ldc(KV_VALUE_BOUND)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.istore(4)
+        _emit_encode(m, 1, 4)
+        m.aload(0).iload(3).iconst(4).imul()
+        m.invokevirtual(raf, "seek", "(I)V")
+        m.aload(0).aload(1).iconst(0).iconst(4)
+        m.invokevirtual(raf, "write", "([BII)V")
+        m.iinc(3, 1).goto("put_loop")
+        # op mix: read a random slot; every third op writes back v+i
+        m.label("ops")
+        m.iconst(0).istore(3)
+        m.label("op_loop")
+        m.iload(3).ldc(n_ops).if_icmpge("finish")
+        m.aload(2).ldc(n_records)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.istore(6)
+        m.aload(0).iload(6).iconst(4).imul()
+        m.invokevirtual(raf, "seek", "(I)V")
+        m.aload(0).aload(1).iconst(0).iconst(4)
+        m.invokevirtual(raf, "read", "([BII)I").pop()
+        _emit_decode(m, 1, 4)
+        m.iload(5).iconst(31).imul().iload(4).iadd().istore(5)
+        m.iload(3).iconst(3).irem().ifne("skip_update")
+        m.iload(4).iload(3).iadd().ldc(KV_VALUE_BOUND).irem()
+        m.istore(4)
+        _emit_encode(m, 1, 4)
+        m.aload(0).iload(6).iconst(4).imul()
+        m.invokevirtual(raf, "seek", "(I)V")
+        m.aload(0).aload(1).iconst(0).iconst(4)
+        m.invokevirtual(raf, "write", "([BII)V")
+        m.label("skip_update")
+        m.iinc(3, 1).goto("op_loop")
+        m.label("finish")
+        m.aload(0).invokevirtual(raf, "length", "()I").istore(7)
+        m.aload(0).invokevirtual(raf, "close", "()V")
+        _println_int(m, "len=", lambda mm: mm.iload(7))
+        _println_int(m, "checksum=", lambda mm: mm.iload(5))
+        m.return_()
+    return c
+
+
+class _KvMirror:
+    """Host-side replay of the kv-store op mix."""
+
+    def __init__(self, n_records: int, n_ops: int):
+        self.n_records = n_records
+        self.n_ops = n_ops
+
+    def run(self) -> Tuple[int, int]:
+        rng = _Lcg(KV_SEED)
+        slots = [rng.next_int(KV_VALUE_BOUND)
+                 for _ in range(self.n_records)]
+        checksum = 0
+        for i in range(self.n_ops):
+            k = rng.next_int(self.n_records)
+            v = slots[k]
+            checksum = _wrap32(checksum * 31 + v)
+            if i % 3 == 0:
+                slots[k] = (v + i) % KV_VALUE_BOUND
+        return self.n_records * 4, checksum
+
+
+@register
+class IoKvWorkload(Workload):
+    """Persistent key/value slots behind seek/read/write natives."""
+
+    name = "io-kv"
+    description = ("fixed-slot kv store on RandomAccessFile: populate "
+                   "then read-mostly op mix; seek-heavy")
+
+    main_class = KV_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.n_records = KV_RECORDS_PER_SCALE * scale
+        self.n_ops = KV_OPS_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(
+            _build_kv_main(self.n_records, self.n_ops).build())
+        return archive
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        length, checksum = _KvMirror(self.n_records, self.n_ops).run()
+        for key, expected in (("len", length),
+                              ("checksum", checksum)):
+            got = self.console_value(vm, key)
+            if got is None:
+                return WorkloadResultCheck(
+                    False, f"missing console output {key}=")
+            if int(got) != expected:
+                return WorkloadResultCheck(
+                    False, f"{key} {got} != {expected}")
+        return WorkloadResultCheck(True)
+
+
+# -- io-echo --------------------------------------------------------------------
+
+
+def _build_echo_main(n_requests: int) -> ClassAssembler:
+    sock = "java.net.Socket"
+    c = ClassAssembler(ECHO_MAIN)
+    with c.method("main", "()V", static=True) as m:
+        # locals: 0=sock,1=out,2=in,3=rng,4=r,5=j,6=checksum,7=got
+        m.new(sock).dup().ldc("echo.peer").iconst(7)
+        m.invokespecial(sock, "<init>", "(Ljava.lang.String;I)V")
+        m.astore(0)
+        m.iconst(ECHO_PAYLOAD).newarray(ArrayKind.BYTE).astore(1)
+        m.iconst(ECHO_PAYLOAD).newarray(ArrayKind.BYTE).astore(2)
+        m.new("java.util.Random").dup().ldc(ECHO_SEED)
+        m.invokespecial("java.util.Random", "<init>", "(I)V").astore(3)
+        m.iconst(0).istore(6)
+        m.iconst(0).istore(4)
+        m.label("req_loop")
+        m.iload(4).ldc(n_requests).if_icmpge("finish")
+        # fill a printable payload
+        m.iconst(0).istore(5)
+        m.label("fill")
+        m.iload(5).iconst(ECHO_PAYLOAD).if_icmpge("send")
+        m.aload(1).iload(5)
+        m.aload(3).iconst(96)
+        m.invokevirtual("java.util.Random", "nextInt", "(I)I")
+        m.iconst(32).iadd()
+        m.iastore()
+        m.iinc(5, 1).goto("fill")
+        m.label("send")
+        m.aload(0).aload(1).iconst(0).iconst(ECHO_PAYLOAD)
+        m.invokevirtual(sock, "send", "([BII)V")
+        m.aload(0).aload(2).iconst(0).iconst(ECHO_PAYLOAD)
+        m.invokevirtual(sock, "recv", "([BII)I").istore(7)
+        # fold the echoed bytes
+        m.iconst(0).istore(5)
+        m.label("fold")
+        m.iload(5).iload(7).if_icmpge("next_req")
+        m.iload(6).iconst(31).imul()
+        m.aload(2).iload(5).iaload().iadd().istore(6)
+        m.iinc(5, 1).goto("fold")
+        m.label("next_req")
+        m.iinc(4, 1).goto("req_loop")
+        m.label("finish")
+        m.aload(0).invokevirtual(sock, "close", "()V")
+        _println_int(m, "requests=", lambda mm: mm.iload(4))
+        _println_int(m, "checksum=", lambda mm: mm.iload(6))
+        m.return_()
+    return c
+
+
+@register
+class IoEchoWorkload(Workload):
+    """Request/response round trips against the simulated echo peer."""
+
+    name = "io-echo"
+    description = ("socket send/recv round trips with payload "
+                   "checksum; RTT-bound")
+
+    main_class = ECHO_MAIN
+
+    def __init__(self, scale: int = 1):
+        super().__init__(scale)
+        self.n_requests = ECHO_REQUESTS_PER_SCALE * scale
+
+    def build_classes(self) -> ClassArchive:
+        archive = ClassArchive()
+        archive.put_class(_build_echo_main(self.n_requests).build())
+        return archive
+
+    def validate(self, vm) -> WorkloadResultCheck:
+        rng = _Lcg(ECHO_SEED)
+        checksum = 0
+        for _ in range(self.n_requests):
+            payload = [rng.next_int(96) + 32
+                       for _ in range(ECHO_PAYLOAD)]
+            for b in payload:  # echoed verbatim by the peer
+                checksum = _wrap32(checksum * 31 + b)
+        for key, expected in (("requests", self.n_requests),
+                              ("checksum", checksum)):
+            got = self.console_value(vm, key)
+            if got is None:
+                return WorkloadResultCheck(
+                    False, f"missing console output {key}=")
+            if int(got) != expected:
+                return WorkloadResultCheck(
+                    False, f"{key} {got} != {expected}")
+        return WorkloadResultCheck(True)
+
+
+def io_suite(scale: int = 1) -> List[Workload]:
+    """The blocking-I/O family (NOT part of :func:`full_suite`)."""
+    from repro.workloads.suite import get_workload
+
+    return [get_workload(name, scale)
+            for name in ("io-logs", "io-kv", "io-echo")]

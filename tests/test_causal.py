@@ -1,0 +1,122 @@
+"""COZ-style causal profiling: virtual predictions must agree with
+actually editing the cost model, cycle for cycle at one core."""
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness.causal import (
+    CausalExperiment,
+    CausalSpec,
+    parse_speedup,
+    scaled,
+)
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.workloads import get_workload
+
+READ = "java.io.RandomAccessFile.readBytes([BII)I"
+RECV = "java.net.Socket.recv0([BII)I"
+
+
+def _causal_run(workload_name, spec):
+    return execute(get_workload(workload_name),
+                   RunConfig(agent=AgentSpec.none(), causal=spec))
+
+
+class TestParseSpeedup:
+    def test_parses_method_and_factor(self):
+        assert parse_speedup("java.net.Socket.recv0=2.5") == \
+            ("java.net.Socket.recv0", 2.5)
+
+    @pytest.mark.parametrize("text", ["no-equals", "=2.0",
+                                      "a.B.m=zero", "a.B.m=0",
+                                      "a.B.m=-1"])
+    def test_rejects_malformed_specs(self, text):
+        with pytest.raises(HarnessError):
+            parse_speedup(text)
+
+
+class TestExperimentArithmetic:
+    def test_virtual_mode_leaves_charges_untouched(self):
+        exp = CausalExperiment(CausalSpec(method="a.B.m", factor=2.0))
+        assert exp.cpu_charge("a.B.m", 1000) == 1000
+        assert exp.device_charge("a.B.m", 500) == 500
+        assert exp.saved_total == 500 + 250
+        assert exp.predicted_wall(10_000) == 10_000 - 750
+
+    def test_actual_mode_rescales_charges(self):
+        exp = CausalExperiment(CausalSpec(method="a.B.m", factor=4.0,
+                                          virtual=False))
+        assert exp.cpu_charge("a.B.m", 1000) == scaled(1000, 4.0)
+        assert exp.device_charge("a.B.m", 999) == scaled(999, 4.0)
+
+    def test_other_methods_pass_through(self):
+        exp = CausalExperiment(CausalSpec(method="a.B.m", factor=2.0,
+                                          virtual=False))
+        assert exp.cpu_charge("a.B.other", 1000) == 1000
+        assert exp.saved_total == 0
+
+    def test_sweep_accumulates_per_factor(self):
+        exp = CausalExperiment(CausalSpec(method="a.B.m", factor=2.0,
+                                          sweep=(2.0, 4.0)))
+        exp.device_charge("a.B.m", 1000)
+        doc = exp.summary(wall_cycles=10_000)
+        rows = {r["factor"]: r for r in doc["sweep"]}
+        assert rows[2.0]["saved"] == 500
+        assert rows[4.0]["saved"] == 750
+        assert rows[4.0]["predicted_wall_cycles"] == 9_250
+        assert doc["predicted_wall_cycles"] == 9_500
+
+
+class TestEndToEnd:
+    """Acceptance criterion: virtual prediction within 1 % of the
+    measured effect of actually rescaling the cost model."""
+
+    @pytest.mark.parametrize("workload,method", [
+        ("io-kv", READ), ("io-echo", RECV)])
+    @pytest.mark.parametrize("factor", [2.0, 8.0])
+    def test_prediction_matches_actual_rescale(self, workload,
+                                               method, factor):
+        virtual = _causal_run(workload, CausalSpec(
+            method=method, factor=factor))
+        assert virtual.causal["cpu_cycles"] > 0
+        assert virtual.causal["device_cycles"] > 0
+        predicted = virtual.causal["predicted_wall_cycles"]
+        actual = _causal_run(workload, CausalSpec(
+            method=method, factor=factor, virtual=False))
+        error = abs(actual.wall_cycles - predicted) \
+            / actual.wall_cycles * 100.0
+        assert error <= 1.0, (predicted, actual.wall_cycles)
+
+    def test_virtual_run_is_unperturbed(self):
+        plain = execute(get_workload("io-kv"),
+                        RunConfig(agent=AgentSpec.none()))
+        virtual = _causal_run("io-kv", CausalSpec(method=READ,
+                                                  factor=2.0))
+        assert virtual.cycles == plain.cycles
+        assert virtual.wall_cycles == plain.wall_cycles
+        assert virtual.console == plain.console
+
+    def test_actual_rescale_keeps_the_answer(self):
+        plain = execute(get_workload("io-kv"),
+                        RunConfig(agent=AgentSpec.none()))
+        actual = _causal_run("io-kv", CausalSpec(
+            method=READ, factor=2.0, virtual=False))
+        # faster disk, same bytes: console (and the mirror check)
+        # unchanged, wall clock strictly better
+        assert actual.console == plain.console
+        assert actual.validation_ok
+        assert actual.wall_cycles < plain.wall_cycles
+
+    def test_slowdown_factor_predicts_regression(self):
+        virtual = _causal_run("io-logs", CausalSpec(method=READ,
+                                                    factor=0.5))
+        assert virtual.causal["predicted_wall_cycles"] > \
+            virtual.wall_cycles
+
+    def test_absent_method_predicts_nothing(self):
+        virtual = _causal_run("io-logs", CausalSpec(
+            method="java.net.Socket.recv0([BII)I", factor=2.0))
+        assert virtual.causal["saved_total"] == 0
+        assert virtual.causal["predicted_wall_cycles"] == \
+            virtual.wall_cycles

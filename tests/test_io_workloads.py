@@ -1,0 +1,74 @@
+"""The blocking-I/O workload family (io-logs, io-kv, io-echo).
+
+Each workload must validate against its host mirror at every core
+count under both execution tiers, block for the same number of cycles
+no matter how many cores run it, and stay out of :func:`full_suite`
+so the Table I/II goldens never see a blocking native."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.jit.policy import JitPolicy
+from repro.jvm.machine import VMConfig
+from repro.workloads import full_suite, get_workload, io_suite
+
+FAMILY = ("io-logs", "io-kv", "io-echo")
+
+
+def _run(name, cores=1, template=True, scale=1):
+    config = RunConfig(
+        agent=AgentSpec.none(),
+        vm_config=VMConfig(jit_policy=JitPolicy(
+            template_tier=template), cores=cores))
+    return execute(get_workload(name, scale=scale), config)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", FAMILY)
+    @pytest.mark.parametrize("cores", [1, 4])
+    @pytest.mark.parametrize("template", [False, True],
+                             ids=["interp", "template"])
+    def test_mirror_agrees(self, name, cores, template):
+        result = _run(name, cores, template)
+        assert result.validation_ok, result.validation_detail
+        assert result.blocked_cycles > 0
+        assert result.wall_cycles > result.cycles
+
+    @pytest.mark.parametrize("name", FAMILY)
+    def test_cores_do_not_change_the_answer(self, name):
+        serial = _run(name, cores=1)
+        scheduled = _run(name, cores=4)
+        assert scheduled.console == serial.console
+        # a single-threaded blocking workload waits the same cycles
+        # whether the parked core could have run someone else or not
+        assert scheduled.blocked_cycles == serial.blocked_cycles
+        assert scheduled.device_clocks == serial.device_clocks
+
+    @pytest.mark.parametrize("name", FAMILY)
+    def test_scale_increases_blocking(self, name):
+        small = _run(name, scale=1)
+        large = _run(name, scale=3)
+        assert large.blocked_cycles > small.blocked_cycles
+
+    def test_expected_devices(self):
+        assert set(_run("io-logs").device_clocks) == {"disk"}
+        assert set(_run("io-kv").device_clocks) == {"disk"}
+        assert set(_run("io-echo").device_clocks) == {"net"}
+
+
+class TestSuiteMembership:
+    def test_io_suite_contents_and_order(self):
+        assert [w.name for w in io_suite()] == list(FAMILY)
+
+    def test_family_stays_out_of_full_suite(self):
+        names = {w.name for w in full_suite()}
+        assert names.isdisjoint(FAMILY)
+
+    def test_table1_accepts_io_workloads(self, capsys):
+        assert main(["table1", "--workloads", "io-logs"]) == 0
+        out = capsys.readouterr().out
+        assert "io-logs" in out

@@ -215,6 +215,24 @@ class TestFiltersAndTrend:
         assert not any("tier" in line and "(same)" in line
                        for line in changed)
 
+    def test_diff_blocked_split_with_same_markers(self):
+        a = _manifest()
+        a["outcome"].update(blocked_cycles=1000, wall_cycles=5000,
+                            device_clocks={"disk": 900, "net": 100})
+        b = _manifest()
+        b["outcome"].update(blocked_cycles=1000, wall_cycles=6000,
+                            device_clocks={"disk": 1900, "net": 100})
+        lines = diff_manifests(a, b)
+        assert "outcome blocked_cycles: 1,000 (same)" in lines
+        assert "outcome wall_cycles: 5,000 -> 6,000" in lines
+        assert "device disk: 900 -> 1,900 cycles" in lines
+        assert "device net: 100 cycles (same)" in lines
+
+    def test_diff_skips_blocked_split_when_nothing_blocked(self):
+        lines = diff_manifests(_manifest(), _manifest())
+        assert not any("blocked" in line or "device" in line
+                       for line in lines)
+
     def test_sparkline_shape(self):
         spark = render_sparkline([1.0, 2.0, 3.0, 4.0])
         assert len(spark) == 4

@@ -1,0 +1,115 @@
+"""Cycle-charging discipline of the JDK native library.
+
+Three invariants, checked against live runs rather than by reading
+the code: every declared native resolves to an implementation; every
+``env.charge`` is a nonnegative amount landing under the NATIVE
+ground-truth tag; and blocking natives never touch the CPU clock for
+the cycles they spend parked on a device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import AgentSpec, RunConfig
+from repro.harness.runner import execute
+from repro.jni.function_table import JNIEnv
+from repro.jni.mangling import mangle
+from repro.jni.stdlib import build_java_library
+from repro.jvm.costmodel import ChargeTag
+from repro.jvm.threads import SimThread
+from repro.launcher import runtime_archive
+from repro.workloads import get_workload
+
+#: Workloads that together touch strings, arrays, streams, CRC32,
+#: math, println, and both blocking device families.
+EXERCISERS = ("jess", "io-logs", "io-echo")
+
+
+class TestDeclaredNativesResolve:
+    def test_every_declared_native_has_an_implementation(self):
+        lib = build_java_library()
+        missing = [
+            f"{cf.name}.{method.name}"
+            for cf in runtime_archive().classes()
+            for method in cf.native_methods()
+            if lib.lookup(mangle(cf.name, method.name)) is None]
+        assert not missing, missing
+
+
+@pytest.fixture
+def charge_log(monkeypatch):
+    """Every env.charge / env.charge_blocked across a run, with the
+    ground-truth tags the CPU charges landed under."""
+    log = {"cpu": [], "blocked": [], "tags": [], "leaks": []}
+    in_env_charge = []
+
+    original_charge = JNIEnv.charge
+    original_blocked = JNIEnv.charge_blocked
+    original_thread_charge = SimThread.charge
+
+    def spy_charge(env, cycles):
+        log["cpu"].append((env.native_name, cycles))
+        in_env_charge.append(True)
+        try:
+            original_charge(env, cycles)
+        finally:
+            in_env_charge.pop()
+
+    def spy_blocked(env, device, cycles):
+        before = env.thread.cycles_total
+        blocked = original_blocked(env, device, cycles)
+        if env.thread.cycles_total != before:
+            log["leaks"].append((env.native_name, device))
+        log["blocked"].append((env.native_name, device, cycles,
+                               blocked))
+        return blocked
+
+    def spy_thread_charge(thread, cycles, tag):
+        if in_env_charge:
+            log["tags"].append((cycles, tag))
+        original_thread_charge(thread, cycles, tag)
+
+    monkeypatch.setattr(JNIEnv, "charge", spy_charge)
+    monkeypatch.setattr(JNIEnv, "charge_blocked", spy_blocked)
+    monkeypatch.setattr(SimThread, "charge", spy_thread_charge)
+    return log
+
+
+class TestChargingDiscipline:
+    @pytest.mark.parametrize("name", EXERCISERS)
+    def test_cpu_charges_are_nonnegative_ints(self, name, charge_log):
+        execute(get_workload(name), RunConfig(agent=AgentSpec.none()))
+        assert charge_log["cpu"], "no native ever charged"
+        for native, cycles in charge_log["cpu"]:
+            assert isinstance(cycles, int), (native, cycles)
+            assert cycles >= 0, (native, cycles)
+
+    @pytest.mark.parametrize("name", EXERCISERS)
+    def test_cpu_charges_carry_the_native_tag(self, name, charge_log):
+        execute(get_workload(name), RunConfig(agent=AgentSpec.none()))
+        assert charge_log["tags"]
+        for cycles, tag in charge_log["tags"]:
+            assert tag is ChargeTag.NATIVE, (cycles, tag)
+
+    @pytest.mark.parametrize("name", ["io-logs", "io-echo"])
+    def test_blocking_natives_never_charge_cpu_while_parked(
+            self, name, charge_log):
+        result = execute(get_workload(name),
+                         RunConfig(agent=AgentSpec.none()))
+        assert charge_log["blocked"], "no native ever blocked"
+        assert not charge_log["leaks"], charge_log["leaks"]
+        for native, device, cycles, blocked in charge_log["blocked"]:
+            assert native is not None
+            assert device in ("disk", "net")
+            assert cycles >= 0
+            # queueing can only lengthen a wait, never shorten it
+            assert blocked >= cycles
+        assert sum(row[3] for row in charge_log["blocked"]) == \
+            result.blocked_cycles
+
+    def test_non_blocking_natives_stay_off_the_devices(self,
+                                                       charge_log):
+        result = execute(get_workload("jess"),
+                         RunConfig(agent=AgentSpec.none()))
+        assert charge_log["blocked"] == []
+        assert result.blocked_cycles == 0

@@ -21,7 +21,8 @@ class TestRegistry:
         assert names == {"compress", "jess", "db", "javac",
                          "mpegaudio", "mtrt", "jack", "jbb2005",
                          "fj-kmeans", "actors", "reactors",
-                         "racy-counter", "racy-lockorder"}
+                         "racy-counter", "racy-lockorder",
+                         "io-logs", "io-kv", "io-echo"}
 
     def test_jvm98_suite_order_matches_paper(self):
         assert [w.name for w in jvm98_suite()] == [
